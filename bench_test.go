@@ -1,0 +1,251 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// recomputes one evaluation artifact per iteration (on a subsampled suite
+// so -bench stays fast) and reports its headline numbers as custom
+// metrics; `go run ./cmd/waffle-bench -all` produces the full-resolution
+// tables recorded in EXPERIMENTS.md.
+package waffle_test
+
+import (
+	"testing"
+
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/eval"
+	"waffle/internal/stats"
+	"waffle/internal/wafflebasic"
+)
+
+// benchSuite bounds per-app tests during -bench runs.
+const benchSuiteTests = 6
+
+func BenchmarkTable1DesignMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.Table1()
+		if len(rows) != 7 {
+			b.Fatal("table 1 shape")
+		}
+	}
+}
+
+func BenchmarkFigure2TimingConditions(b *testing.B) {
+	var last []eval.Fig2Point
+	for i := 0; i < b.N; i++ {
+		last = eval.EvalFigure2(eval.Fig2Options{Seed: 1, Reps: 10})
+	}
+	// Headline shape: the TSV curve's width (range) and the MemOrder
+	// curve's threshold position.
+	var tsvRange, moThreshold float64
+	for _, p := range last {
+		if p.TSVRate >= 0.5 {
+			tsvRange += 1
+		}
+		if moThreshold == 0 && p.MemOrdRate >= 0.5 {
+			moThreshold = p.DelayMS
+		}
+	}
+	b.ReportMetric(tsvRange, "tsv-range-points")
+	b.ReportMetric(moThreshold, "memorder-threshold-ms")
+}
+
+func BenchmarkTable2Sites(b *testing.B) {
+	var rows []eval.SuiteRow
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, a := range apps.Registry() {
+			if !a.InTable2 {
+				continue
+			}
+			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: 1, MaxTests: benchSuiteTests}))
+		}
+	}
+	var moOverTSV float64
+	n := 0
+	for _, r := range rows {
+		if r.TSVInstrSites > 0 {
+			moOverTSV += r.MOInstrSites / r.TSVInstrSites
+			n++
+		}
+	}
+	// §3.3: MO instrumentation sites are ~10× TSV's for most apps.
+	b.ReportMetric(moOverTSV/float64(n), "mo-over-tsv-instr-sites")
+}
+
+func BenchmarkTable3Benchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reg := apps.Registry()
+		total := 0
+		for _, a := range reg {
+			total += len(a.Tests)
+		}
+		if total < 900 {
+			b.Fatalf("suite shrank: %d tests", total)
+		}
+	}
+}
+
+func BenchmarkTable4Detection(b *testing.B) {
+	var rows []eval.BugRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.EvalTable4(eval.BugOptions{Seed: 1, Repetitions: 3, MaxRuns: 25, Majority: 2})
+	}
+	waffleExposed, basicExposed := 0, 0
+	for _, r := range rows {
+		if r.WaffleRuns > 0 {
+			waffleExposed++
+		}
+		if r.BasicRuns > 0 {
+			basicExposed++
+		}
+	}
+	b.ReportMetric(float64(waffleExposed), "waffle-bugs-exposed")
+	b.ReportMetric(float64(basicExposed), "basic-bugs-exposed")
+}
+
+func BenchmarkTable5Overhead(b *testing.B) {
+	var row eval.SuiteRow
+	for i := 0; i < b.N; i++ {
+		row = eval.EvalSuite(apps.ByName("NpgSQL"), eval.SuiteOptions{Seed: 1, MaxTests: benchSuiteTests})
+	}
+	b.ReportMetric(row.BasicR2Pct, "basic-r2-overhead-pct")
+	b.ReportMetric(row.WaffleR2Pct, "waffle-r2-overhead-pct")
+}
+
+func BenchmarkTable6Delays(b *testing.B) {
+	var row eval.SuiteRow
+	for i := 0; i < b.N; i++ {
+		row = eval.EvalSuite(apps.ByName("NetMQ"), eval.SuiteOptions{Seed: 1, MaxTests: benchSuiteTests})
+	}
+	if row.WaffleDelayDurMS > 0 {
+		b.ReportMetric(row.BasicDelayDurMS/row.WaffleDelayDurMS, "basic-over-waffle-delay-dur")
+	}
+}
+
+func BenchmarkTable7Ablations(b *testing.B) {
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.EvalTable7(eval.BugOptions{Seed: 1, Repetitions: 3, MaxRuns: 12, Majority: 2, MaxTests: 3})
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "no parent-child analysis (§4.1)":
+			b.ReportMetric(r.Slowdown, "no-parent-child-slowdown")
+		case "no custom delay length (§4.3)":
+			b.ReportMetric(r.Slowdown, "no-custom-length-slowdown")
+		}
+	}
+}
+
+func BenchmarkFigure5Overlap(b *testing.B) {
+	var row eval.SuiteRow
+	for i := 0; i < b.N; i++ {
+		row = eval.EvalSuite(apps.ByName("NSubstitute"), eval.SuiteOptions{Seed: 1, MaxTests: benchSuiteTests})
+	}
+	b.ReportMetric(row.BasicOverlap*100, "basic-overlap-pct")
+	b.ReportMetric(row.TSVDOverlap*100, "tsvd-overlap-pct")
+}
+
+// BenchmarkExposeBug2 measures the raw cost of one full Waffle session
+// (prep + detection) on a sparse known bug.
+func BenchmarkExposeBug2(b *testing.B) {
+	var target *apps.Test
+	for _, t := range apps.AllBugs() {
+		if t.Bug.ID == "Bug-2" {
+			target = t
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		s := &core.Session{Prog: target.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 10, BaseSeed: int64(i + 1)}
+		if out := s.Expose(); out.Bug == nil {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// BenchmarkWaffleBasicSession measures the baseline's session cost on the
+// same bug, for comparison.
+func BenchmarkWaffleBasicSession(b *testing.B) {
+	var target *apps.Test
+	for _, t := range apps.AllBugs() {
+		if t.Bug.ID == "Bug-2" {
+			target = t
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		s := &core.Session{Prog: target.Prog, Tool: wafflebasic.New(core.Options{}), MaxRuns: 10, BaseSeed: int64(i + 1)}
+		if out := s.Expose(); out.Bug == nil {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// BenchmarkRepeatExpose measures the statistical harness itself.
+func BenchmarkRepeatExpose(b *testing.B) {
+	var target *apps.Test
+	for _, t := range apps.AllBugs() {
+		if t.Bug.ID == "Bug-14" {
+			target = t
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		results := stats.RepeatExpose(3, 10, int64(i+1),
+			func() core.Program { return target.Prog },
+			func() core.Tool { return core.NewWaffle(core.Options{}) })
+		if stats.Summarize(results, 2).Exposed == 0 {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkToolComparison(b *testing.B) {
+	var rows []eval.ToolRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.EvalToolComparison(eval.BugOptions{Seed: 1, Repetitions: 2, MaxRuns: 20, Majority: 2})
+	}
+	for _, r := range rows {
+		if r.Tool == "Waffle" {
+			b.ReportMetric(float64(r.Exposed), "waffle-exposed")
+		}
+		if r.Tool == "DataCollider-style sampler" {
+			b.ReportMetric(float64(r.Exposed), "sampler-exposed")
+		}
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	var points []eval.SweepPoint
+	for i := 0; i < b.N; i++ {
+		points = eval.EvalWindowSweep([]float64{10, 100}, eval.SweepOptions{Seed: 1, Repetitions: 2, MaxRuns: 10})
+	}
+	b.ReportMetric(float64(points[0].Exposed), "exposed-at-10ms")
+	b.ReportMetric(float64(points[1].Exposed), "exposed-at-100ms")
+}
+
+func BenchmarkFullHBTradeoff(b *testing.B) {
+	var rows []eval.FullHBRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.EvalFullHB(eval.FullHBOptions{Seed: 1, MaxTests: 4, MaxRuns: 10, Apps: []string{"ApplicationInsights"}})
+	}
+	r := rows[0]
+	b.ReportMetric(r.PartialPairs, "pairs-partial")
+	b.ReportMetric(r.FullPairs, "pairs-full")
+}
+
+func BenchmarkReplayBug(b *testing.B) {
+	var target *apps.Test
+	for _, t := range apps.AllBugs() {
+		if t.Bug.ID == "Bug-2" {
+			target = t
+		}
+	}
+	s := &core.Session{Prog: target.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		b.Fatal("setup failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := core.Replay(target.Prog, out.Bug, core.Options{}); !rep.Reproduced {
+			b.Fatal("replay failed")
+		}
+	}
+}

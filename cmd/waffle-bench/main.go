@@ -1,0 +1,317 @@
+// Command waffle-bench regenerates the paper's evaluation tables and
+// figures from the synthetic benchmark suite.
+//
+// Usage:
+//
+//	waffle-bench -table 4            # one table (1..7)
+//	waffle-bench -figure 2           # one figure (2 or 5)
+//	waffle-bench -all                # everything, in paper order
+//	waffle-bench -all -max-tests 20 -reps 5   # faster, subsampled
+//
+// The output is the measured reproduction; EXPERIMENTS.md places it side
+// by side with the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waffle/internal/apps"
+	"waffle/internal/eval"
+	"waffle/internal/report"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render one table (1..7)")
+		figure   = flag.Int("figure", 0, "render one figure (2 or 5)")
+		all      = flag.Bool("all", false, "render every table and figure")
+		maxTests = flag.Int("max-tests", 0, "cap tests per app (0 = full suite)")
+		reps     = flag.Int("reps", 15, "repetitions for probabilistic experiments")
+		maxRuns  = flag.Int("max-runs", 50, "search bound for bug exposure")
+		seed     = flag.Int64("seed", 1, "base seed")
+		appName  = flag.String("app", "", "restrict suite tables to one app")
+		sweep    = flag.String("sweep", "", "sensitivity sweep: window | alpha")
+		compare  = flag.Bool("compare", false, "empirical tool comparison across Table 1's design points")
+		fullHB   = flag.Bool("fullhb", false, "partial (fork-only) vs full happens-before analysis trade-off")
+		format   = flag.String("format", "ascii", "output format: ascii | md")
+		gaps     = flag.Bool("gaps", false, "per-bug delay-free time gaps (§4.3's measurement)")
+		detail   = flag.Bool("ablation-detail", false, "per-bug runs-to-expose under each Table 7 ablation")
+	)
+	flag.Parse()
+	markdown = *format == "md"
+
+	if !*all && *table == 0 && *figure == 0 && *sweep == "" && !*compare && !*fullHB && !*gaps && !*detail {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := func() []eval.SuiteRow {
+		var rows []eval.SuiteRow
+		for _, a := range apps.Registry() {
+			if *appName != "" && a.Name != *appName {
+				continue
+			}
+			if a.Name == "LiteDB" {
+				continue // excluded from Tables 2/5/6 (§6.4)
+			}
+			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests}))
+		}
+		return rows
+	}
+	bugOpt := eval.BugOptions{Seed: *seed, Repetitions: *reps, MaxRuns: *maxRuns}
+
+	var suiteRows []eval.SuiteRow
+	getSuite := func() []eval.SuiteRow {
+		if suiteRows == nil {
+			suiteRows = suite()
+		}
+		return suiteRows
+	}
+
+	want := func(t int) bool { return *all || *table == t }
+	wantFig := func(f int) bool { return *all || *figure == f }
+
+	if want(1) {
+		printTable1()
+	}
+	if wantFig(2) {
+		printFigure2(*seed, *reps)
+	}
+	if want(2) {
+		printTable2(getSuite())
+	}
+	if want(3) {
+		printTable3()
+	}
+	if want(4) {
+		printTable4(bugOpt)
+	}
+	if want(5) {
+		printTable5(getSuite())
+	}
+	if wantFig(5) {
+		printFigure5(getSuite())
+	}
+	if want(6) {
+		printTable6(getSuite())
+	}
+	if want(7) {
+		printTable7(bugOpt)
+	}
+	if *sweep != "" || *all {
+		printSweeps(*sweep, eval.SweepOptions{Seed: *seed, Repetitions: min(*reps, 5), MaxRuns: 20})
+	}
+	if *compare || *all {
+		printComparison(eval.BugOptions{Seed: *seed, Repetitions: min(*reps, 7), MaxRuns: *maxRuns})
+	}
+	if *fullHB || *all {
+		printFullHB(eval.FullHBOptions{Seed: *seed, MaxTests: 10})
+	}
+	if *gaps || *all {
+		printGaps(*seed)
+	}
+	if *detail {
+		printAblationDetail(eval.BugOptions{Seed: *seed, Repetitions: min(*reps, 7), MaxRuns: *maxRuns})
+	}
+}
+
+func printAblationDetail(opt eval.BugOptions) {
+	rows := eval.EvalAblationDetail(opt)
+	t := report.NewTable("Table 7 detail: runs to expose per bug under each ablation (- = missed)",
+		"Bug", "Full", "No parent-child", "No prep run", "No custom length", "No interference")
+	for _, r := range rows {
+		t.Row(r.ID, report.Runs(r.Full), report.Runs(r.NoParentChild), report.Runs(r.NoPrep),
+			report.Runs(r.NoCustomLen), report.Runs(r.NoInterference))
+	}
+	render(t)
+}
+
+func printGaps(seed int64) {
+	rows := eval.EvalBugGaps(seed)
+	t := report.NewTable("§4.3: delay-free time gaps of the 18 bugs (paper: <1ms to ~100ms)",
+		"Bug", "Application", "Known", "Gap (ms)")
+	for _, r := range rows {
+		t.Row(r.ID, r.App, report.YesNo(r.Known), fmt.Sprintf("%.1f", r.GapMS))
+	}
+	render(t)
+}
+
+func printFullHB(opt eval.FullHBOptions) {
+	rows := eval.EvalFullHB(opt)
+	t := report.NewTable("Extension: partial (fork-only) vs full happens-before analysis (§4.1's trade-off)",
+		"App", "Pairs partial", "Pairs full", "Prep % partial", "Prep % full", "Delays partial", "Delays full", "Bugs partial", "Bugs full")
+	for _, r := range rows {
+		t.Row(r.App, fmt.Sprintf("%.1f", r.PartialPairs), fmt.Sprintf("%.1f", r.FullPairs),
+			report.Pct(r.PartialPrepPct), report.Pct(r.FullPrepPct),
+			r.PartialDelays, r.FullDelays,
+			fmt.Sprintf("%d/%d", r.PartialBugs, r.AppBugs), fmt.Sprintf("%d/%d", r.FullBugs, r.AppBugs))
+	}
+	render(t)
+}
+
+func printComparison(opt eval.BugOptions) {
+	rows := eval.EvalToolComparison(opt)
+	t := report.NewTable("Extension: Table 1's design points, empirically (18 bugs)",
+		"Tool", "Bugs exposed", "Median runs", "Mean runs", "Median slowdown")
+	for _, r := range rows {
+		t.Row(r.Tool, r.Exposed, fmt.Sprintf("%.0f", r.MedianRuns),
+			fmt.Sprintf("%.1f", r.MeanRuns), fmt.Sprintf("%.1fx", r.MedianSlow))
+	}
+	render(t)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func printSweeps(which string, opt eval.SweepOptions) {
+	render := func(title, unit string, points []eval.SweepPoint) {
+		t := report.NewTable(title, unit, "Bugs exposed", "Avg runs", "Avg pairs", "Avg slowdown")
+		for _, p := range points {
+			t.Row(fmt.Sprintf("%g", p.Value), p.Exposed, fmt.Sprintf("%.1f", p.AvgRuns),
+				fmt.Sprintf("%.0f", p.AvgPairs), fmt.Sprintf("%.1fx", p.AvgSlowdown))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if which == "window" || which == "" {
+		render("Sensitivity: near-miss window δ (paper fixes 100ms)", "δ (ms)",
+			eval.EvalWindowSweep(nil, opt))
+	}
+	if which == "alpha" || which == "" {
+		render("Sensitivity: delay multiplier α (paper fixes 1.15)", "α",
+			eval.EvalAlphaSweep(nil, opt))
+	}
+}
+
+// markdown selects the renderer for every table.
+var markdown bool
+
+// render draws a table in the selected format.
+func render(t *report.Table) {
+	if markdown {
+		t.RenderMarkdown(os.Stdout)
+		return
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func printTable1() {
+	t := report.NewTable("Table 1. Design decisions of recent active delay injection tools",
+		append([]string{"Design decision"}, eval.Table1Tools...)...)
+	for _, row := range eval.Table1() {
+		cells := []any{row.Decision}
+		for _, tool := range eval.Table1Tools {
+			cells = append(cells, row.Values[tool])
+		}
+		t.Row(cells...)
+	}
+	render(t)
+}
+
+func printFigure2(seed int64, reps int) {
+	points := eval.EvalFigure2(eval.Fig2Options{Seed: seed, Reps: reps * 3})
+	t := report.NewTable("Figure 2. Trigger rate vs injected delay (TSV: ranged; MemOrder: threshold)",
+		"Delay (ms)", "TSV trigger rate", "MemOrder trigger rate")
+	for _, p := range points {
+		t.Row(p.DelayMS, fmt.Sprintf("%.2f", p.TSVRate), fmt.Sprintf("%.2f", p.MemOrdRate))
+	}
+	render(t)
+}
+
+func printTable2(rows []eval.SuiteRow) {
+	t := report.NewTable("Table 2. Average unique static instrumentation and injection sites per test input",
+		"App", "Instr TSV", "Instr MO", "Inject TSV", "Inject MO")
+	for _, r := range rows {
+		if !r.InTable2 {
+			continue
+		}
+		t.Row(r.App, r.TSVInstrSites, r.MOInstrSites, r.TSVInjSites, r.MOInjSites)
+	}
+	render(t)
+}
+
+func printTable3() {
+	t := report.NewTable("Table 3. Benchmark applications",
+		"Application", "LoC", "# MT tests", "# Stars")
+	for _, a := range apps.Registry() {
+		t.Row(a.Name, fmt.Sprintf("%.1fK", a.LoCK), a.MTTests, fmt.Sprintf("%.1fK", a.StarsK))
+	}
+	render(t)
+}
+
+func printTable4(opt eval.BugOptions) {
+	rows := eval.EvalTable4(opt)
+	t := report.NewTable("Table 4. Detection results (runs to expose and end-to-end slowdown)",
+		"Bug", "Application", "Issue", "Known", "Base (ms)",
+		"Runs Basic", "Runs Waffle", "Slowdown Basic", "Slowdown Waffle")
+	for _, r := range rows {
+		t.Row(r.ID, r.App, r.IssueID, report.YesNo(r.Known),
+			fmt.Sprintf("%.0f", r.BaseMS),
+			report.Runs(r.BasicRuns), report.Runs(r.WaffleRuns),
+			report.Slow(r.BasicSlowdown), report.Slow(r.WaffleSlowdown))
+	}
+	t.Render(os.Stdout)
+	exposedB, exposedW := 0, 0
+	for _, r := range rows {
+		if r.BasicRuns > 0 {
+			exposedB++
+		}
+		if r.WaffleRuns > 0 {
+			exposedW++
+		}
+	}
+	fmt.Printf("Waffle exposed %d/18 bugs; WaffleBasic exposed %d/18.\n\n", exposedW, exposedB)
+}
+
+func printTable5(rows []eval.SuiteRow) {
+	t := report.NewTable("Table 5. Average overhead (%) on all test inputs",
+		"App", "Base (ms)", "Basic R#1", "Basic R#2", "Waffle R#1", "Waffle R#2")
+	for _, r := range rows {
+		b1, b2 := report.Pct(r.BasicR1Pct), report.Pct(r.BasicR2Pct)
+		if r.BasicTimedOut {
+			b1, b2 = "TimeOut", "TimeOut"
+		}
+		t.Row(r.App, fmt.Sprintf("%.0f", r.BaseMS), b1, b2,
+			report.Pct(r.WaffleR1Pct), report.Pct(r.WaffleR2Pct))
+	}
+	render(t)
+}
+
+func printFigure5(rows []eval.SuiteRow) {
+	t := report.NewTable("Figure 5 / §3.3. Average delay-overlap ratio per app (1 − projection/total)",
+		"App", "TSVD overlap", "WaffleBasic overlap")
+	for _, r := range rows {
+		t.Row(r.App, fmt.Sprintf("%.1f%%", r.TSVDOverlap*100), fmt.Sprintf("%.1f%%", r.BasicOverlap*100))
+	}
+	render(t)
+}
+
+func printTable6(rows []eval.SuiteRow) {
+	t := report.NewTable("Table 6. Cumulative delays injected (one detection run per input)",
+		"App", "Basic #", "Basic dur (ms)", "Waffle #", "Waffle dur (ms)")
+	for _, r := range rows {
+		b1, b2 := fmt.Sprintf("%d", r.BasicDelays), fmt.Sprintf("%.0f", r.BasicDelayDurMS)
+		if r.BasicTimedOut {
+			b1, b2 = "TimeOut", "TimeOut"
+		}
+		t.Row(r.App, b1, b2, r.WaffleDelays, fmt.Sprintf("%.0f", r.WaffleDelayDurMS))
+	}
+	render(t)
+}
+
+func printTable7(opt eval.BugOptions) {
+	rows := eval.EvalTable7(opt)
+	t := report.NewTable("Table 7. Alternative designs: bugs missed and slowdown over full Waffle",
+		"Design", "# bugs missed", "Slowdown over Waffle")
+	for _, r := range rows {
+		t.Row(r.Name, r.BugsMissed, fmt.Sprintf("%.2fx", r.Slowdown))
+	}
+	render(t)
+}

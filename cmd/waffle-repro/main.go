@@ -1,0 +1,80 @@
+// Command waffle-repro replays a persisted bug report deterministically —
+// the triage flow a CI system runs after a nightly waffle sweep: load the
+// JSON report that `waffle -report` wrote, rebuild the minimal plan (the
+// culprit candidate pair, probability 1, fully serialized), re-execute the
+// named test at the exposing seed, and confirm the same fault fires.
+//
+// Usage:
+//
+//	waffle -test SSH.Net/Bug-2 -report bug.json
+//	waffle-repro -report bug.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waffle/internal/apps"
+	"waffle/internal/core"
+)
+
+func main() {
+	var (
+		reportPath = flag.String("report", "", "bug report JSON written by waffle -report")
+		verbose    = flag.Bool("v", false, "print the minimal plan before replaying")
+	)
+	flag.Parse()
+	if *reportPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*reportPath)
+	if err != nil {
+		fatal(err)
+	}
+	bug, err := core.ReadBugReportJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *reportPath, err))
+	}
+
+	test := findTest(bug.Program)
+	if test == nil {
+		fatal(fmt.Errorf("report names unknown test %q", bug.Program))
+	}
+
+	fmt.Printf("report:  %s (%s at %s, run %d, seed %d)\n",
+		bug.Program, bug.Kind(), bug.NullRef.Site, bug.Run, bug.Seed)
+	if *verbose {
+		plan := core.MinimalPlan(bug, core.Options{})
+		fmt.Printf("minimal plan: %d pair(s)\n", len(plan.Pairs))
+		for _, p := range plan.Pairs {
+			fmt.Printf("  {%s -> %s} %v, delay %v\n",
+				p.Delay, p.Target, p.Kind, plan.DelayLen[p.Delay])
+		}
+	}
+
+	rep := core.Replay(test.Prog, bug, core.Options{})
+	fmt.Printf("replay:  %v\n", rep)
+	if !rep.Reproduced {
+		os.Exit(3)
+	}
+}
+
+func findTest(name string) *apps.Test {
+	for _, a := range apps.Registry() {
+		for _, test := range a.Tests {
+			if test.Name == name {
+				return test
+			}
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "waffle-repro: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package waffle_test
+
+import (
+	"fmt"
+
+	"waffle"
+)
+
+// Example demonstrates the two-run workflow on a minimal use-after-free:
+// the preparation run records the near miss, the first detection run
+// realizes it.
+func Example() {
+	scenario := waffle.Scenario{
+		Name: "example",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			conn := h.NewRef("conn")
+			conn.Init(t, "main.go:3")
+			worker := t.Spawn("worker", func(w *waffle.Thread) {
+				w.Sleep(1 * waffle.Millisecond)
+				conn.Use(w, "worker.go:7")
+			})
+			t.Sleep(3 * waffle.Millisecond)
+			conn.Dispose(t, "main.go:9")
+			t.Join(worker)
+		},
+	}
+	out := waffle.New(waffle.Options{}).Expose(scenario, 10, 1)
+	fmt.Println(out.Bug.Kind(), "at", out.Bug.NullRef.Site, "in run", out.Bug.Run)
+	// Output: use-after-free at worker.go:7 in run 2
+}
+
+// ExamplePrepare shows the separated preparation phase: analyze once,
+// inspect the candidate set, then detect from the plan.
+func ExamplePrepare() {
+	scenario := waffle.Scenario{
+		Name: "prepare",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			obj := h.NewRef("obj")
+			user := t.Spawn("user", func(w *waffle.Thread) {
+				w.Sleep(3 * waffle.Millisecond)
+				obj.Use(w, "use-site")
+			})
+			t.Sleep(1 * waffle.Millisecond)
+			obj.Init(t, "init-site")
+			t.Join(user)
+		},
+	}
+	plan := waffle.Prepare(scenario, waffle.Options{}, 1)
+	for _, p := range plan.Pairs {
+		fmt.Println(p.Kind, "candidate:", p.Delay, "->", p.Target)
+	}
+	out := waffle.NewWithPlan(plan, waffle.Options{}).Expose(scenario, 5, 2)
+	fmt.Println("exposed in detection run", out.Bug.Run)
+	// Output:
+	// use-before-init candidate: init-site -> use-site
+	// exposed in detection run 1
+}
+
+// ExampleReplay turns a probabilistic exposure into a deterministic
+// reproducer.
+func ExampleReplay() {
+	scenario := waffle.Scenario{
+		Name: "replay",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			cache := h.NewRef("cache")
+			cache.Init(t, "cache.go:10")
+			refresher := t.Spawn("refresher", func(w *waffle.Thread) {
+				w.Sleep(2 * waffle.Millisecond)
+				cache.Use(w, "refresh.go:7")
+			})
+			t.Sleep(6 * waffle.Millisecond)
+			cache.Dispose(t, "shutdown.go:4")
+			t.Join(refresher)
+		},
+	}
+	out := waffle.New(waffle.Options{}).Expose(scenario, 10, 1)
+	rep := waffle.Replay(scenario, out.Bug, waffle.Options{})
+	fmt.Println("reproduced:", rep.Reproduced, "with", rep.Delays.Count, "delay")
+	// Output: reproduced: true with 1 delay
+}

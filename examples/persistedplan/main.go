@@ -1,0 +1,81 @@
+// Persistedplan demonstrates the paper's on-disk workflow (Figure 3, §5):
+// the preparation run and the detection runs are separate tool
+// invocations. The plan — candidate set S, interference set I, per-site
+// delay lengths, and injection probabilities — is analyzed once, saved as
+// JSON, and a later "process" loads it and goes straight to detection,
+// with probability decay continuing where it left off.
+//
+//	go run ./examples/persistedplan
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"waffle"
+)
+
+func scenario() waffle.Scenario {
+	return waffle.Scenario{
+		Name: "pool-reclaim",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			pool := h.NewRef("connector-pool")
+			pool.Init(t, "pool.go:31")
+			reader := t.Spawn("reader", func(w *waffle.Thread) {
+				w.Sleep(2 * waffle.Millisecond)
+				w.Work(300 * waffle.Microsecond)
+				pool.Use(w, "command.go:88") // races the reclaim
+			})
+			t.Sleep(5 * waffle.Millisecond)
+			pool.Dispose(t, "pool.go:77") // reclaim
+			t.Join(reader)
+		},
+	}
+}
+
+func main() {
+	planPath := filepath.Join(os.TempDir(), "waffle-plan.json")
+
+	// ---- invocation 1: preparation + analysis + save ----
+	plan := waffle.Prepare(scenario(), waffle.Options{}, 1)
+	fmt.Printf("preparation run analyzed: %d candidate pairs, %d injection sites\n",
+		len(plan.Pairs), len(plan.InjectionSites()))
+	for _, p := range plan.Pairs {
+		fmt.Printf("  {%s -> %s} %v, gap %v\n", p.Delay, p.Target, p.Kind, p.Gap)
+	}
+	f, err := os.Create(planPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := plan.WriteJSON(f); err != nil {
+		fail(err)
+	}
+	f.Close()
+	fmt.Printf("plan saved to %s\n\n", planPath)
+
+	// ---- invocation 2: load + detect (no preparation run) ----
+	g, err := os.Open(planPath)
+	if err != nil {
+		fail(err)
+	}
+	loaded, err := waffle.LoadPlan(g)
+	g.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("plan loaded; running detection only...")
+	outcome := waffle.NewWithPlan(loaded, waffle.Options{}).Expose(scenario(), 5, 2)
+	if outcome.Bug == nil {
+		fmt.Println("no bug — unexpected")
+		os.Exit(1)
+	}
+	fmt.Printf("exposed %v at %s in detection run %d (no preparation run needed)\n",
+		outcome.Bug.Kind(), outcome.Bug.NullRef.Site, outcome.Bug.Run)
+	os.Remove(planPath)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "persistedplan:", err)
+	os.Exit(1)
+}

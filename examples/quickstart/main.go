@@ -1,0 +1,60 @@
+// Quickstart: plant a use-after-free order violation and expose it with
+// Waffle in two runs — a delay-free preparation run plus one detection run.
+//
+//	go run ./examples/quickstart
+//
+// The scenario mimics the canonical MemOrder shape (§1, Figure 2): a
+// worker thread uses a connection object while the owner disposes it
+// shortly after. In every natural execution the use lands safely before
+// the dispose; only a targeted delay at the use site inverts the order.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"waffle"
+)
+
+func main() {
+	scenario := waffle.Scenario{
+		Name: "quickstart",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			conn := h.NewRef("conn")
+			conn.Init(t, "main.go:12")
+
+			// The worker touches the connection 1ms into the run.
+			worker := t.Spawn("worker", func(w *waffle.Thread) {
+				w.Sleep(1 * waffle.Millisecond)
+				w.Work(200 * waffle.Microsecond)
+				conn.Use(w, "worker.go:7")
+			})
+
+			// The owner disposes it 3ms in — 2ms after the use, inside
+			// Waffle's 100ms near-miss window, but never before the use
+			// without an injected delay.
+			t.Sleep(3 * waffle.Millisecond)
+			conn.Dispose(t, "main.go:24")
+			t.Join(worker)
+		},
+	}
+
+	fmt.Println("searching with Waffle (preparation run + detection runs)...")
+	outcome := waffle.New(waffle.Options{}).Expose(scenario, 10, 1)
+
+	for _, r := range outcome.Runs {
+		phase := "detection "
+		if r.Run == 1 {
+			phase = "preparation"
+		}
+		fmt.Printf("  run %d (%s): %v, %d delays injected\n", r.Run, phase, r.End, r.Stats.Count)
+	}
+
+	if outcome.Bug == nil {
+		fmt.Println("no bug found — unexpected for this scenario")
+		os.Exit(1)
+	}
+	fmt.Printf("\nexposed %v at %s in run %d:\n  %v\n",
+		outcome.Bug.Kind(), outcome.Bug.NullRef.Site, outcome.Bug.Run, outcome.Bug.NullRef)
+	fmt.Printf("end-to-end slowdown over the uninstrumented input: %.1fx\n", outcome.Slowdown())
+}

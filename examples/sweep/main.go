@@ -1,0 +1,93 @@
+// Sweep regenerates Figure 2's insight as a delay-length sweep: a
+// thread-safety violation triggers only inside a *range* of injected delay
+// lengths (the two API windows must overlap), while a MemOrder bug
+// triggers past a *threshold* (the delayed operation must clear its
+// partner). This difference drives every design departure from TSVD.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"waffle"
+)
+
+const (
+	gap    = 20 * waffle.Millisecond // natural distance between the pair
+	window = 8 * waffle.Millisecond  // API call execution window
+	reps   = 40
+)
+
+func main() {
+	fmt.Printf("natural gap %v, API window %v, %d seeds per point\n\n", gap, window, reps)
+	fmt.Printf("%-12s %-24s %-24s\n", "delay", "TSV trigger rate", "MemOrder trigger rate")
+	for _, ms := range []int{0, 5, 10, 14, 18, 22, 26, 30, 40, 60, 90} {
+		delay := waffle.Duration(ms) * waffle.Millisecond
+		tsv := rate(func(seed int64) bool { return tsvTriggered(seed, delay) })
+		mo := rate(func(seed int64) bool { return memOrderTriggered(seed, delay) })
+		fmt.Printf("%-12v %-24s %-24s\n", delay, bar(tsv), bar(mo))
+	}
+	fmt.Println("\nTSV: a range — too short and the windows have not met, too long and the")
+	fmt.Println("first window has sailed past. MemOrder: a threshold — any delay longer")
+	fmt.Println("than the gap exposes the bug (Figure 2).")
+}
+
+func rate(f func(int64) bool) float64 {
+	hits := 0
+	for seed := int64(0); seed < reps; seed++ {
+		if f(seed*31 + 7) {
+			hits++
+		}
+	}
+	return float64(hits) / reps
+}
+
+func bar(r float64) string {
+	n := int(r*20 + 0.5)
+	return fmt.Sprintf("%-20s %3.0f%%", strings.Repeat("#", n), r*100)
+}
+
+// tsvTriggered injects one fixed delay before API call 1 and reports
+// whether the two calls' windows overlapped.
+func tsvTriggered(seed int64, delay waffle.Duration) bool {
+	var overlapped bool
+	s := waffle.Scenario{
+		Name: "tsv-shape",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			dict := h.NewRef("dict")
+			other := t.Spawn("caller2", func(w *waffle.Thread) {
+				w.Sleep(gap)
+				dict.APICall(w, "api2", true, window)
+			})
+			t.Sleep(delay) // the injected delay before call 1
+			dict.APICall(t, "api1", true, window)
+			t.Join(other)
+			overlapped = len(h.TSVs()) > 0
+		},
+	}
+	waffle.RunOnce(s, seed)
+	return overlapped
+}
+
+// memOrderTriggered injects one fixed delay before the use and reports
+// whether the use-after-free manifested.
+func memOrderTriggered(seed int64, delay waffle.Duration) bool {
+	s := waffle.Scenario{
+		Name: "memorder-shape",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			obj := h.NewRef("obj")
+			obj.Init(t, "init")
+			user := t.Spawn("user", func(w *waffle.Thread) {
+				w.Sleep(delay) // the injected delay before the use
+				obj.Use(w, "use")
+			})
+			t.Sleep(gap)
+			obj.Dispose(t, "dispose")
+			t.Join(user)
+		},
+	}
+	res := waffle.RunOnce(s, seed)
+	return res.Fault != nil
+}

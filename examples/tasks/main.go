@@ -1,0 +1,76 @@
+// Tasks demonstrates Waffle over task-oriented code (§4.1's async-local
+// note): work items run on pool worker threads, not dedicated threads, so
+// thread-identity-based happens-before tracking would fall apart — but the
+// fork clocks ride the async-local context from submitter to task, so
+//
+//  1. objects initialized *before* a task is submitted are pruned from the
+//     candidate set (causally ordered, no wasted delays), while
+//
+//  2. a genuine race between a task and its submitter's later dispose is
+//     kept, delayed, and exposed.
+//
+//     go run ./examples/tasks
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"waffle"
+)
+
+func scenario() waffle.Scenario {
+	return waffle.Scenario{
+		Name: "task-pipeline",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			cfg := h.NewRef("config")
+			session := h.NewRef("session")
+
+			pool := waffle.NewTaskPool(t, 2, "io")
+
+			// Initialized before any submission: every task use of cfg is
+			// fork-ordered through the async-local context — not a
+			// candidate, no delays wasted (§4.1).
+			cfg.Init(t, "setup.go:5")
+			session.Init(t, "setup.go:6")
+
+			task := pool.Submit(t, "flush", func(w *waffle.Thread) {
+				cfg.Use(w, "flush.go:3") // ordered: pruned
+				w.Sleep(2 * waffle.Millisecond)
+				w.Work(300 * waffle.Microsecond)
+				session.Use(w, "flush.go:9") // races the teardown below
+			})
+
+			// Teardown does NOT wait for the flush task — the bug.
+			t.Sleep(8 * waffle.Millisecond)
+			session.Dispose(t, "teardown.go:2")
+
+			task.Wait(t)
+			pool.Shutdown(t)
+			pool.Join(t)
+		},
+	}
+}
+
+func main() {
+	plan := waffle.Prepare(scenario(), waffle.Options{}, 1)
+	fmt.Printf("candidate set after preparation: %d pair(s)\n", len(plan.Pairs))
+	for _, p := range plan.Pairs {
+		fmt.Printf("  {%s -> %s} %v (gap %v)\n", p.Delay, p.Target, p.Kind, p.Gap)
+	}
+	for _, p := range plan.Pairs {
+		if p.Delay == "flush.go:3" || p.Target == "flush.go:3" {
+			fmt.Println("unexpected: fork-ordered task use was not pruned")
+			os.Exit(1)
+		}
+	}
+	fmt.Println("  (the cfg use at flush.go:3 was pruned: ordered through the async-local fork)")
+
+	out := waffle.NewWithPlan(plan, waffle.Options{}).Expose(scenario(), 5, 2)
+	if out.Bug == nil {
+		fmt.Println("no bug — unexpected")
+		os.Exit(1)
+	}
+	fmt.Printf("\nexposed %v at %s in detection run %d:\n  %v\n",
+		out.Bug.Kind(), out.Bug.NullRef.Site, out.Bug.Run, out.Bug.NullRef)
+}

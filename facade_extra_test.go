@@ -1,0 +1,154 @@
+package waffle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"waffle"
+)
+
+func TestPrepareAndResumeWorkflow(t *testing.T) {
+	s := quickUAF()
+	plan := waffle.Prepare(s, waffle.Options{}, 1)
+	if len(plan.Pairs) == 0 {
+		t.Fatal("preparation found no candidates")
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := waffle.LoadPlan(&buf)
+	if err != nil {
+		t.Fatalf("LoadPlan: %v", err)
+	}
+	out := waffle.NewWithPlan(loaded, waffle.Options{}).Expose(s, 5, 2)
+	if out.Bug == nil {
+		t.Fatal("resumed detection found nothing")
+	}
+	if out.Bug.Run != 1 {
+		t.Fatalf("resumed detection run = %d, want 1 (no prep)", out.Bug.Run)
+	}
+}
+
+func TestLoadPlanRejectsGarbage(t *testing.T) {
+	if _, err := waffle.LoadPlan(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage plan accepted")
+	}
+}
+
+func TestFacadeReplay(t *testing.T) {
+	s := quickUAF()
+	out := waffle.New(waffle.Options{}).Expose(s, 10, 1)
+	if out.Bug == nil {
+		t.Fatal("no bug")
+	}
+	rep := waffle.Replay(s, out.Bug, waffle.Options{})
+	if !rep.Reproduced {
+		t.Fatalf("replay failed: %v", rep)
+	}
+}
+
+func TestFacadeRunOnce(t *testing.T) {
+	res := waffle.RunOnce(quickUAF(), 1)
+	if res.Fault != nil {
+		t.Fatalf("uninstrumented run faulted: %v", res.Fault)
+	}
+	if res.End <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestFacadeTaskScenario(t *testing.T) {
+	s := waffle.Scenario{
+		Name: "facade-tasks",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			obj := h.NewRef("obj")
+			obj.Init(t, "setup")
+			pool := waffle.NewTaskPool(t, 2, "io")
+			task := pool.Submit(t, "use", func(w *waffle.Thread) {
+				w.Sleep(1 * waffle.Millisecond)
+				obj.Use(w, "task-use")
+			})
+			t.Sleep(5 * waffle.Millisecond)
+			obj.Dispose(t, "teardown")
+			task.Wait(t)
+			pool.Shutdown(t)
+			pool.Join(t)
+		},
+	}
+	out := waffle.New(waffle.Options{}).Expose(s, 6, 1)
+	if out.Bug == nil {
+		t.Fatal("task race not exposed")
+	}
+	if out.Bug.Kind() != waffle.UseAfterFree {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+}
+
+func TestFacadeSyncPrimitivesCompile(t *testing.T) {
+	// The re-exported primitive set must be usable from user code.
+	recvOK := true
+	s := waffle.Scenario{
+		Name: "primitives",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			var (
+				mu waffle.Mutex
+				rw waffle.RWMutex
+				wg waffle.WaitGroup
+				ev waffle.Event
+				q  waffle.Queue
+			)
+			cond := waffle.Cond{L: &mu}
+			sem := waffle.Semaphore{}
+			_ = sem
+			wg.Add(t, 1)
+			w := t.Spawn("w", func(w *waffle.Thread) {
+				mu.Lock(w)
+				cond.Signal(w)
+				mu.Unlock(w)
+				rw.RLock(w)
+				rw.RUnlock(w)
+				ev.Set(w)
+				q.Send(w, 1)
+				wg.Done(w)
+			})
+			ev.Wait(t)
+			_, recvOK = q.Recv(t)
+			wg.Wait(t)
+			t.Join(w)
+		},
+	}
+	if res := waffle.RunOnce(s, 1); res.Err != nil {
+		t.Fatalf("primitive scenario failed: %v", res.Err)
+	}
+	if !recvOK {
+		t.Fatal("queue recv failed")
+	}
+}
+
+func TestFacadeSelect(t *testing.T) {
+	s := waffle.Scenario{
+		Name: "select",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			var control, data waffle.Queue
+			worker := t.Spawn("worker", func(w *waffle.Thread) {
+				for {
+					idx, _, ok := waffle.Select(w, 0, &control, &data)
+					if !ok || idx == 0 {
+						return // control message or shutdown
+					}
+				}
+			})
+			t.Sleep(1 * waffle.Millisecond)
+			data.Send(t, "payload")
+			t.Sleep(1 * waffle.Millisecond)
+			control.Send(t, "stop")
+			t.Join(worker)
+			control.Close(t)
+			data.Close(t)
+		},
+	}
+	if res := waffle.RunOnce(s, 1); res.Err != nil {
+		t.Fatalf("select scenario failed: %v", res.Err)
+	}
+}

@@ -1,0 +1,3 @@
+module waffle
+
+go 1.22

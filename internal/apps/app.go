@@ -1,0 +1,182 @@
+// Package apps defines the benchmark suite: synthetic stand-ins for the 11
+// open-source multi-threaded C# applications of the paper's evaluation
+// (Table 3), each with a multi-threaded test suite and, where Table 4
+// plants one, a reproduction of its MemOrder bug.
+//
+// Each application is modelled on its real counterpart's published
+// characteristics: test-suite size (Table 3), base running time and
+// instrumentation-site densities (Tables 2 and 5), allocation intensity,
+// and the structure of its known bugs (Figure 4, §6.2). The goal is not
+// line-for-line fidelity to C# sources but fidelity of the variables the
+// evaluation discriminates on: timing gaps, site density, dynamic-instance
+// counts, fork structure, and delay-interference shape.
+package apps
+
+import (
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// App is one benchmark application.
+type App struct {
+	Name     string
+	LoCK     float64 // lines of code, thousands (Table 3)
+	StarsK   float64 // GitHub stars, thousands (Table 3)
+	MTTests  int     // number of multi-threaded tests (Table 3)
+	Timeout  sim.Duration
+	InTable2 bool // the public TSVD could instrument this app (8 of 11)
+
+	Tests []*Test
+}
+
+// Test is one multi-threaded test input.
+type Test struct {
+	Name string
+	Prog core.Program
+	Bug  *BugSpec // non-nil when this test reproduces a Table 4 bug
+}
+
+// BugSpec carries a planted bug's identity and the paper's measurements
+// for EXPERIMENTS.md comparisons.
+type BugSpec struct {
+	ID      string // "Bug-1" … "Bug-18"
+	AppName string
+	IssueID string
+	Known   bool
+
+	PaperBaseMS     float64 // Table 4 "Exec. time w/o instrumentation"
+	PaperBasicRuns  int     // Table 4 WaffleBasic runs (0 = missed in 50)
+	PaperWaffleRuns int     // Table 4 Waffle runs
+	PaperBasicSlow  float64 // Table 4 WaffleBasic slowdown (0 = missed)
+	PaperWaffleSlow float64 // Table 4 Waffle slowdown
+}
+
+// BugTests returns the app's tests that plant a bug.
+func (a *App) BugTests() []*Test {
+	var out []*Test
+	for _, t := range a.Tests {
+		if t.Bug != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Registry returns the full benchmark suite in Table 3 order.
+func Registry() []*App {
+	return []*App{
+		NewApplicationInsights(),
+		NewFluentAssertions(),
+		NewKubernetesNet(),
+		NewLiteDB(),
+		NewMQTTNet(),
+		NewNetMQ(),
+		NewNpgSQL(),
+		NewNSubstitute(),
+		NewNSwag(),
+		NewSignalR(),
+		NewSSHNet(),
+	}
+}
+
+// ByName returns the registered app with the given name, or nil.
+func ByName(name string) *App {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AllBugs returns every planted bug test across the suite, ordered Bug-1..18.
+func AllBugs() []*Test {
+	var out []*Test
+	for _, a := range Registry() {
+		out = append(out, a.BugTests()...)
+	}
+	// Order by numeric suffix of the bug ID.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && bugNum(out[j-1].Bug.ID) > bugNum(out[j].Bug.ID); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func bugNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "Bug-%d", &n)
+	return n
+}
+
+// makeTests builds n generated (bug-free) tests from a base spec, varying
+// the structural parameters deterministically per index so the suite is
+// not n copies of one test. Every apiShareEvery-th test routes API calls
+// through shared objects (TSV injection-site material); 0 means never.
+func makeTests(app string, n int, base workload.Spec, timeout sim.Duration, apiShareEvery int) []*Test {
+	out := make([]*Test, 0, n)
+	for i := 0; i < n; i++ {
+		spec := base
+		spec.Prefix = fmt.Sprintf("%s/t%03d", app, i)
+		spec.APIShared = apiShareEvery > 0 && i%apiShareEvery == 0
+		// Deterministic ±25% structural variation.
+		v := func(x int, k int) int {
+			if x <= 0 {
+				return x
+			}
+			d := (i*7+k*13)%max2(1, x/2) - x/4
+			if x+d < 1 {
+				return 1
+			}
+			return x + d
+		}
+		spec.LocalObjs = v(base.LocalObjs, 1)
+		spec.SharedObjs = v(base.SharedObjs, 2)
+		spec.LocalOps = v(base.LocalOps, 3)
+		spec.SharedUses = v(base.SharedUses, 4)
+		name := fmt.Sprintf("%s/test-%03d", app, i)
+		out = append(out, &Test{
+			Name: name,
+			Prog: &core.SimProgram{Label: name, MaxTime: timeout, Jitter: 0.05, Body: spec.Body()},
+		})
+	}
+	return out
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bugTest wraps a bug scenario body plus optional background noise into a
+// Test. The noise spec runs concurrently in its own thread subtree, giving
+// the bug input the site density of its host application.
+func bugTest(spec *BugSpec, timeout sim.Duration, noise *workload.Spec, jitter float64, scenario func(*sim.Thread, *memmodel.Heap)) *Test {
+	name := fmt.Sprintf("%s/%s", spec.AppName, spec.ID)
+	body := scenario
+	if noise != nil {
+		ns := *noise
+		ns.Prefix = name + "/noise"
+		noiseBody := ns.Body()
+		body = func(root *sim.Thread, h *memmodel.Heap) {
+			driver := root.Spawn("noise-driver", func(t *sim.Thread) { noiseBody(t, h) })
+			scenario(root, h)
+			root.Join(driver)
+		}
+	}
+	if jitter == 0 {
+		jitter = 0.05
+	}
+	return &Test{
+		Name: name,
+		Bug:  spec,
+		Prog: &core.SimProgram{Label: name, MaxTime: timeout, Jitter: jitter, Body: body},
+	}
+}

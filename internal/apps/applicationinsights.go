@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewApplicationInsights models microsoft/ApplicationInsights-dotnet:
+// telemetry pipeline, moderate allocation, very sparse shared state.
+// Targets: 156 MT tests, base ≈227ms, MO sites ≈189/3.5, TSV ≈8.7/0.1.
+func NewApplicationInsights() *App {
+	a := &App{Name: "ApplicationInsights", LoCK: 151.2, StarsK: 0.5, MTTests: 156, Timeout: 30 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 15, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 1, SharedUses: 1, SyncedObjs: 1,
+		Spacing: 3700 * sim.Microsecond,
+		APIObjs: 3, APICalls: 4, APISites: 3,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 24)
+	replaceFirstGenerated(a, telemetryPipeline(a.Name), samplingFlush(a.Name))
+	a.Tests = append(a.Tests, bug10(), bug14())
+	return a
+}

@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/wafflebasic"
+)
+
+func TestRegistryShape(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 11 {
+		t.Fatalf("apps = %d, want 11", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, a := range reg {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Tests) != a.MTTests {
+			t.Errorf("%s: %d tests, declared %d", a.Name, len(a.Tests), a.MTTests)
+		}
+		if a.Timeout <= 0 {
+			t.Errorf("%s: no timeout", a.Name)
+		}
+		names := map[string]bool{}
+		for _, test := range a.Tests {
+			if names[test.Name] {
+				t.Errorf("%s: duplicate test %s", a.Name, test.Name)
+			}
+			names[test.Name] = true
+		}
+	}
+	// Table 3's paper totals.
+	if ByName("NpgSQL").MTTests != 283 || ByName("LiteDB").MTTests != 7 {
+		t.Error("Table 3 test counts drifted")
+	}
+}
+
+func TestAllBugsOrderedAndComplete(t *testing.T) {
+	bugs := AllBugs()
+	if len(bugs) != 18 {
+		t.Fatalf("bugs = %d, want 18", len(bugs))
+	}
+	for i, b := range bugs {
+		if got := bugNum(b.Bug.ID); got != i+1 {
+			t.Fatalf("bug %d has ID %s", i, b.Bug.ID)
+		}
+		if b.Bug.PaperWaffleRuns == 0 {
+			t.Errorf("%s: no paper Waffle runs recorded", b.Bug.ID)
+		}
+	}
+	known := 0
+	for _, b := range bugs {
+		if b.Bug.Known {
+			known++
+		}
+	}
+	if known != 12 {
+		t.Fatalf("known bugs = %d, want 12", known)
+	}
+}
+
+func TestBugsNeverManifestWithoutDelays(t *testing.T) {
+	// §6.2: none of the 18 bugs manifests without injection, even over
+	// repeated uninstrumented runs.
+	for _, b := range AllBugs() {
+		for seed := int64(0); seed < 5; seed++ {
+			res := b.Prog.Execute(seed*977+1, nil)
+			if res.Fault != nil {
+				t.Fatalf("%s manifested without delays (seed %d): %v", b.Bug.ID, seed*977+1, res.Fault)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s failed uninstrumented (seed %d): %v", b.Bug.ID, seed*977+1, res.Err)
+			}
+		}
+	}
+}
+
+func TestWaffleExposesEveryBug(t *testing.T) {
+	for _, b := range AllBugs() {
+		s := &core.Session{Prog: b.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 50, BaseSeed: 11}
+		out := s.Expose()
+		if out.Bug == nil {
+			t.Errorf("%s: Waffle missed it in 50 runs", b.Bug.ID)
+			continue
+		}
+		if b.Bug.PaperWaffleRuns == 2 && out.Bug.Run != 2 {
+			t.Errorf("%s: exposed in %d runs, paper says 2", b.Bug.ID, out.Bug.Run)
+		}
+	}
+}
+
+func TestWaffleBasicMissesInterferenceBoundBugs(t *testing.T) {
+	// The paper's 7 WaffleBasic misses: Bug-8, 10, 12, 13, 15, 16, 17.
+	missSet := map[string]bool{
+		"Bug-8": true, "Bug-10": true, "Bug-12": true, "Bug-13": true,
+		"Bug-15": true, "Bug-16": true, "Bug-17": true,
+	}
+	for _, b := range AllBugs() {
+		if !missSet[b.Bug.ID] {
+			continue
+		}
+		s := &core.Session{Prog: b.Prog, Tool: wafflebasic.New(core.Options{}), MaxRuns: 25, BaseSeed: 7}
+		if out := s.Expose(); out.Bug != nil {
+			t.Errorf("%s: WaffleBasic exposed it (run %d) but the paper reports a miss", b.Bug.ID, out.Bug.Run)
+		}
+	}
+}
+
+func TestWaffleBasicExposesSparseBugs(t *testing.T) {
+	for _, id := range []string{"Bug-1", "Bug-2", "Bug-14", "Bug-18"} {
+		var target *Test
+		for _, b := range AllBugs() {
+			if b.Bug.ID == id {
+				target = b
+			}
+		}
+		s := &core.Session{Prog: target.Prog, Tool: wafflebasic.New(core.Options{}), MaxRuns: 10, BaseSeed: 3}
+		if out := s.Expose(); out.Bug == nil {
+			t.Errorf("%s: WaffleBasic missed a sparse bug", id)
+		}
+	}
+}
+
+func TestGeneratedTestsFaultFree(t *testing.T) {
+	// A sample of generated (non-bug) tests per app must be clean both
+	// uninstrumented and under full Waffle detection.
+	for _, a := range Registry() {
+		count := 0
+		for _, test := range a.Tests {
+			if test.Bug != nil {
+				continue
+			}
+			count++
+			if count > 2 {
+				break
+			}
+			if res := test.Prog.Execute(5, nil); res.Fault != nil || res.Err != nil {
+				t.Fatalf("%s base run failed: fault=%v err=%v", test.Name, res.Fault, res.Err)
+			}
+			s := &core.Session{Prog: test.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 3, BaseSeed: 5}
+			if out := s.Expose(); out.Bug != nil {
+				t.Fatalf("%s: generated test produced a bug: %v", test.Name, out.Bug)
+			}
+		}
+	}
+}
+
+func TestBugTestNamesCarryAppAndID(t *testing.T) {
+	for _, b := range AllBugs() {
+		if b.Name != b.Bug.AppName+"/"+b.Bug.ID {
+			t.Errorf("bug test name %q inconsistent with spec %s/%s", b.Name, b.Bug.AppName, b.Bug.ID)
+		}
+	}
+}
+
+func TestEveryBugReportReplays(t *testing.T) {
+	// §5: a report carries input, candidate locations, and delay values.
+	// The replay harness must turn every probabilistic exposure into a
+	// deterministic reproduction with a minimal single-site plan.
+	for _, b := range AllBugs() {
+		s := &core.Session{Prog: b.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 50, BaseSeed: 11}
+		out := s.Expose()
+		if out.Bug == nil {
+			t.Errorf("%s: not exposed", b.Bug.ID)
+			continue
+		}
+		rep := core.Replay(b.Prog, out.Bug, core.Options{})
+		if !rep.Reproduced {
+			t.Errorf("%s: replay failed: %v", b.Bug.ID, rep)
+		}
+	}
+}
+
+func TestDomainTestsFaultFreeUnderDetection(t *testing.T) {
+	// The hand-written integration scenarios must stay clean under both
+	// detectors across seeds: their cross-thread lifecycles are guarded or
+	// genuinely ordered, so delays cannot manifest anything.
+	for _, a := range Registry() {
+		for _, test := range a.Tests {
+			if test.Bug != nil || !isDomainTest(test.Name) {
+				continue
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				if res := test.Prog.Execute(seed, nil); res.Fault != nil || res.Err != nil {
+					t.Fatalf("%s base run failed (seed %d): fault=%v err=%v", test.Name, seed, res.Fault, res.Err)
+				}
+			}
+			s := &core.Session{Prog: test.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 5, BaseSeed: 2}
+			if out := s.Expose(); out.Bug != nil {
+				t.Fatalf("%s: Waffle flagged the race-free scenario: %v", test.Name, out.Bug)
+			}
+			b := &core.Session{Prog: test.Prog, Tool: wafflebasic.New(core.Options{}), MaxRuns: 5, BaseSeed: 2}
+			if out := b.Expose(); out.Bug != nil {
+				t.Fatalf("%s: WaffleBasic flagged the race-free scenario: %v", test.Name, out.Bug)
+			}
+		}
+	}
+}
+
+func isDomainTest(name string) bool {
+	for _, suffix := range []string{
+		"telemetry-pipeline", "assertion-scope", "watcher-loop", "paged-file",
+		"broker-session", "pubsub-proxy", "connection-pool", "proxy-recorder",
+		"generator-tasks", "hub-broadcast", "session-handshake",
+		"sampling-flush", "collection-assertion", "leader-election",
+		"checkpoint-recovery", "retained-messages", "dealer-router",
+		"prepared-statements", "argument-matchers", "client-generation",
+		"reconnecting-client", "sftp-transfer",
+	} {
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEveryAppHasADomainTest(t *testing.T) {
+	for _, a := range Registry() {
+		found := false
+		for _, test := range a.Tests {
+			if isDomainTest(test.Name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s has no domain scenario", a.Name)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// The 18 MemOrder bugs of Table 4. Each bug's scenario reproduces the
+// structural mechanism that made it easy or hard for each tool in the
+// paper: sparse pairs expose in two runs for both tools; repeating
+// dynamic instances let WaffleBasic's same-run design win a run; Figure 4a
+// and 4b interference shapes defeat WaffleBasic entirely or mostly; dense
+// blanketing noise makes Waffle itself need three or four runs.
+
+const ms = sim.Millisecond
+
+// mkBug assembles the BugSpec + Test.
+func mkBug(app string, id, issue string, known bool, baseMS float64,
+	basicRuns, waffleRuns int, basicSlow, waffleSlow float64,
+	timeout sim.Duration, noise *workload.Spec, jitter float64,
+	scenario func(*sim.Thread, *memmodel.Heap)) *Test {
+	return bugTest(&BugSpec{
+		ID: id, AppName: app, IssueID: issue, Known: known,
+		PaperBaseMS: baseMS, PaperBasicRuns: basicRuns, PaperWaffleRuns: waffleRuns,
+		PaperBasicSlow: basicSlow, PaperWaffleSlow: waffleSlow,
+	}, timeout, noise, jitter, scenario)
+}
+
+// lightNoise is a small background workload giving bug inputs their host
+// app's ambient candidate density without dominating the run. The
+// fork-ordered population (PreForkObjs) is what the parent-child ablation
+// of Table 7 pays for: without pruning, its init sites become delay
+// candidates on every bug input.
+func lightNoise(threads, shared, locals int, spacing sim.Duration) *workload.Spec {
+	return &workload.Spec{
+		Threads: threads, SharedObjs: shared, SharedUses: 2,
+		LocalObjs: locals, LocalOps: 2, PreForkObjs: shared + 2,
+		Spacing: spacing, SiteFanout: 1,
+	}
+}
+
+// Bug-1 — SSH.Net issue 80: a session teardown disposes the channel while
+// a keep-alive thread still touches it. Sparse pair, both tools in 2 runs.
+func bug1() *Test {
+	return mkBug("SSH.Net", "Bug-1", "80", true, 2464, 2, 2, 1.4, 1.2,
+		60*sim.Second, lightNoise(2, 2, 3, 8*ms), 0.05,
+		useAfterFree(raceCfg{prefix: "ssh/channel", at: 900 * ms, gap: 18 * ms, wobble: 8 * ms, tail: 1500 * ms}))
+}
+
+// Bug-2 — SSH.Net issue 453: the message pump starts before the socket
+// field is assigned. Sparse use-before-init.
+func bug2() *Test {
+	return mkBug("SSH.Net", "Bug-2", "453", true, 1042, 2, 2, 1.7, 1.6,
+		60*sim.Second, lightNoise(2, 2, 3, 6*ms), 0.05,
+		useBeforeInit(raceCfg{prefix: "ssh/socket", at: 400 * ms, gap: 12 * ms, wobble: 6 * ms, tail: 600 * ms}))
+}
+
+// Bug-3 — NSubstitute issue 205: a substitute's call router races its
+// construction inside a hot invocation loop — repeating dynamic instances,
+// so WaffleBasic exposes it in its very first run.
+func bug3() *Test {
+	return mkBug("NSubstitute", "Bug-3", "205", true, 437, 1, 2, 3.3, 5.1,
+		30*sim.Second, lightNoise(2, 3, 4, 5*ms), 0.05,
+		repeatingUseBeforeInit(raceCfg{prefix: "nsub/router", at: 120 * ms, gap: 4 * ms, wobble: 3 * ms, tail: 250 * ms}, 6, 30*ms))
+}
+
+// Bug-4 — NSubstitute issue 573: received-calls collection disposed while
+// the assertion thread enumerates it.
+func bug4() *Test {
+	return mkBug("NSubstitute", "Bug-4", "573", true, 316, 2, 2, 9.0, 4.4,
+		30*sim.Second, lightNoise(3, 4, 4, 4*ms), 0.05,
+		useAfterFree(raceCfg{prefix: "nsub/calls", at: 120 * ms, gap: 25 * ms, wobble: 10 * ms, tail: 160 * ms}))
+}
+
+// Bug-5 — NSwag issue 3015: the JSON schema resolver is published before
+// its reference table is initialized.
+func bug5() *Test {
+	return mkBug("NSwag", "Bug-5", "3015", true, 887, 2, 2, 2.1, 1.8,
+		60*sim.Second, lightNoise(2, 4, 3, 7*ms), 0.05,
+		useBeforeInit(raceCfg{prefix: "nswag/resolver", at: 300 * ms, gap: 20 * ms, wobble: 9 * ms, tail: 550 * ms}))
+}
+
+// Bug-6 — FluentAssertions issue 664: the formatter registry races its
+// first concurrent assertion; the racy pair repeats per assertion.
+func bug6() *Test {
+	return mkBug("FluentAssertions", "Bug-6", "664", true, 782, 1, 2, 1.4, 2.7,
+		30*sim.Second, lightNoise(2, 1, 3, 8*ms), 0.05,
+		repeatingUseBeforeInit(raceCfg{prefix: "fluent/formatter", at: 250 * ms, gap: 5 * ms, wobble: 3 * ms, tail: 400 * ms}, 5, 40*ms))
+}
+
+// Bug-7 — FluentAssertions issue 862: an equivalency-step list disposed
+// mid-comparison. The racy pair sits at the very end of the test, so
+// Waffle's detection run pays for nearly the whole input before the fault.
+func bug7() *Test {
+	return mkBug("FluentAssertions", "Bug-7", "862", true, 831, 2, 2, 1.2, 2.5,
+		30*sim.Second, lightNoise(2, 2, 3, 8*ms), 0.05,
+		useAfterFree(raceCfg{prefix: "fluent/steps", at: 700 * ms, gap: 15 * ms, wobble: 7 * ms, tail: 60 * ms}))
+}
+
+// Bug-8 — LiteDB issue 1028: a use-before-init and a use-after-free on the
+// same engine lock object cancel each other — Figure 4a's interfering-bugs
+// shape; WaffleBasic misses it in 50 runs.
+func bug8() *Test {
+	return mkBug("LiteDB", "Bug-8", "1028", true, 495, 0, 2, 0, 4.9,
+		30*sim.Second, lightNoise(2, 2, 2, 5*ms), 0.05,
+		interferingBugs(raceCfg{prefix: "litedb/lock", at: 150 * ms, gap: 30 * ms, wobble: 10 * ms, tail: 120 * ms}))
+}
+
+// Bug-9 — Kubernetes.Net issue 360: the watcher's HTTP stream field races
+// callback delivery; callbacks repeat, so WaffleBasic wins a run.
+func bug9() *Test {
+	return mkBug("Kubernetes.Net", "Bug-9", "360", true, 1955, 1, 2, 1.3, 2.0,
+		60*sim.Second, lightNoise(2, 1, 4, 12*ms), 0.05,
+		repeatingUseBeforeInit(raceCfg{prefix: "k8s/watcher", at: 600 * ms, gap: 6 * ms, wobble: 4 * ms, tail: 900 * ms}, 5, 50*ms))
+}
+
+// Bug-10 — ApplicationInsights issue 1106: Figure 4a verbatim — the
+// diagnostics listener's ctor races OnEventWritten while Dispose waits for
+// the handler. WaffleBasic blocks both threads in parallel and its
+// happens-before inference removes the real candidate; missed in 50 runs.
+func bug10() *Test {
+	return mkBug("ApplicationInsights", "Bug-10", "1106", true, 143, 0, 2, 0, 4.9,
+		30*sim.Second, lightNoise(2, 1, 2, 2*ms), 0.05,
+		interferingBugs(raceCfg{prefix: "appins/lstnr", at: 40 * ms, gap: 12 * ms, wobble: 5 * ms, tail: 40 * ms}))
+}
+
+// Bug-11 — NetMQ issue 814: Figure 4b verbatim — ChkDisposed executes in
+// both the cleanup thread and the worker; parallel delays at the same
+// static site cancel with high probability, costing WaffleBasic ~5 runs.
+func bug11() *Test {
+	return mkBug("NetMQ", "Bug-11", "814", true, 18503, 5, 2, 5.1, 2.2,
+		120*sim.Second, lightNoise(2, 3, 3, 60*ms), 0.05,
+		interferingInstances(raceCfg{prefix: "netmq/poller", at: 7000 * ms, gap: 60 * ms, wobble: 20 * ms, tail: 9000 * ms}))
+}
+
+// Bug-12 — NpgSQL issue 3247: the connector pool's reclaim races command
+// completion under very dense allocation traffic. Blanketing noise delays
+// usually cover the productive site, so even Waffle needs ~4 runs;
+// WaffleBasic's inference removes the pair and misses entirely.
+func bug12() *Test {
+	return mkBug("NpgSQL", "Bug-12", "3247", true, 1097, 0, 4, 0, 6.9,
+		120*sim.Second, lightNoise(3, 6, 5, 4*ms), 0.05,
+		interferingBugsDense(raceCfg{prefix: "npgsql/pool", at: 400 * ms, gap: 30 * ms, wobble: 40 * ms, tail: 300 * ms}, 10*ms, 0))
+}
+
+// Bug-13 — SignalR (unreported): hub connection published before its
+// transport field is set; the write event races it — interfering-bugs
+// shape, previously unknown.
+func bug13() *Test {
+	return mkBug("SignalR", "Bug-13", "n/a", false, 952, 0, 2, 0, 1.3,
+		30*sim.Second, lightNoise(2, 2, 3, 9*ms), 0.05,
+		interferingBugs(raceCfg{prefix: "signalr/transport", at: 300 * ms, gap: 25 * ms, wobble: 10 * ms, tail: 450 * ms}))
+}
+
+// Bug-14 — ApplicationInsights issue 2261 (unreported at evaluation time):
+// the ctor publishes this.buffer.OnFull before the remaining fields are
+// initialized; the buffer-full event fires into a half-built object.
+func bug14() *Test {
+	return mkBug("ApplicationInsights", "Bug-14", "2261", false, 1349, 2, 2, 1.5, 1.3,
+		30*sim.Second, lightNoise(2, 1, 3, 10*ms), 0.05,
+		useBeforeInit(raceCfg{prefix: "appins/onfull", at: 500 * ms, gap: 15 * ms, wobble: 7 * ms, tail: 700 * ms}))
+}
+
+// Bug-15 — NetMQ issue 975 (unreported): the message queue is disposed
+// while workers still dequeue; dense queue traffic blankets the productive
+// site, costing Waffle ~3 runs and defeating WaffleBasic outright.
+func bug15() *Test {
+	return mkBug("NetMQ", "Bug-15", "975", false, 593, 0, 3, 0, 12.2,
+		60*sim.Second, lightNoise(3, 5, 3, 3*ms), 0.05,
+		interferingBugsDense(raceCfg{prefix: "netmq/queue", at: 200 * ms, gap: 30 * ms, wobble: 40 * ms, tail: 150 * ms}, 9*ms, 700*sim.Microsecond))
+}
+
+// Bug-16 — MQTT.Net issue 1187 (unreported): the packet dispatcher races
+// session teardown under dense publish traffic.
+func bug16() *Test {
+	return mkBug("MQTT.Net", "Bug-16", "1187", false, 1207, 0, 4, 0, 5.4,
+		60*sim.Second, lightNoise(3, 6, 4, 4*ms), 0.05,
+		interferingBugsDense(raceCfg{prefix: "mqtt/dispatcher", at: 450 * ms, gap: 30 * ms, wobble: 40 * ms, tail: 350 * ms}, 10*ms, 500*sim.Microsecond))
+}
+
+// Bug-17 — MQTT.Net issue 1188 (unreported): the keep-alive monitor
+// touches the client channel after disconnect disposes it.
+func bug17() *Test {
+	return mkBug("MQTT.Net", "Bug-17", "1188", false, 13722, 0, 3, 0, 6.2,
+		120*sim.Second, lightNoise(3, 5, 3, 45*ms), 0.05,
+		interferingBugsDense(raceCfg{prefix: "mqtt/keepalive", at: 5000 * ms, gap: 30 * ms, wobble: 40 * ms, tail: 6000 * ms}, 8*ms, 0))
+}
+
+// Bug-18 — Kubernetes.Net (unreported): the informer cache is disposed
+// while a list-watch thread still reads it. Sparse pair.
+func bug18() *Test {
+	return mkBug("Kubernetes.Net", "Bug-18", "n/a", false, 1494, 2, 2, 2.5, 2.0,
+		60*sim.Second, lightNoise(2, 2, 4, 10*ms), 0.05,
+		useAfterFree(raceCfg{prefix: "k8s/informer", at: 550 * ms, gap: 20 * ms, wobble: 9 * ms, tail: 800 * ms}))
+}

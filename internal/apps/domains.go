@@ -1,0 +1,462 @@
+package apps
+
+import (
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Hand-written domain scenarios: each application carries, alongside its
+// generated tests, one integration-style test whose structure mirrors what
+// its real counterpart actually does — telemetry channels, pub/sub
+// proxies, connection pools, watch loops, staged handshakes. They exercise
+// the richer substrate surface (queues, task pools, reader/writer locks,
+// timed waits) and they are deliberately race-free: every cross-thread
+// lifecycle is either guarded or genuinely ordered, so the detectors find
+// plenty of near misses here and zero bugs — like the overwhelming
+// majority of real test inputs.
+
+// domainSite builds a stable static-site label for a domain scenario.
+func domainSite(app, fn string, line int) trace.SiteID {
+	return trace.SiteID(fmt.Sprintf("%s/%s.go:%d", app, fn, line))
+}
+
+// domainTest wraps a body as a suite test.
+func domainTest(app, name string, timeout sim.Duration, body func(*sim.Thread, *memmodel.Heap)) *Test {
+	full := fmt.Sprintf("%s/%s", app, name)
+	return &Test{
+		Name: full,
+		Prog: &core.SimProgram{Label: full, MaxTime: timeout, Jitter: 0.05, Body: body},
+	}
+}
+
+// replaceFirstGenerated swaps the app's first generated (non-bug) tests
+// for the given domain tests, preserving the Table 3 test count.
+func replaceFirstGenerated(a *App, tests ...*Test) {
+	j := 0
+	for i := range a.Tests {
+		if j == len(tests) {
+			break
+		}
+		if a.Tests[i].Bug == nil {
+			a.Tests[i] = tests[j]
+			j++
+		}
+	}
+}
+
+// telemetryPipeline models ApplicationInsights: a producer emits telemetry
+// items into a channel; a sender drains, transmits, and disposes them.
+// Queue ordering makes the plain uses safe under any delay.
+func telemetryPipeline(app string) *Test {
+	return domainTest(app, "telemetry-pipeline", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var channel sim.Queue
+		var wg sim.WaitGroup
+		wg.Add(root, 1)
+		root.Spawn("sender", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := channel.Recv(t)
+				if !ok {
+					return
+				}
+				item := v.(*memmodel.Ref)
+				t.Work(2 * sim.Millisecond) // transmit
+				item.Use(t, domainSite(app, "sender", 44))
+				item.Dispose(t, domainSite(app, "sender", 46))
+			}
+		})
+		for i := 0; i < 20; i++ {
+			root.Work(3 * sim.Millisecond)
+			item := h.NewRef(fmt.Sprintf("telemetry-%d", i))
+			item.Init(root, domainSite(app, "producer", 12))
+			item.Use(root, domainSite(app, "producer", 13)) // stamp
+			channel.Send(root, item)
+		}
+		channel.Close(root)
+		wg.Wait(root)
+	})
+}
+
+// assertionScope models FluentAssertions: concurrent assertions consult a
+// registry initialized before the workers fork (pruned candidates) and
+// build private failure scopes.
+func assertionScope(app string) *Test {
+	return domainTest(app, "assertion-scope", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		registry := h.NewRef("formatter-registry")
+		registry.Init(root, domainSite(app, "registry", 8))
+		var rw sim.RWMutex
+		var wg sim.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(root, 1)
+			root.Spawn(fmt.Sprintf("asserter%d", w), func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 8; i++ {
+					t.Work(8 * sim.Millisecond)
+					rw.RLock(t)
+					registry.Use(t, domainSite(app, "formatter", 31))
+					rw.RUnlock(t)
+					scope := h.NewRef(fmt.Sprintf("scope-%d-%d", w, i))
+					scope.Init(t, domainSite(app, "scope", 40))
+					scope.Use(t, domainSite(app, "scope", 41))
+					scope.Dispose(t, domainSite(app, "scope", 43))
+				}
+			})
+		}
+		wg.Wait(root)
+		registry.Dispose(root, domainSite(app, "registry", 60))
+	})
+}
+
+// watcherLoop models Kubernetes.Net: a watch thread pulls events with a
+// timeout, refreshing a connection object between reconnect cycles while a
+// cache serves guarded reads.
+func watcherLoop(app string) *Test {
+	return domainTest(app, "watcher-loop", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		cache := h.NewRef("informer-cache")
+		cache.Init(root, domainSite(app, "informer", 5))
+		var events sim.Queue
+		var done sim.Event
+		watcher := root.Spawn("watcher", func(t *sim.Thread) {
+			conn := h.NewRef("watch-conn")
+			for cycle := 0; cycle < 3; cycle++ {
+				conn.Init(t, domainSite(app, "watch", 21)) // (re)connect
+				for {
+					v, ok := events.RecvTimeout(t, 40*sim.Millisecond)
+					if !ok {
+						break // idle: reconnect
+					}
+					_ = v
+					conn.Use(t, domainSite(app, "watch", 27))
+					cache.UseIfLive(t, domainSite(app, "watch", 28))
+					t.Work(5 * sim.Millisecond)
+				}
+				conn.Dispose(t, domainSite(app, "watch", 33))
+			}
+			done.Set(t)
+		})
+		for i := 0; i < 12; i++ {
+			root.Work(9 * sim.Millisecond)
+			events.Send(root, i)
+		}
+		done.Wait(root)
+		root.Join(watcher)
+		cache.Dispose(root, domainSite(app, "informer", 44))
+	})
+}
+
+// pagedFile models LiteDB: a reader/writer-locked page cache; writers
+// recycle pages under the exclusive lock, readers use them under the
+// shared lock — lock ordering keeps every lifecycle safe.
+func pagedFile(app string) *Test {
+	return domainTest(app, "paged-file", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var rw sim.RWMutex
+		pages := make([]*memmodel.Ref, 4)
+		for i := range pages {
+			pages[i] = h.NewRef(fmt.Sprintf("page-%d", i))
+			pages[i].Init(root, domainSite(app, "pager", 10))
+		}
+		var wg sim.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(root, 1)
+			root.Spawn("reader", func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 10; i++ {
+					t.Work(6 * sim.Millisecond)
+					rw.RLock(t)
+					pages[i%len(pages)].Use(t, domainSite(app, "read", 25))
+					rw.RUnlock(t)
+				}
+			})
+		}
+		wg.Add(root, 1)
+		root.Spawn("writer", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for i := 0; i < 5; i++ {
+				t.Work(11 * sim.Millisecond)
+				rw.Lock(t)
+				pages[i%len(pages)].Dispose(t, domainSite(app, "recycle", 39))
+				pages[i%len(pages)].Init(t, domainSite(app, "recycle", 40))
+				rw.Unlock(t)
+			}
+		})
+		wg.Wait(root)
+		rw.Lock(root)
+		for i := range pages {
+			pages[i].Dispose(root, domainSite(app, "pager", 52))
+		}
+		rw.Unlock(root)
+	})
+}
+
+// brokerSession models MQTT.Net: a client publishes through a session
+// while a keep-alive monitor pings with timeouts; teardown happens after
+// both loops drain.
+func brokerSession(app string) *Test {
+	return domainTest(app, "broker-session", 12*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		session := h.NewRef("client-session")
+		session.Init(root, domainSite(app, "connect", 14))
+		var publishes sim.Queue
+		var closed sim.Event
+		var wg sim.WaitGroup
+		wg.Add(root, 2)
+		root.Spawn("dispatcher", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := publishes.Recv(t)
+				if !ok {
+					return
+				}
+				pkt := v.(*memmodel.Ref)
+				pkt.Use(t, domainSite(app, "dispatch", 33))
+				t.Work(4 * sim.Millisecond)
+				pkt.Dispose(t, domainSite(app, "dispatch", 35))
+				session.UseIfLive(t, domainSite(app, "dispatch", 36))
+			}
+		})
+		root.Spawn("keepalive", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				if closed.WaitTimeout(t, 25*sim.Millisecond) {
+					return
+				}
+				session.UseIfLive(t, domainSite(app, "ping", 47))
+			}
+		})
+		for i := 0; i < 15; i++ {
+			root.Work(6 * sim.Millisecond)
+			pkt := h.NewRef(fmt.Sprintf("packet-%d", i))
+			pkt.Init(root, domainSite(app, "publish", 22))
+			publishes.Send(root, pkt)
+		}
+		publishes.Close(root)
+		closed.Set(root)
+		wg.Wait(root)
+		session.Dispose(root, domainSite(app, "disconnect", 58))
+	})
+}
+
+// pubSubProxy models NetMQ: publisher → proxy → subscriber over queues;
+// message ownership transfers hop by hop, so plain uses stay safe.
+func pubSubProxy(app string) *Test {
+	return domainTest(app, "pubsub-proxy", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var front, back sim.Queue
+		var wg sim.WaitGroup
+		wg.Add(root, 2)
+		root.Spawn("proxy", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := front.Recv(t)
+				if !ok {
+					back.Close(t)
+					return
+				}
+				msg := v.(*memmodel.Ref)
+				msg.Use(t, domainSite(app, "proxy", 19))
+				t.Work(2 * sim.Millisecond)
+				back.Send(t, msg)
+			}
+		})
+		root.Spawn("subscriber", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := back.Recv(t)
+				if !ok {
+					return
+				}
+				msg := v.(*memmodel.Ref)
+				msg.Use(t, domainSite(app, "subscriber", 31))
+				t.Work(3 * sim.Millisecond)
+				msg.Dispose(t, domainSite(app, "subscriber", 33))
+			}
+		})
+		for i := 0; i < 25; i++ {
+			root.Work(5 * sim.Millisecond)
+			msg := h.NewRef(fmt.Sprintf("frame-%d", i))
+			msg.Init(root, domainSite(app, "publisher", 9))
+			front.Send(root, msg)
+		}
+		front.Close(root)
+		wg.Wait(root)
+	})
+}
+
+// connectionPool models NpgSQL: a semaphore-limited pool of connections;
+// workers check one out, run a command, check it back in; the pool drains
+// after every worker finishes.
+func connectionPool(app string) *Test {
+	return domainTest(app, "connection-pool", 120*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		const slots = 3
+		conns := make([]*memmodel.Ref, slots)
+		var free sim.Queue
+		for i := range conns {
+			conns[i] = h.NewRef(fmt.Sprintf("conn-%d", i))
+			conns[i].Init(root, domainSite(app, "pool", 12))
+			free.Send(root, i)
+		}
+		var wg sim.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(root, 1)
+			root.Spawn(fmt.Sprintf("client%d", w), func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 6; i++ {
+					t.Work(4 * sim.Millisecond)
+					v, ok := free.Recv(t)
+					if !ok {
+						return
+					}
+					slot := v.(int)
+					conns[slot].Use(t, domainSite(app, "command", 30))
+					t.Work(7 * sim.Millisecond)
+					conns[slot].Use(t, domainSite(app, "command", 32))
+					free.Send(t, slot)
+				}
+			})
+		}
+		wg.Wait(root)
+		free.Close(root)
+		for i := range conns {
+			conns[i].Dispose(root, domainSite(app, "pool", 44))
+		}
+	})
+}
+
+// proxyRecorder models NSubstitute: substitutes record received calls
+// under a mutex; the assertion phase enumerates them afterwards.
+func proxyRecorder(app string) *Test {
+	return domainTest(app, "proxy-recorder", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		calls := h.NewRef("received-calls")
+		calls.Init(root, domainSite(app, "substitute", 6))
+		var mu sim.Mutex
+		var wg sim.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(root, 1)
+			root.Spawn("caller", func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 9; i++ {
+					t.Work(4 * sim.Millisecond)
+					mu.Lock(t)
+					calls.Use(t, domainSite(app, "router", 22))
+					mu.Unlock(t)
+				}
+			})
+		}
+		wg.Wait(root)
+		mu.Lock(root)
+		calls.Use(root, domainSite(app, "assert", 35))
+		mu.Unlock(root)
+		calls.Dispose(root, domainSite(app, "substitute", 40))
+	})
+}
+
+// generatorTasks models NSwag: document sections generated on a task
+// pool; the registry is initialized before any submission (async-local
+// ordered) and sections assemble after every task completes.
+func generatorTasks(app string) *Test {
+	return domainTest(app, "generator-tasks", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		registry := h.NewRef("schema-registry")
+		registry.Init(root, domainSite(app, "generator", 7))
+		pool := sim.NewTaskPool(root, 2, "gen")
+		sections := make([]*memmodel.Ref, 6)
+		handles := make([]*sim.TaskHandle, len(sections))
+		for i := range sections {
+			sections[i] = h.NewRef(fmt.Sprintf("section-%d", i))
+			i := i
+			handles[i] = pool.Submit(root, "section", func(t *sim.Thread) {
+				t.Work(12 * sim.Millisecond)
+				registry.Use(t, domainSite(app, "resolve", 19)) // ordered via submit
+				sections[i].Init(t, domainSite(app, "emit", 21))
+			})
+			root.Work(8 * sim.Millisecond)
+		}
+		for i, hd := range handles {
+			hd.Wait(root)
+			sections[i].Use(root, domainSite(app, "assemble", 30))
+			sections[i].Dispose(root, domainSite(app, "assemble", 31))
+		}
+		pool.Shutdown(root)
+		pool.Join(root)
+		registry.Dispose(root, domainSite(app, "generator", 38))
+	})
+}
+
+// hubBroadcast models SignalR: a hub broadcasts to client connections
+// through per-client queues and tears down after the clients acknowledge.
+func hubBroadcast(app string) *Test {
+	return domainTest(app, "hub-broadcast", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		const clients = 3
+		queues := make([]*sim.Queue, clients)
+		var wg sim.WaitGroup
+		for c := 0; c < clients; c++ {
+			queues[c] = &sim.Queue{}
+			conn := h.NewRef(fmt.Sprintf("connection-%d", c))
+			conn.Init(root, domainSite(app, "hub", 11)) // pre-fork: ordered
+			q := queues[c]
+			wg.Add(root, 1)
+			root.Spawn(fmt.Sprintf("client%d", c), func(t *sim.Thread) {
+				defer wg.Done(t)
+				for {
+					v, ok := q.Recv(t)
+					if !ok {
+						conn.Dispose(t, domainSite(app, "client", 24))
+						return
+					}
+					_ = v
+					conn.Use(t, domainSite(app, "client", 21))
+					t.Work(5 * sim.Millisecond)
+				}
+			})
+		}
+		for round := 0; round < 8; round++ {
+			root.Work(7 * sim.Millisecond)
+			for c := 0; c < clients; c++ {
+				queues[c].Send(root, round)
+			}
+		}
+		for c := 0; c < clients; c++ {
+			queues[c].Close(root)
+		}
+		wg.Wait(root)
+	})
+}
+
+// sessionHandshake models SSH.Net: the staged key-exchange → auth →
+// channel pipeline, each stage gated on an event, with a keep-alive
+// prodding the channel guardedly until teardown.
+func sessionHandshake(app string) *Test {
+	return domainTest(app, "session-handshake", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		transport := h.NewRef("transport")
+		channel := h.NewRef("channel")
+		transport.Init(root, domainSite(app, "session", 8)) // before the pump forks
+		var kexDone, authDone, closed sim.Event
+		pump := root.Spawn("message-pump", func(t *sim.Thread) {
+			t.Work(10 * sim.Millisecond)
+			transport.Use(t, domainSite(app, "kex", 17))
+			kexDone.Set(t)
+			t.Work(12 * sim.Millisecond)
+			transport.Use(t, domainSite(app, "auth", 21))
+			authDone.Set(t)
+			for {
+				if closed.WaitTimeout(t, 20*sim.Millisecond) {
+					return
+				}
+				channel.UseIfLive(t, domainSite(app, "keepalive", 27))
+			}
+		})
+		kexDone.Wait(root)
+		authDone.Wait(root)
+		channel.Init(root, domainSite(app, "channel", 34))
+		for i := 0; i < 10; i++ {
+			root.Work(9 * sim.Millisecond)
+			channel.Use(root, domainSite(app, "exec", 37))
+		}
+		closed.Set(root)
+		root.Join(pump)
+		channel.Dispose(root, domainSite(app, "teardown", 43))
+		transport.Dispose(root, domainSite(app, "teardown", 44))
+	})
+}

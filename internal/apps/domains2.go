@@ -1,0 +1,401 @@
+package apps
+
+import (
+	"fmt"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// A second wave of domain scenarios per application: recovery loops,
+// pipelines, leases, and sliding windows. Same discipline as domains.go —
+// rich in near misses, free of exposable races.
+
+// samplingFlush models ApplicationInsights' sampling + periodic flush: a
+// flusher wakes on a timer or an explicit trigger, draining a buffer whose
+// items the producers created.
+func samplingFlush(app string) *Test {
+	return domainTest(app, "sampling-flush", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var mu sim.Mutex
+		var trigger sim.Event
+		var stop sim.Event
+		buffer := h.NewRef("buffer")
+		buffer.Init(root, domainSite(app, "buffer", 7))
+		flusher := root.Spawn("flusher", func(t *sim.Thread) {
+			for {
+				fired := trigger.WaitTimeout(t, 30*sim.Millisecond)
+				if stop.IsSet() {
+					return
+				}
+				if fired {
+					trigger.Reset()
+				}
+				mu.Lock(t)
+				buffer.Use(t, domainSite(app, "flush", 21))
+				mu.Unlock(t)
+				t.Work(4 * sim.Millisecond)
+			}
+		})
+		for i := 0; i < 12; i++ {
+			root.Work(6 * sim.Millisecond)
+			mu.Lock(root)
+			buffer.Use(root, domainSite(app, "track", 31))
+			mu.Unlock(root)
+			if i%4 == 3 {
+				trigger.Set(root)
+			}
+		}
+		stop.Set(root)
+		trigger.Set(root) // wake the flusher so it observes stop
+		root.Join(flusher)
+		buffer.Dispose(root, domainSite(app, "buffer", 43))
+	})
+}
+
+// collectionAssertion models FluentAssertions' parallel deep-equality: a
+// task pool compares element pairs; the report assembles afterwards.
+func collectionAssertion(app string) *Test {
+	return domainTest(app, "collection-assertion", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		pool := sim.NewTaskPool(root, 2, "compare")
+		expectation := h.NewRef("expectation")
+		expectation.Init(root, domainSite(app, "should", 5)) // pre-submit: ordered
+		elems := make([]*memmodel.Ref, 8)
+		handles := make([]*sim.TaskHandle, len(elems))
+		for i := range elems {
+			elems[i] = h.NewRef(fmt.Sprintf("elem-%d", i))
+			i := i
+			handles[i] = pool.Submit(root, "compare", func(t *sim.Thread) {
+				t.Work(7 * sim.Millisecond)
+				expectation.Use(t, domainSite(app, "equivalency", 17))
+				elems[i].Init(t, domainSite(app, "diff", 19))
+			})
+		}
+		for i, hd := range handles {
+			hd.Wait(root)
+			elems[i].Use(root, domainSite(app, "report", 26))
+			elems[i].Dispose(root, domainSite(app, "report", 27))
+		}
+		pool.Shutdown(root)
+		pool.Join(root)
+		expectation.Dispose(root, domainSite(app, "should", 33))
+	})
+}
+
+// leaderElection models Kubernetes.Net's lease-based election: candidates
+// contend on a single-permit semaphore; the holder renews a lease object
+// it owns, then releases.
+func leaderElection(app string) *Test {
+	return domainTest(app, "leader-election", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		lock := sim.NewSemaphore(1)
+		var wg sim.WaitGroup
+		for c := 0; c < 3; c++ {
+			c := c
+			wg.Add(root, 1)
+			root.Spawn(fmt.Sprintf("candidate%d", c), func(t *sim.Thread) {
+				defer wg.Done(t)
+				for term := 0; term < 2; term++ {
+					if !lock.AcquireTimeout(t, 200*sim.Millisecond) {
+						return // never became leader this term
+					}
+					lease := h.NewRef(fmt.Sprintf("lease-%d-%d", c, term))
+					lease.Init(t, domainSite(app, "acquire", 19))
+					for renew := 0; renew < 3; renew++ {
+						t.Work(8 * sim.Millisecond)
+						lease.Use(t, domainSite(app, "renew", 23))
+					}
+					lease.Dispose(t, domainSite(app, "release", 26))
+					lock.Release(t)
+					t.Work(5 * sim.Millisecond)
+				}
+			})
+		}
+		wg.Wait(root)
+	})
+}
+
+// checkpointRecovery models LiteDB's journal + checkpoint: writers append
+// journal entries; a checkpointer waits for a quota signal, replays, and
+// truncates — all handshaked through events.
+func checkpointRecovery(app string) *Test {
+	return domainTest(app, "checkpoint-recovery", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		journal := h.NewRef("journal")
+		journal.Init(root, domainSite(app, "engine", 6))
+		var quota, done sim.Event
+		var mu sim.Mutex
+		checkpointer := root.Spawn("checkpoint", func(t *sim.Thread) {
+			quota.Wait(t)
+			mu.Lock(t)
+			journal.Use(t, domainSite(app, "replay", 18))
+			t.Work(9 * sim.Millisecond)
+			journal.Use(t, domainSite(app, "truncate", 20))
+			mu.Unlock(t)
+			done.Set(t)
+		})
+		for i := 0; i < 10; i++ {
+			root.Work(5 * sim.Millisecond)
+			mu.Lock(root)
+			journal.Use(root, domainSite(app, "append", 28))
+			mu.Unlock(root)
+			if i == 6 {
+				quota.Set(root)
+			}
+		}
+		done.Wait(root)
+		root.Join(checkpointer)
+		journal.Dispose(root, domainSite(app, "engine", 37))
+	})
+}
+
+// retainedMessages models MQTT.Net's retained-message store: a publisher
+// replaces retained payloads under the write lock while subscribers read
+// under the shared lock.
+func retainedMessages(app string) *Test {
+	return domainTest(app, "retained-messages", 12*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var rw sim.RWMutex
+		retained := h.NewRef("retained")
+		rw.Lock(root)
+		retained.Init(root, domainSite(app, "store", 8))
+		rw.Unlock(root)
+		var wg sim.WaitGroup
+		for sub := 0; sub < 2; sub++ {
+			wg.Add(root, 1)
+			root.Spawn("subscriber", func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 8; i++ {
+					t.Work(5 * sim.Millisecond)
+					rw.RLock(t)
+					retained.Use(t, domainSite(app, "deliver", 21))
+					rw.RUnlock(t)
+				}
+			})
+		}
+		for i := 0; i < 4; i++ {
+			root.Work(9 * sim.Millisecond)
+			rw.Lock(root)
+			retained.Dispose(root, domainSite(app, "replace", 30))
+			retained.Init(root, domainSite(app, "replace", 31))
+			rw.Unlock(root)
+		}
+		wg.Wait(root)
+		rw.Lock(root)
+		retained.Dispose(root, domainSite(app, "store", 37))
+		rw.Unlock(root)
+	})
+}
+
+// dealerRouter models NetMQ's request/reply: requests flow to a router
+// thread, replies flow back, each message handed off through queues.
+func dealerRouter(app string) *Test {
+	return domainTest(app, "dealer-router", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var requests, replies sim.Queue
+		router := root.Spawn("router", func(t *sim.Thread) {
+			for {
+				v, ok := requests.Recv(t)
+				if !ok {
+					replies.Close(t)
+					return
+				}
+				req := v.(*memmodel.Ref)
+				req.Use(t, domainSite(app, "route", 14))
+				t.Work(4 * sim.Millisecond)
+				reply := h.NewRef("reply")
+				reply.Init(t, domainSite(app, "reply", 17))
+				req.Dispose(t, domainSite(app, "route", 18))
+				replies.Send(t, reply)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			root.Work(6 * sim.Millisecond)
+			req := h.NewRef(fmt.Sprintf("req-%d", i))
+			req.Init(root, domainSite(app, "dealer", 9))
+			requests.Send(root, req)
+			if v, ok := replies.RecvTimeout(root, 200*sim.Millisecond); ok {
+				reply := v.(*memmodel.Ref)
+				reply.Use(root, domainSite(app, "dealer", 27))
+				reply.Dispose(root, domainSite(app, "dealer", 28))
+			}
+		}
+		requests.Close(root)
+		root.Join(router)
+	})
+}
+
+// preparedStatements models NpgSQL's statement cache: each worker prepares
+// its own statements, executes them, and evicts them — cache metadata
+// guarded by a mutex.
+func preparedStatements(app string) *Test {
+	return domainTest(app, "prepared-statements", 120*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		cacheMeta := h.NewRef("cache-meta")
+		cacheMeta.Init(root, domainSite(app, "cache", 6))
+		var mu sim.Mutex
+		var wg sim.WaitGroup
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(root, 1)
+			root.Spawn(fmt.Sprintf("session%d", w), func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 4; i++ {
+					stmt := h.NewRef(fmt.Sprintf("stmt-%d-%d", w, i))
+					mu.Lock(t)
+					cacheMeta.Use(t, domainSite(app, "lookup", 20))
+					mu.Unlock(t)
+					stmt.Init(t, domainSite(app, "prepare", 22))
+					for e := 0; e < 3; e++ {
+						t.Work(4 * sim.Millisecond)
+						stmt.Use(t, domainSite(app, "execute", 25))
+					}
+					stmt.Dispose(t, domainSite(app, "evict", 27))
+				}
+			})
+		}
+		wg.Wait(root)
+		cacheMeta.Dispose(root, domainSite(app, "cache", 33))
+	})
+}
+
+// argumentMatchers models NSubstitute's matcher stack: per-call matcher
+// objects pushed and popped thread-locally while the shared spec registry
+// serves reads under the shared lock.
+func argumentMatchers(app string) *Test {
+	return domainTest(app, "argument-matchers", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var rw sim.RWMutex
+		spec := h.NewRef("spec-registry")
+		spec.Init(root, domainSite(app, "spec", 5))
+		var wg sim.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(root, 1)
+			root.Spawn("matcher", func(t *sim.Thread) {
+				defer wg.Done(t)
+				for i := 0; i < 6; i++ {
+					t.Work(4 * sim.Millisecond)
+					m := h.NewRef(fmt.Sprintf("matcher-%d-%d", w, i))
+					m.Init(t, domainSite(app, "arg", 18))
+					rw.RLock(t)
+					spec.Use(t, domainSite(app, "match", 20))
+					rw.RUnlock(t)
+					m.Use(t, domainSite(app, "arg", 22))
+					m.Dispose(t, domainSite(app, "arg", 23))
+				}
+			})
+		}
+		wg.Wait(root)
+		rw.Lock(root)
+		spec.Dispose(root, domainSite(app, "spec", 29))
+		rw.Unlock(root)
+	})
+}
+
+// clientGeneration models NSwag's pipeline: parse → generate → write over
+// queues, one stage per thread, document parts handed along.
+func clientGeneration(app string) *Test {
+	return domainTest(app, "client-generation", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var parsed, generated sim.Queue
+		var wg sim.WaitGroup
+		wg.Add(root, 2)
+		root.Spawn("generator", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := parsed.Recv(t)
+				if !ok {
+					generated.Close(t)
+					return
+				}
+				part := v.(*memmodel.Ref)
+				part.Use(t, domainSite(app, "generate", 16))
+				t.Work(9 * sim.Millisecond)
+				generated.Send(t, part)
+			}
+		})
+		root.Spawn("writer", func(t *sim.Thread) {
+			defer wg.Done(t)
+			for {
+				v, ok := generated.Recv(t)
+				if !ok {
+					return
+				}
+				part := v.(*memmodel.Ref)
+				part.Use(t, domainSite(app, "write", 28))
+				t.Work(4 * sim.Millisecond)
+				part.Dispose(t, domainSite(app, "write", 30))
+			}
+		})
+		for i := 0; i < 8; i++ {
+			root.Work(11 * sim.Millisecond)
+			part := h.NewRef(fmt.Sprintf("operation-%d", i))
+			part.Init(root, domainSite(app, "parse", 9))
+			parsed.Send(root, part)
+		}
+		parsed.Close(root)
+		wg.Wait(root)
+	})
+}
+
+// reconnectingClient models SignalR's client heartbeat/reconnect loop:
+// missed heartbeats tear the connection down and rebuild it; the
+// connection object is owned by the client thread throughout.
+func reconnectingClient(app string) *Test {
+	return domainTest(app, "reconnecting-client", 30*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		var heartbeats sim.Queue
+		var stopped sim.Event
+		client := root.Spawn("client", func(t *sim.Thread) {
+			conn := h.NewRef("hub-conn")
+			for attempt := 0; attempt < 3; attempt++ {
+				conn.Init(t, domainSite(app, "connect", 13))
+				for {
+					v, ok := heartbeats.RecvTimeout(t, 25*sim.Millisecond)
+					if !ok {
+						break // missed heartbeat: reconnect
+					}
+					_ = v
+					conn.Use(t, domainSite(app, "pong", 19))
+				}
+				conn.Dispose(t, domainSite(app, "drop", 22))
+				if stopped.IsSet() {
+					return
+				}
+			}
+		})
+		for i := 0; i < 9; i++ {
+			root.Work(8 * sim.Millisecond)
+			heartbeats.Send(root, i)
+			if i == 3 || i == 6 {
+				root.Sleep(40 * sim.Millisecond) // outage: client times out
+			}
+		}
+		stopped.Set(root)
+		root.Join(client)
+	})
+}
+
+// sftpTransfer models SSH.Net's chunked SFTP upload: a sliding window of
+// in-flight chunks bounded by a semaphore; acks release window slots.
+func sftpTransfer(app string) *Test {
+	return domainTest(app, "sftp-transfer", 60*sim.Second, func(root *sim.Thread, h *memmodel.Heap) {
+		window := sim.NewSemaphore(3)
+		var inflight sim.Queue
+		acker := root.Spawn("acker", func(t *sim.Thread) {
+			for {
+				v, ok := inflight.Recv(t)
+				if !ok {
+					return
+				}
+				chunk := v.(*memmodel.Ref)
+				t.Work(6 * sim.Millisecond)
+				chunk.Use(t, domainSite(app, "ack", 15))
+				chunk.Dispose(t, domainSite(app, "ack", 16))
+				window.Release(t)
+			}
+		})
+		for i := 0; i < 12; i++ {
+			window.Acquire(root)
+			chunk := h.NewRef(fmt.Sprintf("chunk-%d", i))
+			chunk.Init(root, domainSite(app, "send", 23))
+			root.Work(4 * sim.Millisecond)
+			chunk.Use(root, domainSite(app, "send", 25))
+			inflight.Send(root, chunk)
+		}
+		inflight.Close(root)
+		root.Join(acker)
+	})
+}

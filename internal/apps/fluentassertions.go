@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewFluentAssertions models fluentassertions/fluentassertions: assertion
+// library, light threading, heavy thread-unsafe API surface.
+// Targets: 41 MT tests, base ≈776ms, MO ≈77/5.9, TSV ≈57.3/0.3.
+func NewFluentAssertions() *App {
+	a := &App{Name: "FluentAssertions", LoCK: 47.7, StarsK: 2.5, MTTests: 41, Timeout: 30 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 7, LocalOps: 2, SiteFanout: 1,
+		SharedObjs: 2, SharedUses: 1,
+		Spacing: 17500 * sim.Microsecond,
+		APIObjs: 3, APICalls: 20, APISites: 19,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 16)
+	replaceFirstGenerated(a, assertionScope(a.Name), collectionAssertion(a.Name))
+	a.Tests = append(a.Tests, bug6(), bug7())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewKubernetesNet models kubernetes-client/csharp: API machinery with
+// long-running watch loops and very many private objects.
+// Targets: 21 MT tests, base ≈2051ms, MO ≈338/3.8, TSV ≈5.6/1.5.
+func NewKubernetesNet() *App {
+	a := &App{Name: "Kubernetes.Net", LoCK: 173.2, StarsK: 0.7, MTTests: 21, Timeout: 60 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 27, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 1, SharedUses: 1,
+		Spacing: 24 * sim.Millisecond,
+		APIObjs: 3, APICalls: 3, APISites: 2,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 3)
+	replaceFirstGenerated(a, watcherLoop(a.Name), leaderElection(a.Name))
+	a.Tests = append(a.Tests, bug9(), bug18())
+	return a
+}

@@ -1,0 +1,44 @@
+package apps
+
+import (
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewLiteDB models mbdavid/LiteDB: embedded database with a small
+// multi-threaded test population (excluded from Tables 2/5 for that
+// reason). Targets: 7 MT tests.
+func NewLiteDB() *App {
+	a := &App{Name: "LiteDB", LoCK: 18.3, StarsK: 6.2, MTTests: 7, Timeout: 30 * sim.Second}
+	spec := workload.Spec{
+		Threads: 2, LocalObjs: 5, LocalOps: 2, SiteFanout: 1,
+		SharedObjs: 2, SharedUses: 2,
+		Spacing: 8 * sim.Millisecond,
+		APIObjs: 2, APICalls: 4, APISites: 2,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-4, spec, a.Timeout, 0)
+	// Three of LiteDB's tests exercise the task-oriented substrate (the
+	// §4.1 async-local extension): concurrency through a task pool rather
+	// than dedicated threads.
+	for i := 0; i < 3; i++ {
+		ts := workload.TaskSpec{
+			Prefix:        fmt.Sprintf("%s/task%d", a.Name, i),
+			Workers:       2 + i%2,
+			PreSubmitObjs: 2,
+			SharedObjs:    3 + i,
+			UsesPerObj:    2,
+			Spacing:       6 * sim.Millisecond,
+		}
+		name := fmt.Sprintf("%s/task-test-%d", a.Name, i)
+		a.Tests = append(a.Tests, &Test{
+			Name: name,
+			Prog: &core.SimProgram{Label: name, MaxTime: a.Timeout, Jitter: 0.05, Body: ts.Body()},
+		})
+	}
+	replaceFirstGenerated(a, pagedFile(a.Name), checkpointRecovery(a.Name))
+	a.Tests = append(a.Tests, bug8())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewMQTTNet models dotnet/MQTTnet: protocol broker with very dense shared
+// heap traffic — the app whose WaffleBasic runs time out (Tables 5, 6).
+// Targets: 126 MT tests, base ≈1768ms, MO ≈544/156.6, TSV ≈23.2/7.9.
+func NewMQTTNet() *App {
+	a := &App{Name: "MQTT.Net", LoCK: 27.1, StarsK: 2.2, MTTests: 126, Timeout: 8 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 2, LocalObjs: 45, LocalOps: 1, SiteFanout: 2,
+		SharedObjs: 55, SharedUses: 2,
+		Spacing: 8300 * sim.Microsecond,
+		APIObjs: 2, APICalls: 13, APISites: 12,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 2)
+	replaceFirstGenerated(a, brokerSession(a.Name), retainedMessages(a.Name))
+	a.Tests = append(a.Tests, bug16(), bug17())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewNetMQ models zeromq/netmq: message queue, dense shared heap traffic
+// across three threads. Targets: 101 MT tests, base ≈1657ms,
+// MO ≈619/143.4, TSV ≈49.2/13.5.
+func NewNetMQ() *App {
+	a := &App{Name: "NetMQ", LoCK: 20.7, StarsK: 2.3, MTTests: 101, Timeout: 60 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 30, LocalOps: 1, SiteFanout: 1,
+		SharedObjs: 48, SharedUses: 2, SyncedObjs: 4,
+		Spacing: 10300 * sim.Microsecond,
+		APIObjs: 3, APICalls: 17, APISites: 16,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 2)
+	replaceFirstGenerated(a, pubSubProxy(a.Name), dealerRouter(a.Name))
+	a.Tests = append(a.Tests, bug11(), bug15())
+	return a
+}

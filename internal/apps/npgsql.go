@@ -1,0 +1,24 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewNpgSQL models npgsql/npgsql: database driver, the most
+// allocation-intensive app in the suite; many objects are created in the
+// parent before workers fork, which is why parent-child pruning matters
+// most here (§4.1: 1.73× without it). Targets: 283 MT tests, base ≈1118ms.
+func NewNpgSQL() *App {
+	a := &App{Name: "NpgSQL", LoCK: 51.9, StarsK: 2.4, MTTests: 283, Timeout: 120 * sim.Second}
+	spec := workload.Spec{
+		Threads: 4, LocalObjs: 20, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 44, SharedUses: 3, PreForkObjs: 40, SyncedObjs: 6,
+		Spacing: 4800 * sim.Microsecond,
+		APIObjs: 4, APICalls: 6, APISites: 4,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-1, spec, a.Timeout, 6)
+	replaceFirstGenerated(a, connectionPool(a.Name), preparedStatements(a.Name))
+	a.Tests = append(a.Tests, bug12())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewNSubstitute models nsubstitute/NSubstitute: mocking library, many
+// private proxy objects, tiny API surface. Targets: 13 MT tests, base
+// ≈344ms, MO ≈261/10.7, TSV ≈1.3/0.6.
+func NewNSubstitute() *App {
+	a := &App{Name: "NSubstitute", LoCK: 17.9, StarsK: 1.7, MTTests: 13, Timeout: 30 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 20, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 3, SharedUses: 2,
+		Spacing: 5200 * sim.Microsecond,
+		APIObjs: 3, APICalls: 2, APISites: 1,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 2)
+	replaceFirstGenerated(a, proxyRecorder(a.Name), argumentMatchers(a.Name))
+	a.Tests = append(a.Tests, bug3(), bug4())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewNSwag models RicoSuter/NSwag: OpenAPI toolchain, moderate size with a
+// high fraction of racy shared document state. Targets: 18 MT tests, base
+// ≈995ms, MO ≈110/70.8, TSV ≈2.2/0.3.
+func NewNSwag() *App {
+	a := &App{Name: "NSwag", LoCK: 101.5, StarsK: 4.9, MTTests: 18, Timeout: 60 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 2, LocalObjs: 2, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 17, SharedUses: 3,
+		Spacing: 17500 * sim.Microsecond,
+		APIObjs: 2, APICalls: 2, APISites: 1,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-1, spec, a.Timeout, 9)
+	replaceFirstGenerated(a, generatorTasks(a.Name), clientGeneration(a.Name))
+	a.Tests = append(a.Tests, bug5())
+	return a
+}

@@ -1,0 +1,8 @@
+package apps
+
+// Registry construction lives in one file per application (see
+// applicationinsights.go … sshnet.go); the shared Registry/ByName/AllBugs
+// plumbing is in app.go. Structural parameters in each file are calibrated
+// against the paper's published per-app numbers: test counts and sizes
+// (Table 3), instrumentation/injection site densities (Table 2), and base
+// running times (Table 5).

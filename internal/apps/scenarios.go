@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Scenario builders for the 18 Table 4 bugs. Each returns a body that is
+// bug-free in delay-free executions — the bug manifests only when a delay
+// inverts the racy pair's order, matching the paper's observation that
+// none of the 18 bugs manifests in 50 uninstrumented runs (§6.2).
+//
+// Timing scheme: operations are positioned with an exact Sleep(at) plus a
+// jittered Work(wobble). The wobble bounds run-to-run timing spread to
+// ±5%·wobble per thread, so scenarios can guarantee that the natural order
+// (gap apart) never inverts spontaneously (gap ≫ 0.1·wobble) while still
+// controlling how reliably an injected α·gap delay clears the margin:
+// a small wobble makes detection deterministic (2-run bugs), a wobble
+// comparable to 3·gap makes single detection runs succeed only with
+// moderate probability (the 3–4-run bugs of Table 4).
+
+// raceCfg positions one racy pair inside a run.
+type raceCfg struct {
+	prefix string       // static-site namespace
+	at     sim.Duration // when the first racy operation executes (exact)
+	gap    sim.Duration // delay-free distance between the pair's operations
+	wobble sim.Duration // jittered work at each positioning point
+	tail   sim.Duration // trailing work after the racy structure
+}
+
+func (c raceCfg) site(s string) trace.SiteID { return trace.SiteID(c.prefix + "/" + s) }
+
+// pos positions the thread at roughly `at` into the scenario: exact sleep
+// plus the configured jittered wobble.
+func (c raceCfg) pos(t *sim.Thread, at sim.Duration) {
+	if at > c.wobble {
+		t.Sleep(at - c.wobble)
+	}
+	if c.wobble > 0 {
+		t.Work(c.wobble)
+	}
+}
+
+// useBeforeInit: the object is initialized `at` into the run; an
+// independent thread uses it `gap` later. Delaying the init past the use
+// manifests the bug (Figure 2's order-violation timing: delay > gap).
+func useBeforeInit(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef(c.prefix + "/obj")
+		user := root.Spawn("user", func(t *sim.Thread) {
+			c.pos(t, c.at+c.gap)
+			r.Use(t, c.site("use"))
+		})
+		c.pos(root, c.at)
+		r.Init(root, c.site("init"))
+		root.Join(user)
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}
+
+// useAfterFree: the object lives before the fork; a worker uses it `at`
+// into the run and the owner disposes it `gap` later, with no
+// synchronization between use and dispose. Delaying the use past the
+// dispose manifests the bug.
+func useAfterFree(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef(c.prefix + "/obj")
+		r.Init(root, c.site("init"))
+		worker := root.Spawn("worker", func(t *sim.Thread) {
+			c.pos(t, c.at)
+			r.Use(t, c.site("use"))
+		})
+		c.pos(root, c.at+c.gap)
+		r.Dispose(root, c.site("dispose"))
+		root.Join(worker)
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}
+
+// repeatingUseBeforeInit re-executes the racy init/use pair n times on
+// fresh objects through the same static sites — the shape that lets
+// same-run tools expose the bug in one run: the near miss identified at
+// iteration k is injected at iteration k+1 (§2). period must be shorter
+// than the fixed delay for the same-run injection to invert the order.
+func repeatingUseBeforeInit(c raceCfg, n int, period sim.Duration) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		objs := make([]*memmodel.Ref, n)
+		for i := range objs {
+			objs[i] = h.NewRef(c.prefix + "/obj")
+		}
+		user := root.Spawn("handler", func(t *sim.Thread) {
+			c.pos(t, c.at+c.gap)
+			for i := 0; i < n; i++ {
+				objs[i].Use(t, c.site("use"))
+				if i < n-1 {
+					t.Sleep(period)
+				}
+			}
+		})
+		c.pos(root, c.at)
+		for i := 0; i < n; i++ {
+			objs[i].Init(root, c.site("init"))
+			if i < n-1 {
+				root.Sleep(period)
+			}
+		}
+		root.Join(user)
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}
+
+// interferingBugs is Figure 4a (ApplicationInsights #1106): a
+// use-before-init and a use-after-free candidate on the same object whose
+// delays cancel each other under unrestricted parallel injection, while
+// the handler thread's own delay poisons WaffleBasic's happens-before
+// inference into removing the real candidate. The dispose genuinely waits
+// for the handler, so only the use-before-init bug is real.
+func interferingBugs(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		lstnr := h.NewRef(c.prefix + "/lstnr")
+		buf := h.NewRef(c.prefix + "/buffer")
+		buf.Init(root, c.site("buf-init"))
+		var done sim.Event
+		root.Spawn("events", func(t *sim.Thread) {
+			c.pos(t, c.at/2)
+			buf.Use(t, c.site("buf-use")) // early benign access
+			c.pos(t, c.at/2+c.gap)
+			lstnr.Use(t, c.site("on-event-written")) // the racy use
+			done.Set(t)
+		})
+		c.pos(root, c.at)
+		lstnr.Init(root, c.site("ctor")) // naturally gap before the use
+		done.Wait(root)
+		root.Work(c.gap * 3)
+		lstnr.Dispose(root, c.site("dispose"))
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}
+
+// interferingInstances is Figure 4b (NetMQ #814): the same static site
+// executes in the disposing thread right before the dispose and in the
+// worker as the racy use. Parallel delays at both dynamic instances cancel
+// each other; a self-interference edge serializes them.
+func interferingInstances(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		poller := h.NewRef(c.prefix + "/m_poller")
+		poller.Init(root, c.site("runtime-ctor"))
+		worker := root.Spawn("worker", func(t *sim.Thread) {
+			c.pos(t, c.at)
+			poller.Use(t, c.site("chk-disposed")) // TryExecTaskInline
+		})
+		c.pos(root, c.at+c.gap)
+		if poller.UseIfLive(root, c.site("chk-disposed")) { // Cleanup: same site
+			root.Work(c.gap / 2)
+			poller.Dispose(root, c.site("dispose"))
+		}
+		root.Join(worker)
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}
+
+// interferingBugsDense is the Figure 4a shape buried under dense candidate
+// traffic, modelling the allocation-heavy applications whose bugs cost
+// even Waffle three or four runs (Table 4: NpgSQL #3247, NetMQ #975,
+// MQTT.Net #1187/#1188).
+//
+// On top of interferingBugs, a pool thread exercises a guarded check site
+// on a pool object that the root thread disposes just after the racy ctor.
+// The trace analyzer therefore (correctly) records the check site as
+// interfering with the ctor — a delay at the check, in flight when the
+// root reaches the ctor, would cancel the productive delay. In detection
+// runs the check site injects with its own decaying probability and its
+// delay covers the ctor's arrival with moderate, wobble-dependent
+// probability, so the productive delay is frequently skipped for the first
+// couple of detection runs (skips do not decay the productive site).
+// WaffleBasic misses the bug through the same misled happens-before
+// inference as interferingBugs.
+func interferingBugsDense(c raceCfg, chkLead, zdispLag sim.Duration) func(*sim.Thread, *memmodel.Heap) {
+	return func(root *sim.Thread, h *memmodel.Heap) {
+		lstnr := h.NewRef(c.prefix + "/lstnr")
+		buf := h.NewRef(c.prefix + "/buffer")
+		zpool := h.NewRef(c.prefix + "/zpool")
+		buf.Init(root, c.site("buf-init"))
+		var done sim.Event
+		root.Spawn("pool", func(t *sim.Thread) {
+			zpool.Init(t, c.site("z-init"))
+			c.pos(t, c.at-chkLead)
+			zpool.UseIfLive(t, c.site("z-chk")) // blankets the ctor when delayed
+		})
+		root.Spawn("events", func(t *sim.Thread) {
+			c.pos(t, c.at/2)
+			buf.Use(t, c.site("buf-use")) // early benign access
+			c.pos(t, c.at/2+c.gap)
+			lstnr.Use(t, c.site("on-event-written")) // the racy use
+			done.Set(t)
+		})
+		c.pos(root, c.at)
+		lstnr.Init(root, c.site("ctor")) // naturally gap before the use
+		root.Work(zdispLag)
+		zpool.Dispose(root, c.site("z-disp")) // closes the z-chk near miss
+		done.Wait(root)
+		root.Work(c.gap * 3)
+		lstnr.Dispose(root, c.site("dispose"))
+		if c.tail > 0 {
+			root.Work(c.tail)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewSignalR models SignalR/SignalR: real-time messaging, short tests
+// (the public TSVD cannot instrument it — excluded from Table 2).
+// Targets: 52 MT tests, base ≈267ms.
+func NewSignalR() *App {
+	a := &App{Name: "SignalR", LoCK: 51.8, StarsK: 8.5, MTTests: 52, Timeout: 30 * sim.Second}
+	spec := workload.Spec{
+		Threads: 2, LocalObjs: 10, LocalOps: 2, SiteFanout: 1,
+		SharedObjs: 4, SharedUses: 2,
+		Spacing: 6500 * sim.Microsecond,
+		APIObjs: 2, APICalls: 4, APISites: 3,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-1, spec, a.Timeout, 10)
+	replaceFirstGenerated(a, hubBroadcast(a.Name), reconnectingClient(a.Name))
+	a.Tests = append(a.Tests, bug13())
+	return a
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/workload"
+)
+
+// NewSSHNet models sshnet/SSH.NET: secure-channel client, moderate
+// density, rich thread-unsafe API surface. Targets: 117 MT tests, base
+// ≈702ms, MO ≈179/13.1, TSV ≈56.3/0.4.
+func NewSSHNet() *App {
+	a := &App{Name: "SSH.Net", LoCK: 84.4, StarsK: 2.8, MTTests: 117, Timeout: 60 * sim.Second, InTable2: true}
+	spec := workload.Spec{
+		Threads: 3, LocalObjs: 11, LocalOps: 2, SiteFanout: 2,
+		SharedObjs: 4, SharedUses: 1,
+		Spacing: 12200 * sim.Microsecond,
+		APIObjs: 3, APICalls: 20, APISites: 19,
+	}
+	a.Tests = makeTests(a.Name, a.MTTests-2, spec, a.Timeout, 24)
+	replaceFirstGenerated(a, sessionHandshake(a.Name), sftpTransfer(a.Name))
+	a.Tests = append(a.Tests, bug1(), bug2())
+	return a
+}

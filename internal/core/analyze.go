@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// Analyze implements Waffle's trace analyzer (§5, component 2): from one
+// unperturbed preparation-run trace it constructs the candidate set S
+// (near-miss pairs surviving parent-child pruning), the per-site delay
+// lengths, and the interference set I.
+func Analyze(tr *trace.Trace, opts Options) *Plan {
+	opts = opts.WithDefaults()
+	plan := &Plan{
+		Label:     tr.Label,
+		Window:    opts.Window,
+		DelayLen:  make(map[trace.SiteID]sim.Duration),
+		Interfere: make(map[trace.SiteID][]trace.SiteID),
+		Probs:     make(map[trace.SiteID]float64),
+	}
+
+	// Pass 1: near-miss candidate pairs per object (§3.1, §4.1).
+	//
+	// A use at ℓ2 within δ after an initialization at ℓ1, from a different
+	// thread, is a use-before-init candidate (delay the init). A disposal
+	// at ℓ2 within δ after a use at ℓ1, from a different thread, is a
+	// use-after-free candidate (delay the use). Pairs whose two events are
+	// ordered by fork-propagated vector clocks are pruned unless the
+	// parent-child ablation is active.
+	pairs := make(map[pairKey]*Pair)
+	type instance struct {
+		key    pairKey
+		e1, e2 int // event indexes into tr.Events
+	}
+	var instances []instance
+
+	addPair := func(e1, e2 *trace.Event, kind BugKind) {
+		if e1.TID == e2.TID {
+			return
+		}
+		if !opts.DisableParentChild && vclock.Ordered(e1.Clock, e2.Clock) {
+			return
+		}
+		gap := e2.T.Sub(e1.T)
+		if gap < 0 || gap >= opts.Window {
+			return
+		}
+		k := pairKey{delay: e1.Site, target: e2.Site, kind: kind}
+		p, ok := pairs[k]
+		if !ok {
+			p = &Pair{Delay: e1.Site, Target: e2.Site, Kind: kind}
+			pairs[k] = p
+		}
+		p.Count++
+		if gap > p.Gap {
+			p.Gap = gap
+		}
+		instances = append(instances, instance{key: k, e1: e1.Seq, e2: e2.Seq})
+	}
+
+	for _, idxs := range tr.ByObject() {
+		for i, i1 := range idxs {
+			e1 := &tr.Events[i1]
+			if !e1.Kind.IsMemOrder() {
+				continue
+			}
+			for _, i2 := range idxs[i+1:] {
+				e2 := &tr.Events[i2]
+				if e2.T.Sub(e1.T) >= opts.Window {
+					break
+				}
+				switch {
+				case e1.Kind == trace.KindInit && e2.Kind == trace.KindUse:
+					addPair(e1, e2, UseBeforeInit)
+				case e1.Kind == trace.KindUse && e2.Kind == trace.KindDispose:
+					addPair(e1, e2, UseAfterFree)
+				}
+			}
+		}
+	}
+
+	for _, p := range pairs {
+		plan.Pairs = append(plan.Pairs, *p)
+	}
+	sort.Slice(plan.Pairs, func(i, j int) bool {
+		a, b := plan.Pairs[i], plan.Pairs[j]
+		if a.Delay != b.Delay {
+			return a.Delay < b.Delay
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Kind < b.Kind
+	})
+
+	// Pass 2: per-site delay lengths — len(ℓ1) is the largest gap among
+	// pairs delaying at ℓ1 (§4.3) — and initial injection probabilities.
+	for _, p := range plan.Pairs {
+		if p.Gap > plan.DelayLen[p.Delay] {
+			plan.DelayLen[p.Delay] = p.Gap
+		}
+		plan.Probs[p.Delay] = 1.0
+	}
+
+	// Pass 3: the interference set I (§4.4). For every dynamic candidate
+	// instance (ℓ1 at τ1, ℓ2 at τ2): any injection site ℓ* exercised by
+	// ℓ2's thread in [τ1−δ, τ2] would, if delayed, block that thread and
+	// cancel a delay at ℓ1 — record (ℓ1, ℓ*) symmetrically.
+	injection := make(map[trace.SiteID]bool, len(plan.Probs))
+	for s := range plan.Probs {
+		injection[s] = true
+	}
+	byThread := make(map[int][]int)
+	for i, e := range tr.Events {
+		byThread[e.TID] = append(byThread[e.TID], i)
+	}
+	interfere := make(map[trace.SiteID]map[trace.SiteID]bool)
+	addEdge := func(a, b trace.SiteID) {
+		if interfere[a] == nil {
+			interfere[a] = make(map[trace.SiteID]bool)
+		}
+		if interfere[b] == nil {
+			interfere[b] = make(map[trace.SiteID]bool)
+		}
+		interfere[a][b] = true
+		interfere[b][a] = true
+	}
+	for _, inst := range instances {
+		e1, e2 := &tr.Events[inst.e1], &tr.Events[inst.e2]
+		lo := e1.T.Add(-opts.Window)
+		tidEvents := byThread[e2.TID]
+		// Binary search the first event of ℓ2's thread at or after lo.
+		start := sort.Search(len(tidEvents), func(i int) bool {
+			return tr.Events[tidEvents[i]].T >= lo
+		})
+		for _, ei := range tidEvents[start:] {
+			es := &tr.Events[ei]
+			if es.Seq >= e2.Seq {
+				break
+			}
+			if injection[es.Site] {
+				addEdge(inst.key.delay, es.Site)
+			}
+		}
+	}
+	for a, set := range interfere {
+		out := make([]trace.SiteID, 0, len(set))
+		for b := range set {
+			out = append(out, b)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		plan.Interfere[a] = out
+	}
+	return plan
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// genTrace builds a random but well-formed trace: monotone timestamps,
+// threads 1..nThreads, a small object and site universe, and clocks from a
+// random fork tree so parent-child pruning has real material to act on.
+func genTrace(seed int64, nEvents int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nThreads := 2 + rng.Intn(3)
+
+	// Fork tree: thread 1 forks the rest in order; clocks follow the
+	// fork protocol via FromSnapshot construction.
+	clocks := make([]*vclock.Clock, nThreads+1)
+	parentCtr := int64(1)
+	clocks[1] = vclock.FromSnapshot(1, []vclock.Entry{{TID: 1, Counter: parentCtr}})
+	for tid := 2; tid <= nThreads; tid++ {
+		entries := []vclock.Entry{{TID: 1, Counter: parentCtr}, {TID: tid, Counter: 1}}
+		clocks[tid] = vclock.FromSnapshot(tid, entries)
+		parentCtr++
+		clocks[1] = vclock.FromSnapshot(1, []vclock.Entry{{TID: 1, Counter: parentCtr}})
+	}
+
+	sites := []trace.SiteID{"s0", "s1", "s2", "s3", "s4", "s5"}
+	kinds := []trace.Kind{trace.KindInit, trace.KindUse, trace.KindUse, trace.KindDispose}
+
+	tr := &trace.Trace{Label: "gen"}
+	t := sim.Time(0)
+	for i := 0; i < nEvents; i++ {
+		t = t.Add(sim.Duration(rng.Intn(30_000))) // 0-30ms steps
+		tid := 1 + rng.Intn(nThreads)
+		tr.Events = append(tr.Events, trace.Event{
+			Seq:   i,
+			T:     t,
+			TID:   tid,
+			Site:  sites[rng.Intn(len(sites))],
+			Obj:   trace.ObjID(1 + rng.Intn(4)),
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Clock: clocks[tid],
+		})
+	}
+	tr.End = t
+	return tr
+}
+
+// Property: every candidate pair respects the analyzer's contract — gap
+// within [0, δ), delay site kind matches the bug kind, and the pair's
+// events exist cross-thread on a shared object.
+func TestAnalyzePairContractProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8) bool {
+		tr := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		opts := Options{}.WithDefaults()
+		plan := Analyze(tr, Options{})
+		for _, p := range plan.Pairs {
+			if p.Gap < 0 || p.Gap >= opts.Window {
+				return false
+			}
+			if p.Count <= 0 {
+				return false
+			}
+			if p.Kind != UseBeforeInit && p.Kind != UseAfterFree {
+				return false
+			}
+			if plan.DelayLen[p.Delay] < p.Gap {
+				return false // delay length is the max gap at the site
+			}
+			if plan.Probs[p.Delay] != 1.0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruning is monotone — the parent-child-pruned candidate set is
+// a subset of the unpruned one, pair by pair.
+func TestAnalyzePruningMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8) bool {
+		tr := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		pruned := Analyze(tr, Options{})
+		unpruned := Analyze(tr, Options{DisableParentChild: true})
+		idx := make(map[pairKey]Pair, len(unpruned.Pairs))
+		for _, p := range unpruned.Pairs {
+			idx[p.key()] = p
+		}
+		for _, p := range pruned.Pairs {
+			up, ok := idx[p.key()]
+			if !ok {
+				return false // pruning invented a pair
+			}
+			if p.Count > up.Count || p.Gap > up.Gap {
+				return false // pruning inflated a pair
+			}
+		}
+		return len(pruned.Pairs) <= len(unpruned.Pairs)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interference relation is symmetric and only mentions
+// injection sites on the delay side of the relation's origin.
+func TestAnalyzeInterferenceSymmetricProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8) bool {
+		tr := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		plan := Analyze(tr, Options{})
+		for a, list := range plan.Interfere {
+			for _, b := range list {
+				if !plan.InterferesWith(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: widening δ never loses candidate pairs.
+func TestAnalyzeWindowMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8) bool {
+		tr := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		narrow := Analyze(tr, Options{Window: 20 * sim.Millisecond})
+		wide := Analyze(tr, Options{Window: 120 * sim.Millisecond})
+		idx := make(map[pairKey]bool, len(wide.Pairs))
+		for _, p := range wide.Pairs {
+			idx[p.key()] = true
+		}
+		for _, p := range narrow.Pairs {
+			if !idx[p.key()] {
+				return false
+			}
+		}
+		return len(narrow.Pairs) <= len(wide.Pairs)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: plans survive the JSON round trip for arbitrary analyzed
+// traces (not just hand-built ones).
+func TestAnalyzePlanRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8) bool {
+		tr := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		plan := Analyze(tr, Options{})
+		var buf bytes.Buffer
+		if err := plan.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadPlanJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Pairs) != len(plan.Pairs) {
+			return false
+		}
+		for i := range plan.Pairs {
+			if back.Pairs[i] != plan.Pairs[i] {
+				return false
+			}
+		}
+		for s, d := range plan.DelayLen {
+			if back.DelayLen[s] != d {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// TestOnlineOfflineIdentificationAgree: on the same delay-free execution,
+// the online near-miss engine (§3.1) and the offline trace analyzer (§4.1,
+// without pruning — WaffleBasic has none) must identify the same candidate
+// pairs. The online engine is configured with a vanishing delay length so
+// its injections cannot perturb the timing it identifies from.
+func TestOnlineOfflineIdentificationAgree(t *testing.T) {
+	body := func(root *sim.Thread, h *memmodel.Heap) {
+		a := h.NewRef("a")
+		b := h.NewRef("b")
+		w1 := root.Spawn("w1", func(th *sim.Thread) {
+			th.Sleep(1 * sim.Millisecond)
+			a.Init(th, "w1/a-init")
+			th.Sleep(2 * sim.Millisecond)
+			b.UseIfLive(th, "w1/b-use")
+		})
+		w2 := root.Spawn("w2", func(th *sim.Thread) {
+			th.Sleep(2 * sim.Millisecond)
+			a.UseIfLive(th, "w2/a-use")
+			b.Init(th, "w2/b-init")
+			th.Sleep(3 * sim.Millisecond)
+			a.UseIfLive(th, "w2/a-use2")
+		})
+		root.Join(w1)
+		root.Join(w2)
+		a.Dispose(root, "root/a-disp")
+		b.Dispose(root, "root/b-disp")
+	}
+	prog := &SimProgram{Label: "equiv", Body: body}
+
+	// Offline: record then analyze, no pruning (the online engine in
+	// WaffleBasic configuration has none either).
+	wf := NewWaffle(Options{DisableParentChild: true})
+	r1 := runOnceWith(t, prog, wf, 1, nil)
+	wf.HookForRun(2, &r1)
+	offline := wf.Plan()
+
+	// Online: identification with delays effectively disabled.
+	cfg := WaffleBasicConfig(Options{FixedDelay: 1, InstrCost: -1})
+	// Match the offline run's instrumentation timing: the offline prep run
+	// used InstrCost+TraceCost, so give the online engine the same cost.
+	cfg.InstrCost = DefaultInstrCost + DefaultTraceCost
+	online := NewOnline(cfg)
+	online.BeginRun()
+	prog.Execute(1, online)
+
+	offlineKeys := make(map[pairKey]bool)
+	for _, p := range offline.Pairs {
+		offlineKeys[p.key()] = true
+	}
+	onlineKeys := make(map[pairKey]bool)
+	for _, p := range online.Pairs() {
+		onlineKeys[p.key()] = true
+	}
+	for k := range offlineKeys {
+		if !onlineKeys[k] {
+			t.Errorf("offline pair %v missing online", k)
+		}
+	}
+	for k := range onlineKeys {
+		if !offlineKeys[k] {
+			t.Errorf("online pair %v missing offline", k)
+		}
+	}
+}
+
+// runOnceWith executes one tool-driven run and returns its report.
+func runOnceWith(t *testing.T, prog Program, tool Tool, seed int64, prev *RunReport) RunReport {
+	t.Helper()
+	run := 1
+	if prev != nil {
+		run = prev.Run + 1
+	}
+	hook := tool.HookForRun(run, prev)
+	res := prog.Execute(seed, hook)
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	return RunReport{Run: run, Seed: seed, End: res.End, Stats: tool.RunStats()}
+}
+
+// TestOnlineIdentificationPerturbedByOwnDelays is the converse: with real
+// fixed delays the online engine identifies a DIFFERENT (usually smaller
+// or shifted) candidate set than the unperturbed analyzer — §4.2's
+// "delays interfere with candidate location identification".
+func TestOnlineIdentificationPerturbedByOwnDelays(t *testing.T) {
+	// Dense shape: several objects whose init/use pairs sit near the
+	// window boundary, so 100ms delays push later pairs out of range.
+	body := func(root *sim.Thread, h *memmodel.Heap) {
+		refs := make([]*memmodel.Ref, 6)
+		for i := range refs {
+			refs[i] = h.NewRef("r")
+		}
+		w := root.Spawn("w", func(th *sim.Thread) {
+			for i := range refs {
+				th.Sleep(30 * sim.Millisecond)
+				refs[i].UseIfLive(th, trace.SiteID("use")) // same static site
+			}
+		})
+		for i := range refs {
+			root.Sleep(25 * sim.Millisecond)
+			refs[i].Init(root, trace.SiteID("init"))
+		}
+		root.Join(w)
+	}
+	prog := &SimProgram{Label: "perturb", Body: body}
+
+	wf := NewWaffle(Options{DisableParentChild: true})
+	r1 := runOnceWith(t, prog, wf, 1, nil)
+	wf.HookForRun(2, &r1)
+	unperturbedCount := 0
+	for _, p := range wf.Plan().Pairs {
+		unperturbedCount += p.Count
+	}
+
+	online := NewOnline(WaffleBasicConfig(Options{}))
+	online.BeginRun()
+	prog.Execute(1, online) // run 1: identify (no delays yet at first instances)
+	online.BeginRun()
+	prog.Execute(2, online) // run 2: 100ms delays now perturb identification
+	perturbedCount := 0
+	for _, p := range online.Pairs() {
+		perturbedCount += p.Count
+	}
+	// Run 2's near misses stretch past δ, so cumulative online instance
+	// counts grow slower than twice the unperturbed count.
+	if perturbedCount >= 2*unperturbedCount {
+		t.Fatalf("online identification unaffected by its own delays: %d vs unperturbed %d",
+			perturbedCount, unperturbedCount)
+	}
+}

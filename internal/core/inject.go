@@ -1,0 +1,142 @@
+package core
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Interval records one injected delay: where it was injected and the
+// virtual-time span the thread slept. Intervals feed Table 6 (count and
+// cumulative duration) and the §3.3 overlap metric.
+type Interval struct {
+	Site  trace.SiteID
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the interval's length.
+func (iv Interval) Dur() sim.Duration { return iv.End.Sub(iv.Start) }
+
+// DelayStats aggregates one run's injection activity.
+type DelayStats struct {
+	Count     int          // delays injected
+	Total     sim.Duration // cumulative delay duration
+	Skipped   int          // injections suppressed by interference control
+	Intervals []Interval   // every injected delay
+}
+
+// add records one completed delay.
+func (s *DelayStats) add(iv Interval) {
+	s.Count++
+	s.Total += iv.Dur()
+	s.Intervals = append(s.Intervals, iv)
+}
+
+// Injector is Waffle's detection-run hook (§5, component 3). It injects
+// delays at the plan's candidate sites using per-site variable lengths,
+// probability decay, and interference-aware skipping. Probabilities decay
+// in place on the shared Plan, which the Session persists between runs.
+type Injector struct {
+	opts  Options
+	plan  *Plan
+	stats DelayStats
+
+	// active counts in-flight delays per site; interference control
+	// consults it before injecting.
+	active map[trace.SiteID]int
+	// activeTotal avoids scanning when nothing is in flight.
+	activeTotal int
+}
+
+// NewInjector returns a detection hook for plan. The plan's Probs map is
+// mutated by probability decay as the run proceeds.
+func NewInjector(plan *Plan, opts Options) *Injector {
+	return &Injector{
+		opts:   opts.WithDefaults(),
+		plan:   plan,
+		active: make(map[trace.SiteID]int),
+	}
+}
+
+// Stats returns the injection activity recorded so far.
+func (in *Injector) Stats() DelayStats { return in.stats }
+
+// OnAccess implements memmodel.Hook: charge instrumentation overhead, then
+// decide whether to pause the thread before the access executes.
+func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	if in.opts.InstrCost > 0 {
+		t.Sleep(in.opts.InstrCost)
+	}
+	gapLen, isCandidate := in.plan.DelayLen[site]
+	if !isCandidate {
+		return
+	}
+	p := in.plan.Probs[site]
+	if p <= 0 {
+		return
+	}
+	if t.World().Rand() >= p {
+		return
+	}
+	if !in.opts.DisableInterferenceControl && in.interferenceLive(site) {
+		// §4.4: a delay planned for this site is skipped — not decayed —
+		// while an interfering delay is ongoing in another thread.
+		in.stats.Skipped++
+		return
+	}
+
+	d := in.opts.delayFor(gapLen)
+	in.active[site]++
+	in.activeTotal++
+	start := t.Now()
+	// Record up front: if the delay exposes a bug, the world tears this
+	// thread down mid-sleep and code after Sleep never runs.
+	in.stats.add(Interval{Site: site, Start: start, End: start.Add(d)})
+	t.Sleep(d)
+	in.active[site]--
+	in.activeTotal--
+
+	// The delay completed without the world faulting (a fault would have
+	// torn this thread down mid-sleep): this attempt failed to expose a
+	// bug, so the site's future injection probability decays (§2, §4.4).
+	np := p - in.opts.Decay
+	if np < 0 {
+		np = 0
+	}
+	in.plan.Probs[site] = np
+}
+
+// interferenceLive reports whether any site interfering with site has a
+// delay currently in flight.
+func (in *Injector) interferenceLive(site trace.SiteID) bool {
+	if in.activeTotal == 0 {
+		return false
+	}
+	for _, other := range in.plan.Interfere[site] {
+		if in.active[other] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PrepHook is the preparation-run hook: it records the trace and charges
+// instrumentation plus logging overhead, but never injects (§4.2).
+type PrepHook struct {
+	rec  *trace.Recorder
+	cost sim.Duration
+}
+
+// NewPrepHook wraps rec with the configured preparation-run overhead.
+func NewPrepHook(rec *trace.Recorder, opts Options) *PrepHook {
+	opts = opts.WithDefaults()
+	return &PrepHook{rec: rec, cost: opts.InstrCost + opts.TraceCost}
+}
+
+// OnAccess implements memmodel.Hook.
+func (p *PrepHook) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	if p.cost > 0 {
+		t.Sleep(p.cost)
+	}
+	p.rec.Record(t, site, obj, kind, dur)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// planWith builds a minimal plan with one injection site.
+func planWith(site trace.SiteID, gap sim.Duration) *Plan {
+	return &Plan{
+		Window:    DefaultWindow,
+		Pairs:     []Pair{{Delay: site, Target: "target", Kind: UseBeforeInit, Gap: gap, Count: 1}},
+		DelayLen:  map[trace.SiteID]sim.Duration{site: gap},
+		Interfere: map[trace.SiteID][]trace.SiteID{},
+		Probs:     map[trace.SiteID]float64{site: 1.0},
+	}
+}
+
+// hookRun executes body with the hook installed and returns the world time.
+func hookRun(t *testing.T, hook memmodel.Hook, body func(*sim.Thread, *memmodel.Heap)) sim.Time {
+	t.Helper()
+	h := memmodel.NewHeap()
+	h.SetHook(hook)
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	if err := w.Run(func(root *sim.Thread) { body(root, h) }); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return w.Now()
+}
+
+func TestInjectorDelaysCandidateSiteOnly(t *testing.T) {
+	plan := planWith("hot", 10*sim.Millisecond)
+	inj := NewInjector(plan, Options{InstrCost: -1}) // no instr cost
+	hookRun(t, inj, func(th *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(th, "cold") // not a candidate: no delay
+		if th.Now() > sim.Time(10*sim.Microsecond) {
+			t.Errorf("cold site delayed: now=%v", th.Now())
+		}
+		r.Use(th, "hot") // candidate: α·10ms delay
+	})
+	st := inj.Stats()
+	if st.Count != 1 {
+		t.Fatalf("delays = %d, want 1", st.Count)
+	}
+	want := sim.Duration(float64(10*sim.Millisecond) * DefaultAlpha)
+	if st.Total != want {
+		t.Fatalf("total delay = %v, want %v", st.Total, want)
+	}
+}
+
+func TestInjectorProbabilityDecay(t *testing.T) {
+	plan := planWith("s", 5*sim.Millisecond)
+	inj := NewInjector(plan, Options{InstrCost: -1, Decay: 0.25})
+	hookRun(t, inj, func(th *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(th, "init")
+		r.Use(th, "s")
+	})
+	if got := plan.Probs["s"]; got != 0.75 {
+		t.Fatalf("prob after one failed delay = %v, want 0.75", got)
+	}
+}
+
+func TestInjectorStopsAtZeroProbability(t *testing.T) {
+	plan := planWith("s", 5*sim.Millisecond)
+	plan.Probs["s"] = 0
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	hookRun(t, inj, func(th *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(th, "init")
+		r.Use(th, "s")
+	})
+	if inj.Stats().Count != 0 {
+		t.Fatal("site with zero probability was delayed")
+	}
+}
+
+func TestInjectorFixedLengthAblation(t *testing.T) {
+	plan := planWith("s", 5*sim.Millisecond)
+	inj := NewInjector(plan, Options{InstrCost: -1, DisableCustomLengths: true})
+	hookRun(t, inj, func(th *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(th, "init")
+		r.Use(th, "s")
+	})
+	if got := inj.Stats().Total; got != DefaultFixedDelay {
+		t.Fatalf("fixed-mode delay = %v, want %v", got, DefaultFixedDelay)
+	}
+}
+
+func TestInjectorInterferenceSkip(t *testing.T) {
+	// Two sites that interfere: while a delay at "a" is in flight, the
+	// planned delay at "b" is skipped (and not decayed).
+	plan := &Plan{
+		Window: DefaultWindow,
+		Pairs: []Pair{
+			{Delay: "a", Target: "x", Kind: UseBeforeInit, Gap: 20 * sim.Millisecond},
+			{Delay: "b", Target: "y", Kind: UseAfterFree, Gap: 20 * sim.Millisecond},
+		},
+		DelayLen:  map[trace.SiteID]sim.Duration{"a": 20 * sim.Millisecond, "b": 20 * sim.Millisecond},
+		Interfere: map[trace.SiteID][]trace.SiteID{"a": {"b"}, "b": {"a"}},
+		Probs:     map[trace.SiteID]float64{"a": 1.0, "b": 1.0},
+	}
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	hookRun(t, inj, func(root *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(root, "init")
+		other := root.Spawn("t2", func(th *sim.Thread) {
+			th.Sleep(5 * sim.Millisecond) // lands inside a's delay
+			r.Use(th, "b")
+		})
+		r.Use(root, "a")
+		root.Join(other)
+	})
+	st := inj.Stats()
+	if st.Count != 1 {
+		t.Fatalf("delays = %d, want 1 (b skipped)", st.Count)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", st.Skipped)
+	}
+	if plan.Probs["b"] != 1.0 {
+		t.Fatalf("skipped site decayed: %v", plan.Probs["b"])
+	}
+	if plan.Probs["a"] != 1.0-DefaultDecay {
+		t.Fatalf("delayed site not decayed: %v", plan.Probs["a"])
+	}
+}
+
+func TestInjectorInterferenceAblationAllowsOverlap(t *testing.T) {
+	plan := &Plan{
+		Window: DefaultWindow,
+		Pairs: []Pair{
+			{Delay: "a", Target: "x", Kind: UseBeforeInit, Gap: 20 * sim.Millisecond},
+			{Delay: "b", Target: "y", Kind: UseAfterFree, Gap: 20 * sim.Millisecond},
+		},
+		DelayLen:  map[trace.SiteID]sim.Duration{"a": 20 * sim.Millisecond, "b": 20 * sim.Millisecond},
+		Interfere: map[trace.SiteID][]trace.SiteID{"a": {"b"}, "b": {"a"}},
+		Probs:     map[trace.SiteID]float64{"a": 1.0, "b": 1.0},
+	}
+	inj := NewInjector(plan, Options{InstrCost: -1, DisableInterferenceControl: true})
+	hookRun(t, inj, func(root *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(root, "init")
+		other := root.Spawn("t2", func(th *sim.Thread) {
+			th.Sleep(5 * sim.Millisecond)
+			r.Use(th, "b")
+		})
+		r.Use(root, "a")
+		root.Join(other)
+	})
+	if got := inj.Stats().Count; got != 2 {
+		t.Fatalf("delays = %d, want 2 under the ablation", got)
+	}
+}
+
+func TestInjectorInstrumentationCost(t *testing.T) {
+	plan := &Plan{DelayLen: map[trace.SiteID]sim.Duration{}, Probs: map[trace.SiteID]float64{}, Interfere: map[trace.SiteID][]trace.SiteID{}}
+	inj := NewInjector(plan, Options{InstrCost: 50 * sim.Microsecond})
+	h := memmodel.NewHeap()
+	h.SetOpCost(0)
+	h.SetHook(inj)
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	err := w.Run(func(th *sim.Thread) {
+		r := h.NewRef("r")
+		r.Init(th, "s1")
+		r.Use(th, "s2")
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got, want := w.Now(), sim.Time(100*sim.Microsecond); got != want {
+		t.Fatalf("time = %v, want %v (2 × instr cost)", got, want)
+	}
+}
+
+func TestPrepHookRecordsWithoutInjecting(t *testing.T) {
+	rec := trace.NewRecorder("p", 1)
+	hook := NewPrepHook(rec, Options{})
+	end := hookRun(t, hook, func(th *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(th, "s1")
+		r.Use(th, "s2")
+		r.Dispose(th, "s3")
+	})
+	tr := rec.Finish(end)
+	if len(tr.Events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(tr.Events))
+	}
+	// Only instrumentation+logging cost, never a 100ms-scale delay.
+	if end > sim.Time(3*(DefaultInstrCost+DefaultTraceCost)+sim.Millisecond) {
+		t.Fatalf("prep run took %v — a delay was injected?", end)
+	}
+	kinds := []trace.Kind{trace.KindInit, trace.KindUse, trace.KindDispose}
+	for i, e := range tr.Events {
+		if e.Kind != kinds[i] {
+			t.Fatalf("event %d kind = %v", i, e.Kind)
+		}
+	}
+}
+
+func TestIntervalDur(t *testing.T) {
+	iv := Interval{Site: "s", Start: 10, End: 250}
+	if iv.Dur() != 240 {
+		t.Fatalf("Dur = %v", iv.Dur())
+	}
+}

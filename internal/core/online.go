@@ -1,0 +1,378 @@
+package core
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// OnlineConfig selects which design points the online engine applies.
+// WaffleBasic (§3) is the TSVD-faithful configuration: same-run
+// identification and injection, fixed-length delays, happens-before
+// inference, no parent-child pruning, no interference control. The
+// "no preparation run" ablation of Table 7 is the Waffle-featured
+// configuration: variable lengths, fork-clock pruning, and online
+// interference control — but identification still happens in the runs
+// that inject.
+type OnlineConfig struct {
+	Options
+
+	// VariableLengths injects α·gap delays instead of FixedDelay.
+	VariableLengths bool
+	// ParentChildPruning applies the fork-clock filter while identifying
+	// candidates online.
+	ParentChildPruning bool
+	// InterferenceControl builds the interference relation online and
+	// skips delays whose partners are in flight.
+	InterferenceControl bool
+	// HBInference removes candidate pairs when a delay at ℓ1 appears to
+	// propagate as a stall of ℓ2's thread (§2). This inference turns
+	// unreliable under delay overlap (§4.1) — the engine models that
+	// failure mode faithfully by trusting the stall signal unconditionally.
+	HBInference bool
+	// HistoryDepth bounds the per-object access history consulted by
+	// near-miss tracking. Zero means DefaultHistoryDepth.
+	HistoryDepth int
+}
+
+// DefaultHistoryDepth bounds per-object histories in the online engine.
+const DefaultHistoryDepth = 32
+
+// WaffleBasicConfig returns the configuration described in §3: TSVD's
+// design transplanted onto MemOrder instrumentation sites.
+func WaffleBasicConfig(opts Options) OnlineConfig {
+	return OnlineConfig{Options: opts, HBInference: true}
+}
+
+// NoPrepConfig returns the Table 7 "no preparation run" ablation: Waffle's
+// other three design points, applied online.
+func NoPrepConfig(opts Options) OnlineConfig {
+	return OnlineConfig{
+		Options:             opts,
+		VariableLengths:     true,
+		ParentChildPruning:  true,
+		InterferenceControl: true,
+	}
+}
+
+// histEv is one remembered access.
+type histEv struct {
+	site  trace.SiteID
+	tid   int
+	t     sim.Time
+	kind  trace.Kind
+	clock *vclock.Clock
+}
+
+// delayRec is the last completed delay at a site, kept for HB inference.
+type delayRec struct {
+	start, end sim.Time
+	tid        int
+	valid      bool
+}
+
+// Online is the same-run identification + injection engine. Candidate
+// pairs, per-site gaps, probabilities, interference edges, and
+// HB-inference removals persist across runs (call BeginRun between runs);
+// per-run histories reset.
+type Online struct {
+	cfg OnlineConfig
+
+	// Persistent across runs.
+	pairs     map[pairKey]*Pair
+	bySite    map[trace.SiteID][]*Pair // pairs keyed by delay site
+	byTarget  map[trace.SiteID][]*Pair // pairs keyed by target site
+	lens      map[trace.SiteID]sim.Duration
+	probs     map[trace.SiteID]float64
+	interfere map[trace.SiteID]map[trace.SiteID]bool
+	removed   map[pairKey]bool
+	runs      int
+
+	// Per-run state.
+	objHist    map[trace.ObjID][]histEv
+	threadHist map[int][]histEv
+	lastAccess map[int]sim.Time
+	seenAccess map[int]bool
+	lastDelay  map[trace.SiteID]delayRec
+	active     map[trace.SiteID]int
+	activeTot  int
+	stats      DelayStats
+}
+
+// NewOnline returns an engine with empty persistent state. Call BeginRun
+// before each run.
+func NewOnline(cfg OnlineConfig) *Online {
+	cfg.Options = cfg.Options.WithDefaults()
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = DefaultHistoryDepth
+	}
+	return &Online{
+		cfg:       cfg,
+		pairs:     make(map[pairKey]*Pair),
+		bySite:    make(map[trace.SiteID][]*Pair),
+		byTarget:  make(map[trace.SiteID][]*Pair),
+		lens:      make(map[trace.SiteID]sim.Duration),
+		probs:     make(map[trace.SiteID]float64),
+		interfere: make(map[trace.SiteID]map[trace.SiteID]bool),
+		removed:   make(map[pairKey]bool),
+	}
+}
+
+// BeginRun resets per-run state, keeping the learned candidate set.
+func (o *Online) BeginRun() {
+	o.runs++
+	o.objHist = make(map[trace.ObjID][]histEv)
+	o.threadHist = make(map[int][]histEv)
+	o.lastAccess = make(map[int]sim.Time)
+	o.seenAccess = make(map[int]bool)
+	o.lastDelay = make(map[trace.SiteID]delayRec)
+	o.active = make(map[trace.SiteID]int)
+	o.activeTot = 0
+	o.stats = DelayStats{}
+}
+
+// Stats returns the current run's injection activity.
+func (o *Online) Stats() DelayStats { return o.stats }
+
+// Runs reports how many runs have begun.
+func (o *Online) Runs() int { return o.runs }
+
+// Pairs returns a snapshot of the live candidate set S.
+func (o *Online) Pairs() []Pair {
+	out := make([]Pair, 0, len(o.pairs))
+	for k, p := range o.pairs {
+		if !o.removed[k] {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// InjectionSiteCount reports the number of distinct delay sites ever
+// admitted to S (Table 2's "Injection Sites" metric).
+func (o *Online) InjectionSiteCount() int { return len(o.lens) }
+
+// OnAccess implements memmodel.Hook. Order of duties mirrors WaffleBasic:
+// instrumentation cost, HB-inference bookkeeping, the delay-or-not
+// decision for already-known candidate sites, then near-miss
+// identification using the post-delay timestamp.
+func (o *Online) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	if o.cfg.InstrCost > 0 {
+		t.Sleep(o.cfg.InstrCost)
+	}
+	if !kind.IsMemOrder() {
+		// Thread-unsafe API calls are outside the MemOrder engine's domain.
+		o.noteAccess(t, site, obj, kind)
+		return
+	}
+	o.maybeDelay(t, site)
+	if o.cfg.HBInference {
+		// The propagation check happens when ℓ2 actually executes — after
+		// any delay injected at ℓ2 itself. That is precisely why overlap
+		// blinds the heuristic (§4.1): a thread stalled by its own delay
+		// is indistinguishable from one stalled by synchronization.
+		o.inferHappensBefore(t, site)
+	}
+	o.identify(t, site, obj, kind)
+	o.noteAccess(t, site, obj, kind)
+}
+
+// maybeDelay runs the delay-or-not decision for one access.
+func (o *Online) maybeDelay(t *sim.Thread, site trace.SiteID) {
+	if !o.siteLive(site) {
+		return
+	}
+	p := o.probs[site]
+	if p <= 0 {
+		return
+	}
+	if t.World().Rand() >= p {
+		return
+	}
+	if o.cfg.InterferenceControl && o.interferenceLive(site) {
+		o.stats.Skipped++
+		return
+	}
+	var d sim.Duration
+	if o.cfg.VariableLengths {
+		d = o.cfg.delayFor(o.lens[site])
+	} else {
+		d = o.cfg.FixedDelay
+	}
+	o.active[site]++
+	o.activeTot++
+	start := t.Now()
+	end := start.Add(d)
+	// Record up front: a bug-exposing delay tears this thread down
+	// mid-sleep and code after Sleep never runs.
+	o.stats.add(Interval{Site: site, Start: start, End: end})
+	t.Sleep(d)
+	o.active[site]--
+	o.activeTot--
+	o.lastDelay[site] = delayRec{start: start, end: end, tid: t.ID(), valid: true}
+
+	np := p - o.cfg.Decay
+	if np < 0 {
+		np = 0
+	}
+	o.probs[site] = np
+}
+
+// siteLive reports whether site still delays for at least one live pair.
+func (o *Online) siteLive(site trace.SiteID) bool {
+	for _, p := range o.bySite[site] {
+		if !o.removed[p.key()] {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Online) interferenceLive(site trace.SiteID) bool {
+	if o.activeTot == 0 {
+		return false
+	}
+	for other := range o.interfere[site] {
+		if o.active[other] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// inferHappensBefore implements the TSVD-style heuristic (§2): if a delay
+// injected at ℓ1 was followed by this thread staying silent for the whole
+// delay window and then arriving at ℓ2 with {ℓ1,ℓ2} ∈ S, infer a
+// happens-before edge and remove the pair. Under overlapping delays the
+// stall may actually be another delay — the heuristic cannot tell (§4.1) —
+// so pairs are removed spuriously; that is WaffleBasic's documented
+// failure mode, reproduced here mechanically.
+func (o *Online) inferHappensBefore(t *sim.Thread, site trace.SiteID) {
+	now := t.Now()
+	for _, p := range o.byTarget[site] {
+		k := p.key()
+		if o.removed[k] {
+			continue
+		}
+		ld := o.lastDelay[p.Delay]
+		if !ld.valid || ld.tid == t.ID() {
+			continue
+		}
+		// The delay must have completed recently, and this thread must
+		// have been silent across its whole window.
+		if ld.end > now || now.Sub(ld.end) > o.cfg.Window {
+			continue
+		}
+		if !o.seenAccess[t.ID()] {
+			continue // a thread with no history cannot be judged stalled
+		}
+		if o.lastAccess[t.ID()] < ld.start {
+			o.removed[k] = true
+		}
+	}
+}
+
+// identify is online near-miss tracking: match the current access against
+// the object's recent history (§3.1), updating S, gaps, probabilities, and
+// (when enabled) interference edges.
+func (o *Online) identify(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+	if kind != trace.KindUse && kind != trace.KindDispose {
+		return
+	}
+	now := t.Now()
+	var clk *vclock.Clock
+	if o.cfg.ParentChildPruning {
+		clk = vclock.Of(t)
+	}
+	for _, h := range o.objHist[obj] {
+		gap := now.Sub(h.t)
+		if gap < 0 || gap >= o.cfg.Window {
+			continue
+		}
+		if h.tid == t.ID() {
+			continue
+		}
+		var bk BugKind
+		switch {
+		case h.kind == trace.KindInit && kind == trace.KindUse:
+			bk = UseBeforeInit
+		case h.kind == trace.KindUse && kind == trace.KindDispose:
+			bk = UseAfterFree
+		default:
+			continue
+		}
+		if o.cfg.ParentChildPruning && vclock.Ordered(h.clock, clk) {
+			continue
+		}
+		o.admit(t, h.site, site, bk, gap, h.t, now)
+	}
+}
+
+// admit adds or refreshes a candidate pair discovered online.
+func (o *Online) admit(t *sim.Thread, delaySite, targetSite trace.SiteID, bk BugKind, gap sim.Duration, t1, t2 sim.Time) {
+	k := pairKey{delay: delaySite, target: targetSite, kind: bk}
+	if o.removed[k] {
+		return
+	}
+	p, ok := o.pairs[k]
+	if !ok {
+		p = &Pair{Delay: delaySite, Target: targetSite, Kind: bk}
+		o.pairs[k] = p
+		o.bySite[delaySite] = append(o.bySite[delaySite], p)
+		o.byTarget[targetSite] = append(o.byTarget[targetSite], p)
+		if _, seen := o.probs[delaySite]; !seen {
+			o.probs[delaySite] = 1.0
+		}
+	}
+	p.Count++
+	if gap > p.Gap {
+		p.Gap = gap
+	}
+	if gap > o.lens[delaySite] {
+		o.lens[delaySite] = gap
+	}
+	if o.cfg.InterferenceControl {
+		// Current thread is ℓ2's thread: any candidate site it exercised
+		// in [τ1−δ, τ2) interferes with ℓ1 (§4.4, applied online).
+		lo := t1.Add(-o.cfg.Window)
+		for _, h := range o.threadHist[t.ID()] {
+			if h.t < lo || h.t > t2 {
+				continue
+			}
+			if _, isInj := o.lens[h.site]; isInj {
+				o.addInterference(delaySite, h.site)
+			}
+		}
+	}
+}
+
+func (o *Online) addInterference(a, b trace.SiteID) {
+	if o.interfere[a] == nil {
+		o.interfere[a] = make(map[trace.SiteID]bool)
+	}
+	if o.interfere[b] == nil {
+		o.interfere[b] = make(map[trace.SiteID]bool)
+	}
+	o.interfere[a][b] = true
+	o.interfere[b][a] = true
+}
+
+// noteAccess appends the access to the object and thread histories.
+func (o *Online) noteAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+	now := t.Now()
+	ev := histEv{site: site, tid: t.ID(), t: now, kind: kind, clock: vclock.Of(t)}
+	o.objHist[obj] = appendBounded(o.objHist[obj], ev, o.cfg.HistoryDepth)
+	o.threadHist[t.ID()] = appendBounded(o.threadHist[t.ID()], ev, o.cfg.HistoryDepth)
+	o.lastAccess[t.ID()] = now
+	o.seenAccess[t.ID()] = true
+}
+
+// appendBounded appends keeping at most depth entries (oldest dropped).
+func appendBounded(h []histEv, ev histEv, depth int) []histEv {
+	h = append(h, ev)
+	if len(h) > depth {
+		copy(h, h[1:])
+		h = h[:len(h)-1]
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// randomGuardedProgram builds a random guarded program (same family as the
+// stress tests) for exercising the online engine's persistent state.
+func randomGuardedProgram(seed int64) *SimProgram {
+	rng := rand.New(rand.NewSource(seed))
+	threads := 2 + rng.Intn(2)
+	objs := 2 + rng.Intn(3)
+	spacing := sim.Duration(300+rng.Intn(1500)) * sim.Microsecond
+	return &SimProgram{
+		Label:  fmt.Sprintf("online-prop-%d", seed),
+		Jitter: 0.05,
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			shared := make([]*memmodel.Ref, objs)
+			for i := range shared {
+				shared[i] = h.NewRef(fmt.Sprintf("s%d", i))
+			}
+			var wg sim.WaitGroup
+			for ti := 0; ti < threads; ti++ {
+				ti := ti
+				wg.Add(root, 1)
+				root.Spawn(fmt.Sprintf("w%d", ti), func(t *sim.Thread) {
+					defer wg.Done(t)
+					for oi := 0; oi < objs; oi++ {
+						owner := oi%threads == ti
+						if owner {
+							t.Work(spacing)
+							shared[oi].Init(t, siteOf("init", ti, oi))
+						}
+						t.Work(spacing)
+						shared[oi].UseIfLive(t, siteOf("use", ti, oi))
+						if owner {
+							t.Work(spacing)
+							shared[oi].Dispose(t, siteOf("disp", ti, oi))
+						}
+					}
+				})
+			}
+			wg.Wait(root)
+		},
+	}
+}
+
+func siteOf(kind string, ti, oi int) trace.SiteID {
+	return trace.SiteID(fmt.Sprintf("%s/%d/%d", kind, ti, oi))
+}
+
+// pairSet snapshots the live pair keys.
+func pairSet(o *Online) map[pairKey]bool {
+	out := make(map[pairKey]bool)
+	for _, p := range o.Pairs() {
+		out[p.key()] = true
+	}
+	return out
+}
+
+// TestOnlinePersistentStateInvariants drives the online engine across many
+// runs of random programs and checks the cross-run invariants:
+//
+//   - injection-site count never decreases (sites are never forgotten),
+//   - per-site probabilities never increase,
+//   - a pair removed by happens-before inference never reappears.
+func TestOnlinePersistentStateInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		prog := randomGuardedProgram(seed * 13)
+		o := NewOnline(WaffleBasicConfig(Options{}))
+
+		prevSites := 0
+		removedEver := make(map[pairKey]bool)
+		prevProbs := map[string]float64{}
+
+		for run := 1; run <= 6; run++ {
+			o.BeginRun()
+			res := prog.Execute(seed*100+int64(run), o)
+			if res.Fault != nil {
+				t.Fatalf("seed %d run %d: guarded program faulted: %v", seed, run, res.Fault)
+			}
+
+			if got := o.InjectionSiteCount(); got < prevSites {
+				t.Fatalf("seed %d run %d: injection sites shrank %d → %d", seed, run, prevSites, got)
+			} else {
+				prevSites = got
+			}
+
+			live := pairSet(o)
+			for k := range removedEver {
+				if live[k] {
+					t.Fatalf("seed %d run %d: removed pair %v resurrected", seed, run, k)
+				}
+			}
+			// Track removals: pairs that were live before and are not now.
+			for k := range prevLive(o, live, removedEver) {
+				removedEver[k] = true
+			}
+
+			for site, p := range o.probs {
+				if prev, ok := prevProbs[string(site)]; ok && p > prev+1e-12 {
+					t.Fatalf("seed %d run %d: probability rose at %s: %v → %v", seed, run, site, prev, p)
+				}
+				prevProbs[string(site)] = p
+			}
+		}
+	}
+}
+
+// prevLive computes pairs currently marked removed by the engine.
+func prevLive(o *Online, live map[pairKey]bool, already map[pairKey]bool) map[pairKey]bool {
+	out := make(map[pairKey]bool)
+	for k, gone := range o.removed {
+		if gone && !already[k] {
+			out[k] = true
+		}
+	}
+	_ = live
+	return out
+}
+
+// TestOnlineRunCounterAdvances guards the bookkeeping the session relies on.
+func TestOnlineRunCounterAdvances(t *testing.T) {
+	o := NewOnline(WaffleBasicConfig(Options{}))
+	prog := randomGuardedProgram(3)
+	for i := 1; i <= 3; i++ {
+		o.BeginRun()
+		prog.Execute(int64(i), o)
+		if o.Runs() != i {
+			t.Fatalf("Runs() = %d after %d BeginRun calls", o.Runs(), i)
+		}
+	}
+}

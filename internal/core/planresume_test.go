@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// cleanNearMissBody has one near-miss pair that can never manifest: the
+// dispose genuinely waits for the use, so every injected delay fails and
+// probabilities only decay.
+func cleanNearMissBody(root *sim.Thread, h *memmodel.Heap) {
+	r := h.NewRef("r")
+	r.Init(root, "init0")
+	var done sim.Event
+	w := root.Spawn("w", func(th *sim.Thread) {
+		th.Sleep(1 * sim.Millisecond)
+		r.Use(th, "use")
+		done.Set(th)
+	})
+	done.Wait(root)
+	root.Sleep(1 * sim.Millisecond)
+	r.Dispose(root, "disp")
+	root.Join(w)
+}
+
+// TestPlanBootstrapSkipsPrep: a tool constructed from an existing plan
+// treats run 1 as a detection run — the paper's on-disk resume.
+func TestPlanBootstrapSkipsPrep(t *testing.T) {
+	prog := racyInitUse()
+
+	// Produce the plan via a normal session's first run.
+	orig := NewWaffle(Options{})
+	hook := orig.HookForRun(1, nil)
+	res := prog.Execute(1, hook)
+	orig.HookForRun(2, &RunReport{Run: 1, End: res.End}) // forces analysis
+	plan := orig.Plan()
+	if plan == nil || len(plan.Pairs) == 0 {
+		t.Fatal("no plan produced")
+	}
+
+	// Round-trip through JSON, as the paper's runtime does between runs.
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := NewWaffleWithPlan(loaded, Options{})
+	s := &Session{Prog: prog, Tool: resumed, MaxRuns: 5, BaseSeed: 2}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("resumed detection found nothing")
+	}
+	if out.Bug.Run != 1 {
+		t.Fatalf("resumed detection exposed in run %d, want 1 (no prep run)", out.Bug.Run)
+	}
+	if out.Runs[0].Stats.Count == 0 {
+		t.Fatal("first resumed run injected nothing")
+	}
+}
+
+// TestPlanProbabilitiesDecayAcrossResumedRuns: decayed probabilities are
+// visible in the shared plan after detection runs, ready to persist.
+func TestPlanProbabilitiesDecayAcrossResumedRuns(t *testing.T) {
+	// A clean program whose candidate never manifests: delays always fail,
+	// so probabilities must fall run over run.
+	prog := &SimProgram{
+		Label: "decaying",
+		Body:  cleanNearMissBody,
+	}
+	w := NewWaffle(Options{})
+	s := &Session{Prog: prog, Tool: w, MaxRuns: 4, BaseSeed: 1}
+	s.Expose()
+	plan := w.Plan()
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	decayed := false
+	for _, p := range plan.Probs {
+		if p < 1.0 {
+			decayed = true
+		}
+	}
+	if !decayed {
+		t.Fatalf("no probability decayed: %v", plan.Probs)
+	}
+
+	// Resume from the decayed plan: remaining probability budget shrinks
+	// further.
+	before := make(map[string]float64)
+	for k, v := range plan.Probs {
+		before[string(k)] = v
+	}
+	resumed := NewWaffleWithPlan(plan, Options{})
+	s2 := &Session{Prog: prog, Tool: resumed, MaxRuns: 2, BaseSeed: 9}
+	s2.Expose()
+	dropped := false
+	for k, v := range plan.Probs {
+		if v < before[string(k)] {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("resumed runs did not decay the shared plan further")
+	}
+}

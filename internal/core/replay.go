@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Replay support: a BugReport carries everything needed to reproduce the
+// exposure deterministically — the run's seed and the candidate pairs
+// whose delays manifested the fault. Replay re-executes with a minimal
+// plan (only the culprit site, probability 1, no decay) and confirms the
+// same fault fires: the validation step that turns a probabilistic search
+// hit into a deterministic reproducer a developer can iterate on.
+
+// ReplayResult reports one replay attempt.
+type ReplayResult struct {
+	Reproduced bool
+	Fault      *sim.Fault
+	NullRef    *memmodel.NullRefError
+	Delays     DelayStats
+	End        sim.Time
+}
+
+// MinimalPlan derives the smallest plan that can reproduce the report: the
+// candidate pairs involving the faulting site, with injection pinned to
+// probability 1 at their delay sites.
+func MinimalPlan(bug *BugReport, opts Options) *Plan {
+	opts = opts.WithDefaults()
+	plan := &Plan{
+		Label:     bug.Program + "/replay",
+		Window:    opts.Window,
+		DelayLen:  make(map[trace.SiteID]sim.Duration),
+		Interfere: make(map[trace.SiteID][]trace.SiteID),
+		Probs:     make(map[trace.SiteID]float64),
+	}
+	for _, p := range bug.Candidates {
+		// Keep only the pairs that produced this fault. For a
+		// use-after-free the delayed operation is the faulting access
+		// itself; for a use-before-init the faulting access is the target
+		// of a delayed initialization. Keeping any other involved pair
+		// would reintroduce the very delay interference (Figure 4a) the
+		// exposing run avoided.
+		switch bug.Kind() {
+		case UseAfterFree:
+			if p.Kind != UseAfterFree || p.Delay != bug.NullRef.Site {
+				continue
+			}
+		case UseBeforeInit:
+			if p.Kind != UseBeforeInit || p.Target != bug.NullRef.Site {
+				continue
+			}
+		}
+		plan.Pairs = append(plan.Pairs, p)
+		if p.Gap > plan.DelayLen[p.Delay] {
+			plan.DelayLen[p.Delay] = p.Gap
+		}
+		plan.Probs[p.Delay] = 1.0
+	}
+	// Fully serialize: at most one delay in flight during replay,
+	// including across dynamic instances of one site — the Figure 4b
+	// self-interference case, where delaying both instances of the
+	// culprit site cancels the reproduction.
+	var sites []trace.SiteID
+	for s := range plan.Probs {
+		sites = append(sites, s)
+	}
+	for _, s := range sites {
+		plan.Interfere[s] = append([]trace.SiteID(nil), sites...)
+	}
+	return plan
+}
+
+// Replay re-runs the program under the minimal plan at the exposing seed.
+func Replay(prog Program, bug *BugReport, opts Options) ReplayResult {
+	opts = opts.WithDefaults()
+	// Replay is deterministic: no decay, injection always fires.
+	opts.Decay = 1e-9
+	plan := MinimalPlan(bug, opts)
+	inj := NewInjector(plan, opts)
+	res := prog.Execute(bug.Seed, inj)
+	out := ReplayResult{Fault: res.Fault, Delays: inj.Stats(), End: res.End}
+	if res.Fault != nil {
+		if nre, ok := faultNullRef(res.Fault); ok {
+			out.NullRef = nre
+			out.Reproduced = nre.Site == bug.NullRef.Site && nre.Obj == bug.NullRef.Obj ||
+				nre.Site == bug.NullRef.Site
+		}
+	}
+	return out
+}
+
+// faultNullRef extracts the NullRefError from a fault, if present.
+func faultNullRef(f *sim.Fault) (*memmodel.NullRefError, bool) {
+	nre, ok := f.Err.(*memmodel.NullRefError)
+	return nre, ok
+}
+
+// String renders the replay verdict.
+func (r ReplayResult) String() string {
+	if r.Reproduced {
+		return fmt.Sprintf("reproduced: %v after %d delay(s) (%v total)", r.NullRef, r.Delays.Count, r.Delays.Total)
+	}
+	if r.Fault != nil {
+		return fmt.Sprintf("different fault: %v", r.Fault)
+	}
+	return "not reproduced: run completed cleanly"
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Machine-readable bug reports: §5 says the runtime records "the relevant
+// run-time context (i.e., faulty input, candidate locations involved,
+// stack traces for all threads, and delay value information) as part of
+// the bug report". This is that artifact as JSON, consumed by CI
+// integrations and by the replay harness.
+
+type bugReportJSON struct {
+	Program string `json:"program"`
+	Tool    string `json:"tool"`
+	Kind    string `json:"kind"`
+	Run     int    `json:"run"`
+	Seed    int64  `json:"seed"`
+
+	Fault struct {
+		Error    string   `json:"error"`
+		Thread   int      `json:"thread"`
+		Name     string   `json:"thread_name"`
+		AtUS     int64    `json:"at_us"`
+		Op       string   `json:"op"`
+		Stacks   []string `json:"stacks"`
+		Site     string   `json:"site"`
+		Object   int64    `json:"object"`
+		ObjName  string   `json:"object_name"`
+		RefState string   `json:"ref_state"`
+	} `json:"fault"`
+
+	Candidates []Pair `json:"candidates"`
+
+	Delays struct {
+		Count   int   `json:"count"`
+		TotalUS int64 `json:"total_us"`
+		Skipped int   `json:"skipped"`
+	} `json:"delays"`
+}
+
+// WriteJSON serializes the report.
+func (b *BugReport) WriteJSON(w io.Writer) error {
+	var out bugReportJSON
+	out.Program = b.Program
+	out.Tool = b.Tool
+	out.Kind = b.Kind().String()
+	out.Run = b.Run
+	out.Seed = b.Seed
+	if b.Fault != nil {
+		out.Fault.Error = b.Fault.Err.Error()
+		out.Fault.Thread = b.Fault.Thread
+		out.Fault.Name = b.Fault.Name
+		out.Fault.AtUS = int64(b.Fault.T)
+		out.Fault.Op = b.Fault.Op
+		out.Fault.Stacks = b.Fault.Stacks
+	}
+	if b.NullRef != nil {
+		out.Fault.Site = string(b.NullRef.Site)
+		out.Fault.Object = int64(b.NullRef.Obj)
+		out.Fault.ObjName = b.NullRef.Name
+		out.Fault.RefState = b.NullRef.State.String()
+	}
+	out.Candidates = b.Candidates
+	out.Delays.Count = b.Delays.Count
+	out.Delays.TotalUS = int64(b.Delays.Total)
+	out.Delays.Skipped = b.Delays.Skipped
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadBugReportJSON loads a report written by WriteJSON. The fault is
+// reconstructed to the fidelity the wire format carries (enough for
+// replay: seed, site, object, kind, candidates).
+func ReadBugReportJSON(r io.Reader) (*BugReport, error) {
+	var in bugReportJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	b := &BugReport{
+		Program:    in.Program,
+		Tool:       in.Tool,
+		Run:        in.Run,
+		Seed:       in.Seed,
+		Candidates: in.Candidates,
+	}
+	state := memmodel.StateNil
+	if in.Fault.RefState == memmodel.StateDisposed.String() {
+		state = memmodel.StateDisposed
+	}
+	b.NullRef = &memmodel.NullRefError{
+		Obj:   trace.ObjID(in.Fault.Object),
+		Name:  in.Fault.ObjName,
+		Site:  trace.SiteID(in.Fault.Site),
+		State: state,
+	}
+	b.Fault = &sim.Fault{
+		Err:    b.NullRef,
+		Thread: in.Fault.Thread,
+		Name:   in.Fault.Name,
+		T:      sim.Time(in.Fault.AtUS),
+		Op:     in.Fault.Op,
+		Stacks: in.Fault.Stacks,
+	}
+	b.Delays = DelayStats{
+		Count:   in.Delays.Count,
+		Total:   sim.Duration(in.Delays.TotalUS),
+		Skipped: in.Delays.Skipped,
+	}
+	return b, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Program is one program-under-test plus one test input: something that can
+// be executed repeatedly under different seeds and instrumentation hooks.
+// Implementations build a fresh world and heap per call (a detection tool
+// never reuses program state across runs).
+type Program interface {
+	// Name identifies the program/test for reports.
+	Name() string
+	// Execute runs the program once. hook may be nil (uninstrumented
+	// baseline). The seed controls scheduling and jitter.
+	Execute(seed int64, hook memmodel.Hook) ExecResult
+}
+
+// ExecResult is the outcome of one program execution.
+type ExecResult struct {
+	End      sim.Time   // virtual end time of the run
+	Fault    *sim.Fault // unhandled exception, if the run crashed
+	TimedOut bool       // the run exceeded its virtual-time budget
+	Err      error      // any other abnormal termination (deadlock, limits)
+	TSVs     int        // thread-safety violations that manifested (§2)
+}
+
+// Tool is a delay-injection detector driven run by run: Waffle,
+// WaffleBasic, or an ablation. Tools are stateful across runs (candidate
+// sets, probabilities, plans persist).
+type Tool interface {
+	// Name identifies the tool for reports.
+	Name() string
+	// HookForRun returns the instrumentation hook for run (1-based).
+	// prev is the report of the previous run, nil for run 1.
+	HookForRun(run int, prev *RunReport) memmodel.Hook
+	// RunStats reports the delay activity of the hook returned last.
+	RunStats() DelayStats
+	// Candidates returns the live candidate pairs involving site, used to
+	// attribute a manifested fault back to the plan.
+	Candidates(site trace.SiteID) []Pair
+}
+
+// RunReport describes one completed run of a session.
+type RunReport struct {
+	Run      int        // 1-based run number
+	Seed     int64      // world seed used
+	End      sim.Time   // virtual end time
+	TimedOut bool       // run hit its virtual-time budget
+	Fault    *sim.Fault // fault that ended the run, if any
+	Stats    DelayStats // delay activity during the run
+}
+
+// BugReport is emitted when a delay-injection run manifests a NULL
+// reference fault (§5: faulty input, candidate locations involved, stack
+// traces, and delay information).
+type BugReport struct {
+	Program    string
+	Tool       string
+	Run        int   // run that exposed the bug (1-based, prep included)
+	Seed       int64 // seed of the exposing run
+	Fault      *sim.Fault
+	NullRef    *memmodel.NullRefError
+	Candidates []Pair     // plan pairs involving the faulting site
+	Delays     DelayStats // delays injected in the exposing run
+}
+
+// Kind reports the bug class, derived from the faulting reference state.
+func (b *BugReport) Kind() BugKind {
+	if b.NullRef != nil && b.NullRef.State == memmodel.StateDisposed {
+		return UseAfterFree
+	}
+	return UseBeforeInit
+}
+
+// String renders a one-line summary.
+func (b *BugReport) String() string {
+	return fmt.Sprintf("%s: %s exposed %s at %s in run %d (seed %d)",
+		b.Program, b.Tool, b.Kind(), b.NullRef.Site, b.Run, b.Seed)
+}
+
+// Outcome is the result of a full Expose search.
+type Outcome struct {
+	Program   string
+	Tool      string
+	Bug       *BugReport  // nil when no bug manifested within MaxRuns
+	Runs      []RunReport // every run performed, in order
+	TotalTime sim.Duration
+	BaseTime  sim.Duration // uninstrumented single-run time
+}
+
+// RunsToExpose reports the number of runs used to expose the bug
+// (preparation run included), or 0 if no bug was exposed. This is the
+// "# of detection runs" metric of Table 4.
+func (o *Outcome) RunsToExpose() int {
+	if o.Bug == nil {
+		return 0
+	}
+	return o.Bug.Run
+}
+
+// Slowdown reports end-to-end detection time over the uninstrumented
+// base run time (Table 4's "Detection slowdown").
+func (o *Outcome) Slowdown() float64 {
+	if o.BaseTime <= 0 {
+		return 0
+	}
+	return float64(o.TotalTime) / float64(o.BaseTime)
+}
+
+// Session drives one Tool against one Program until a bug manifests or the
+// run budget is exhausted.
+type Session struct {
+	Prog     Program
+	Tool     Tool
+	MaxRuns  int   // total run budget, preparation included
+	BaseSeed int64 // run i uses seed BaseSeed+i-1
+}
+
+// Expose performs up to MaxRuns runs, returning the outcome. A run that
+// raises a NULL reference fault ends the search with a BugReport; faults
+// of other types (assertion failures in the harness itself) surface as the
+// final RunReport without a BugReport.
+func (s *Session) Expose() *Outcome {
+	out := &Outcome{Program: s.Prog.Name(), Tool: s.Tool.Name()}
+	out.BaseTime = s.Baseline()
+	var prev *RunReport
+	maxRuns := s.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	for run := 1; run <= maxRuns; run++ {
+		seed := s.BaseSeed + int64(run) - 1
+		hook := s.Tool.HookForRun(run, prev)
+		res := s.Prog.Execute(seed, hook)
+		rep := RunReport{
+			Run: run, Seed: seed, End: res.End,
+			TimedOut: res.TimedOut, Fault: res.Fault,
+			Stats: s.Tool.RunStats(),
+		}
+		out.Runs = append(out.Runs, rep)
+		out.TotalTime += sim.Duration(res.End)
+		prev = &out.Runs[len(out.Runs)-1]
+
+		if res.Fault != nil {
+			var nre *memmodel.NullRefError
+			if errors.As(res.Fault.Err, &nre) {
+				out.Bug = &BugReport{
+					Program:    s.Prog.Name(),
+					Tool:       s.Tool.Name(),
+					Run:        run,
+					Seed:       seed,
+					Fault:      res.Fault,
+					NullRef:    nre,
+					Candidates: s.Tool.Candidates(nre.Site),
+					Delays:     rep.Stats,
+				}
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// Baseline measures the program's uninstrumented single-run time at the
+// session's base seed.
+func (s *Session) Baseline() sim.Duration {
+	res := s.Prog.Execute(s.BaseSeed, nil)
+	return sim.Duration(res.End)
+}

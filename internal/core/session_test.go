@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// racyInitUse is the canonical use-before-init scenario: the init naturally
+// lands before the use with a small gap, so only an injected delay at the
+// init site can expose the bug.
+func racyInitUse() *SimProgram {
+	return &SimProgram{
+		Label: "racy-init-use",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("listener")
+			user := root.Spawn("event", func(th *sim.Thread) {
+				th.Sleep(3 * sim.Millisecond)
+				r.Use(th, "handler.go:8")
+			})
+			root.Sleep(1 * sim.Millisecond)
+			r.Init(root, "ctor.go:2")
+			root.Join(user)
+		},
+	}
+}
+
+// racyUseDispose is the canonical use-after-free scenario.
+func racyUseDispose() *SimProgram {
+	return &SimProgram{
+		Label: "racy-use-dispose",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("poller")
+			r.Init(root, "ctor.go:2")
+			worker := root.Spawn("worker", func(th *sim.Thread) {
+				th.Sleep(1 * sim.Millisecond)
+				r.Use(th, "worker.go:11")
+			})
+			root.Sleep(3 * sim.Millisecond)
+			r.Dispose(root, "cleanup.go:8")
+			root.Join(worker)
+		},
+	}
+}
+
+func TestWaffleExposesUseBeforeInitInTwoRuns(t *testing.T) {
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug exposed")
+	}
+	if out.Bug.Kind() != UseBeforeInit {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+	if out.RunsToExpose() != 2 {
+		t.Fatalf("runs = %d, want 2 (prep + 1 detection)", out.RunsToExpose())
+	}
+	if out.Bug.NullRef.Site != "handler.go:8" {
+		t.Fatalf("fault site = %s", out.Bug.NullRef.Site)
+	}
+	if len(out.Bug.Candidates) == 0 {
+		t.Fatal("bug report lacks candidate pairs")
+	}
+	if out.Bug.Delays.Count == 0 {
+		t.Fatal("bug report lacks delay stats")
+	}
+}
+
+func TestWaffleExposesUseAfterFreeInTwoRuns(t *testing.T) {
+	s := &Session{Prog: racyUseDispose(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug exposed")
+	}
+	if out.Bug.Kind() != UseAfterFree {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+	if out.RunsToExpose() != 2 {
+		t.Fatalf("runs = %d, want 2", out.RunsToExpose())
+	}
+}
+
+func TestWaffleNoFalsePositivesOnCleanProgram(t *testing.T) {
+	clean := &SimProgram{
+		Label: "clean",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("r")
+			r.Init(root, "init")
+			var done sim.Event
+			worker := root.Spawn("w", func(th *sim.Thread) {
+				done.Wait(th) // use strictly after the signal
+				r.Use(th, "use")
+			})
+			root.Sleep(2 * sim.Millisecond)
+			done.Set(root)
+			root.Join(worker)
+			r.Dispose(root, "disp")
+		},
+	}
+	s := &Session{Prog: clean, Tool: NewWaffle(Options{}), MaxRuns: 8, BaseSeed: 3}
+	out := s.Expose()
+	if out.Bug != nil {
+		t.Fatalf("false positive: %v", out.Bug)
+	}
+	if len(out.Runs) != 8 {
+		t.Fatalf("runs = %d, want all 8", len(out.Runs))
+	}
+}
+
+func TestWaffleParentChildPruningRemovesForkOrderedPairs(t *testing.T) {
+	// Init in the parent before the fork: causally ordered with every use
+	// in the child, so Waffle must not even consider it a candidate.
+	ordered := &SimProgram{
+		Label: "fork-ordered",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("r")
+			r.Init(root, "pre-fork-init")
+			worker := root.Spawn("w", func(th *sim.Thread) {
+				th.Sleep(1 * sim.Millisecond)
+				r.Use(th, "child-use")
+			})
+			root.Join(worker)
+		},
+	}
+	tool := NewWaffle(Options{})
+	s := &Session{Prog: ordered, Tool: tool, MaxRuns: 5, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug != nil {
+		t.Fatalf("fork-ordered pair exposed as bug: %v", out.Bug)
+	}
+	if n := len(tool.Plan().Pairs); n != 0 {
+		t.Fatalf("plan has %d pairs, want 0 (pruned)", n)
+	}
+
+	// Ablation keeps the pair in S (it still cannot manifest, since no
+	// delay can push the init after the fork — the run stays clean).
+	tool2 := NewWaffle(Options{DisableParentChild: true})
+	s2 := &Session{Prog: ordered, Tool: tool2, MaxRuns: 3, BaseSeed: 1}
+	out2 := s2.Expose()
+	if out2.Bug != nil {
+		t.Fatalf("ablation manifested an impossible bug: %v", out2.Bug)
+	}
+	if n := len(tool2.Plan().Pairs); n == 0 {
+		t.Fatal("ablation pruned the pair anyway")
+	}
+}
+
+func TestWaffleBaselineAndSlowdown(t *testing.T) {
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.BaseTime <= 0 {
+		t.Fatal("no baseline measured")
+	}
+	if out.Slowdown() <= 0 {
+		t.Fatal("no slowdown computed")
+	}
+	// Two runs of a program whose detection run halts early: the
+	// slowdown must stay well under 4×.
+	if out.Slowdown() > 4 {
+		t.Fatalf("slowdown = %.2f, unexpectedly high", out.Slowdown())
+	}
+}
+
+func TestWaffleDeterministicAcrossIdenticalSessions(t *testing.T) {
+	run := func() (int, int64) {
+		s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 7}
+		out := s.Expose()
+		if out.Bug == nil {
+			return 0, 0
+		}
+		return out.Bug.Run, int64(out.TotalTime)
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if r1 != r2 || t1 != t2 {
+		t.Fatalf("identical sessions diverged: (%d,%d) vs (%d,%d)", r1, t1, r2, t2)
+	}
+}
+
+func TestWaffleNoPrepAblationStillFindsEasyBug(t *testing.T) {
+	// Without a preparation run, identification happens online; the init
+	// site executes once per run, so the earliest exposure is run 2.
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{DisablePrepRun: true}), MaxRuns: 20, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no-prep ablation found nothing")
+	}
+	if out.Bug.Run < 2 {
+		t.Fatalf("bug in run %d — impossible for a once-per-run init site", out.Bug.Run)
+	}
+	if out.Tool != "waffle(no-prep)" {
+		t.Fatalf("tool name = %s", out.Tool)
+	}
+}
+
+func TestSessionRunReportsAccumulate(t *testing.T) {
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if len(out.Runs) != out.Bug.Run {
+		t.Fatalf("runs recorded = %d, exposed at %d", len(out.Runs), out.Bug.Run)
+	}
+	for i, r := range out.Runs {
+		if r.Run != i+1 {
+			t.Fatalf("run %d numbered %d", i, r.Run)
+		}
+		if r.Seed != s.BaseSeed+int64(i) {
+			t.Fatalf("run %d seed = %d", i, r.Seed)
+		}
+	}
+	// Prep run injects nothing.
+	if out.Runs[0].Stats.Count != 0 {
+		t.Fatalf("prep run injected %d delays", out.Runs[0].Stats.Count)
+	}
+}
+
+func TestBugReportString(t *testing.T) {
+	s := &Session{Prog: racyUseDispose(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug")
+	}
+	str := out.Bug.String()
+	if str == "" {
+		t.Fatal("empty report string")
+	}
+}

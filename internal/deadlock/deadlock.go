@@ -1,0 +1,277 @@
+// Package deadlock applies Waffle's recipe — delay-free observation,
+// near-miss candidates, targeted delay injection, manifestation-only
+// reporting — to a different concurrency bug class: lock-order deadlocks.
+// It is the kind of "other resource-conscious active delay injection tool"
+// the paper's conclusion (§8) hopes its experience enables.
+//
+// The analogy maps cleanly:
+//
+//	MemOrder bug                      Lock-order deadlock
+//	─────────────────────────────     ──────────────────────────────────
+//	heap accesses (init/use/dispose)  lock requests/acquisitions/releases
+//	near-miss pair {ℓ1, ℓ2}           inverse order pair {A→B, B→A}
+//	delay before ℓ1 inverts order     delay at the request of the second
+//	                                  lock extends the hold of the first
+//	NULL-reference fault              scheduler-detected deadlock
+//
+// An observation run records, per thread, which locks were held at each
+// exclusive-lock acquisition, yielding an order graph. Inverse edges
+// observed in different threads form candidate pairs. Detection runs pause
+// a thread at the moment it requests the second lock of a candidate —
+// while it already holds the first — widening the window in which the
+// other thread can take the locks in the opposite order. If the cycle is
+// real, both threads end up holding-and-waiting and the virtual-time
+// scheduler reports the deadlock (sim.ErrDeadlock): zero false positives,
+// exactly like Waffle's manifestation oracle.
+package deadlock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+)
+
+// Options configures the detector.
+type Options struct {
+	// Delay is the pause injected at a candidate request. Lock holds are
+	// short, so the fixed default is modest.
+	Delay sim.Duration
+	// Decay lowers a candidate's injection probability after each
+	// unproductive delay.
+	Decay float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delay <= 0 {
+		o.Delay = 20 * sim.Millisecond
+	}
+	if o.Decay <= 0 {
+		o.Decay = 0.1
+	}
+	return o
+}
+
+// edge is an observed lock ordering: acquired `to` while holding `from`.
+type edge struct{ from, to int }
+
+// Report describes one manifested deadlock.
+type Report struct {
+	Run     int   // run in which the deadlock manifested (1-based)
+	Seed    int64 // seed of that run
+	Threads []string
+	// Cycle is the candidate pair realized, as lock ids.
+	Cycle [2]edge
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("deadlock in run %d (seed %d): lock %d ↔ lock %d across %d threads",
+		r.Run, r.Seed, r.Cycle[0].from, r.Cycle[0].to, len(r.Threads))
+}
+
+// Detector finds lock-order deadlocks over a core.Program. State persists
+// across runs (the order graph, candidates, probabilities); per-run hold
+// sets reset.
+type Detector struct {
+	opts Options
+
+	lockIDs map[any]int
+	orders  map[edge][]int // edge -> threads that exhibited it
+	cands   map[edge]bool  // candidate edges (an inverse exists elsewhere)
+	probs   map[edge]float64
+
+	// Per-run state.
+	held    map[int][]int // thread -> ordered held lock ids
+	injects int
+	lastHit *Report
+}
+
+// New returns a Detector.
+func New(opts Options) *Detector {
+	return &Detector{
+		opts:    opts.withDefaults(),
+		lockIDs: make(map[any]int),
+		orders:  make(map[edge][]int),
+		cands:   make(map[edge]bool),
+		probs:   make(map[edge]float64),
+	}
+}
+
+// BeginRun resets per-run state. Lock identities are interned afresh by
+// first-appearance order: runs build new lock objects, so pointer identity
+// cannot persist — but the deterministic scheduler makes the appearance
+// order stable across runs, giving locks the same role static sites play
+// for Waffle.
+func (d *Detector) BeginRun() {
+	d.held = make(map[int][]int)
+	d.lockIDs = make(map[any]int)
+	d.injects = 0
+}
+
+// Injected reports the delays injected in the current run.
+func (d *Detector) Injected() int { return d.injects }
+
+// Candidates returns the live candidate edges, sorted.
+func (d *Detector) Candidates() []string {
+	var out []string
+	for e := range d.cands {
+		out = append(out, fmt.Sprintf("%d->%d", e.from, e.to))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// observe handles one synchronization event. inject selects observation
+// mode (false) or detection mode (true).
+func (d *Detector) observe(t *sim.Thread, op sim.SyncOp, key any, inject bool) {
+	switch op {
+	case sim.SyncRequest:
+		id := d.lockID(key)
+		heldSet := d.held[t.ID()]
+		for _, h := range heldSet {
+			if h == id {
+				continue
+			}
+			e := edge{from: h, to: id}
+			d.noteOrder(e, t.ID())
+			if inject && d.cands[e] {
+				p := d.probs[e]
+				if p > 0 && t.World().Rand() < p {
+					d.injects++
+					t.SetOp(fmt.Sprintf("deadlock-probe: holding %d, requesting %d", h, id))
+					t.Sleep(d.opts.Delay)
+					np := p - d.opts.Decay
+					if np < 0 {
+						np = 0
+					}
+					d.probs[e] = np
+				}
+			}
+		}
+	case sim.SyncAcquire:
+		if id, ok := d.lockIDs[key]; ok || d.isLockKey(key) {
+			if !ok {
+				id = d.lockID(key)
+			}
+			d.held[t.ID()] = append(d.held[t.ID()], id)
+		}
+	case sim.SyncRelease:
+		if id, ok := d.lockIDs[key]; ok {
+			d.held[t.ID()] = removeLast(d.held[t.ID()], id)
+		}
+	}
+}
+
+// isLockKey limits hold tracking to exclusive locks (the primitives that
+// emit SyncRequest).
+func (d *Detector) isLockKey(key any) bool {
+	switch key.(type) {
+	case *sim.Mutex, *sim.RWMutex:
+		return true
+	}
+	return false
+}
+
+// lockID interns a lock's identity.
+func (d *Detector) lockID(key any) int {
+	if id, ok := d.lockIDs[key]; ok {
+		return id
+	}
+	id := len(d.lockIDs) + 1
+	d.lockIDs[key] = id
+	return id
+}
+
+// noteOrder records an order edge and promotes inverse pairs to candidates.
+func (d *Detector) noteOrder(e edge, tid int) {
+	tids := d.orders[e]
+	seen := false
+	for _, id := range tids {
+		if id == tid {
+			seen = true
+		}
+	}
+	if !seen {
+		d.orders[e] = append(tids, tid)
+	}
+	inv := edge{from: e.to, to: e.from}
+	if invTids, ok := d.orders[inv]; ok {
+		// The inverse order must come from a different thread.
+		for _, other := range invTids {
+			if other != tid {
+				if !d.cands[e] {
+					d.cands[e] = true
+					d.probs[e] = 1.0
+				}
+				if !d.cands[inv] {
+					d.cands[inv] = true
+					d.probs[inv] = 1.0
+				}
+				return
+			}
+		}
+	}
+}
+
+// Expose drives observation + detection runs until a deadlock manifests
+// or maxRuns is exhausted. Run 1 observes without injecting (the
+// preparation run); later runs inject at candidate requests.
+func (d *Detector) Expose(prog core.Program, maxRuns int, baseSeed int64) *Report {
+	for run := 1; run <= maxRuns; run++ {
+		d.BeginRun()
+		inject := run > 1
+		seed := baseSeed + int64(run) - 1
+		res := d.executeObserved(prog, seed, inject)
+		if res.Err != nil && errors.Is(res.Err, sim.ErrDeadlock) {
+			rep := &Report{Run: run, Seed: seed}
+			for e := range d.cands {
+				rep.Cycle = [2]edge{e, {from: e.to, to: e.from}}
+				break
+			}
+			// The threads still holding locks at the deadlock are the
+			// participants.
+			var tids []int
+			for tid, locks := range d.held {
+				if len(locks) > 0 {
+					tids = append(tids, tid)
+				}
+			}
+			sort.Ints(tids)
+			for _, tid := range tids {
+				rep.Threads = append(rep.Threads, fmt.Sprintf("thread %d holding %v", tid, d.held[tid]))
+			}
+			d.lastHit = rep
+			return rep
+		}
+	}
+	return nil
+}
+
+// executeObserved runs the program with the detector attached as the
+// world's sync observer. The program must be a SimProgram (the suite's
+// concrete type); other Programs run unobserved.
+func (d *Detector) executeObserved(prog core.Program, seed int64, inject bool) core.ExecResult {
+	sp, ok := prog.(*core.SimProgram)
+	if !ok {
+		return prog.Execute(seed, nil)
+	}
+	cp := *sp
+	cp.SyncObs = func(t *sim.Thread, op sim.SyncOp, key any) {
+		d.observe(t, op, key, inject)
+	}
+	return cp.Execute(seed, nil)
+}
+
+// removeLast removes the last occurrence of id.
+func removeLast(ids []int, id int) []int {
+	for i := len(ids) - 1; i >= 0; i-- {
+		if ids[i] == id {
+			copy(ids[i:], ids[i+1:])
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,292 @@
+package deadlock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// abba builds the canonical lock-order inversion: thread 1 locks A then B,
+// thread 2 locks B then A — but staggered so the windows never overlap
+// naturally (a classic latent deadlock that testing never trips).
+func abba(stagger sim.Duration) *core.SimProgram {
+	return &core.SimProgram{
+		Label:  "abba",
+		Jitter: 0.02,
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			var a, b sim.Mutex
+			t1 := root.Spawn("t1", func(t *sim.Thread) {
+				a.Lock(t)
+				t.Work(2 * sim.Millisecond)
+				b.Lock(t)
+				t.Work(sim.Millisecond)
+				b.Unlock(t)
+				a.Unlock(t)
+			})
+			t2 := root.Spawn("t2", func(t *sim.Thread) {
+				t.Sleep(stagger) // naturally after t1 has finished
+				b.Lock(t)
+				t.Work(2 * sim.Millisecond)
+				a.Lock(t)
+				t.Work(sim.Millisecond)
+				a.Unlock(t)
+				b.Unlock(t)
+			})
+			root.Join(t1)
+			root.Join(t2)
+		},
+	}
+}
+
+func TestLatentDeadlockNeverManifestsNaturally(t *testing.T) {
+	prog := abba(10 * sim.Millisecond)
+	for seed := int64(1); seed <= 20; seed++ {
+		if res := prog.Execute(seed, nil); res.Err != nil {
+			t.Fatalf("seed %d: natural run failed: %v", seed, res.Err)
+		}
+	}
+}
+
+func TestDetectorExposesABBA(t *testing.T) {
+	prog := abba(10 * sim.Millisecond)
+	det := New(Options{})
+	rep := det.Expose(prog, 10, 1)
+	if rep == nil {
+		t.Fatal("latent deadlock not exposed in 10 runs")
+	}
+	if rep.Run < 2 {
+		t.Fatalf("exposed in run %d — observation run must not inject", rep.Run)
+	}
+	if len(det.Candidates()) == 0 {
+		t.Fatal("no candidates recorded")
+	}
+}
+
+func TestDetectorCleanOnConsistentOrder(t *testing.T) {
+	// Both threads lock A then B: no inversion, no candidates, no report.
+	prog := &core.SimProgram{
+		Label: "consistent",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			var a, b sim.Mutex
+			for i := 0; i < 2; i++ {
+				i := i
+				w := root.Spawn(fmt.Sprintf("t%d", i), func(t *sim.Thread) {
+					t.Sleep(sim.Duration(i) * sim.Millisecond)
+					a.Lock(t)
+					b.Lock(t)
+					t.Work(sim.Millisecond)
+					b.Unlock(t)
+					a.Unlock(t)
+				})
+				defer root.Join(w)
+			}
+		},
+	}
+	det := New(Options{})
+	if rep := det.Expose(prog, 8, 1); rep != nil {
+		t.Fatalf("false positive: %v", rep)
+	}
+	if len(det.Candidates()) != 0 {
+		t.Fatalf("consistent ordering produced candidates: %v", det.Candidates())
+	}
+}
+
+func TestDetectorSingleThreadReentrantOrderIsNotACandidate(t *testing.T) {
+	// One thread uses both orders at different times: inversion within a
+	// single thread cannot deadlock and must not become a candidate.
+	prog := &core.SimProgram{
+		Label: "single-thread",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			var a, b sim.Mutex
+			a.Lock(root)
+			b.Lock(root)
+			b.Unlock(root)
+			a.Unlock(root)
+			b.Lock(root)
+			a.Lock(root)
+			a.Unlock(root)
+			b.Unlock(root)
+		},
+	}
+	det := New(Options{})
+	if rep := det.Expose(prog, 5, 1); rep != nil {
+		t.Fatalf("single-thread inversion exposed: %v", rep)
+	}
+	if len(det.Candidates()) != 0 {
+		t.Fatalf("single-thread inversion became a candidate: %v", det.Candidates())
+	}
+}
+
+func TestDetectorThreeLockCycleAcrossRuns(t *testing.T) {
+	// A wider inversion: (A,B) vs (B,C) vs (C,A). Pairwise inversions do
+	// not exist, but the detector's pairwise model won't see this cycle —
+	// document the limitation by asserting no candidates form.
+	prog := &core.SimProgram{
+		Label: "ring",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			var a, b, c sim.Mutex
+			locks := []*sim.Mutex{&a, &b, &c}
+			for i := 0; i < 3; i++ {
+				i := i
+				w := root.Spawn(fmt.Sprintf("t%d", i), func(t *sim.Thread) {
+					t.Sleep(sim.Duration(i*5) * sim.Millisecond)
+					first, second := locks[i], locks[(i+1)%3]
+					first.Lock(t)
+					t.Work(sim.Millisecond)
+					second.Lock(t)
+					second.Unlock(t)
+					first.Unlock(t)
+				})
+				defer root.Join(w)
+			}
+		},
+	}
+	det := New(Options{})
+	if rep := det.Expose(prog, 6, 1); rep != nil {
+		t.Fatalf("pairwise detector unexpectedly exposed a 3-cycle: %v", rep)
+	}
+	if len(det.Candidates()) != 0 {
+		t.Fatalf("3-cycle formed pairwise candidates: %v", det.Candidates())
+	}
+}
+
+func TestDetectorProbabilityDecays(t *testing.T) {
+	// An inversion whose deadlock cannot manifest (a guard mutex excludes
+	// the two critical sections entirely): delays fail, probability decays.
+	prog := &core.SimProgram{
+		Label: "guarded-inversion",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			var guard, a, b sim.Mutex
+			t1 := root.Spawn("t1", func(t *sim.Thread) {
+				guard.Lock(t)
+				a.Lock(t)
+				b.Lock(t)
+				b.Unlock(t)
+				a.Unlock(t)
+				guard.Unlock(t)
+			})
+			t2 := root.Spawn("t2", func(t *sim.Thread) {
+				t.Sleep(sim.Millisecond)
+				guard.Lock(t)
+				b.Lock(t)
+				a.Lock(t)
+				a.Unlock(t)
+				b.Unlock(t)
+				guard.Unlock(t)
+			})
+			root.Join(t1)
+			root.Join(t2)
+		},
+	}
+	det := New(Options{Decay: 0.5})
+	if rep := det.Expose(prog, 8, 1); rep != nil {
+		t.Fatalf("guarded inversion deadlocked: %v", rep)
+	}
+	// After several failed injections the probabilities must be exhausted.
+	for e, p := range det.probs {
+		if p > 0.51 {
+			t.Fatalf("probability at %v still %v after failures", e, p)
+		}
+	}
+}
+
+func TestReportListsParticipants(t *testing.T) {
+	det := New(Options{})
+	rep := det.Expose(abba(10*sim.Millisecond), 10, 1)
+	if rep == nil {
+		t.Fatal("not exposed")
+	}
+	if len(rep.Threads) != 2 {
+		t.Fatalf("participants = %v, want 2 threads", rep.Threads)
+	}
+}
+
+// randomLockGraph builds a program whose workers take random ascending
+// 2-lock sequences from a small lock set (deadlock-free by lock ordering),
+// staggered so critical sections rarely overlap. plant adds one worker
+// taking a descending pair — a guaranteed latent ABBA inversion.
+func randomLockGraph(seed int64, plant bool) *core.SimProgram {
+	rng := rand.New(rand.NewSource(seed))
+	nLocks := 3 + rng.Intn(3)
+	nWorkers := 2 + rng.Intn(3)
+	type take struct{ first, second, offsetMS int }
+	var plan []take
+	for w := 0; w < nWorkers; w++ {
+		a, b := rng.Intn(nLocks), rng.Intn(nLocks)
+		if a == b {
+			b = (b + 1) % nLocks
+		}
+		if a > b {
+			a, b = b, a // ascending: safe order discipline
+		}
+		plan = append(plan, take{first: a, second: b, offsetMS: 4 * w})
+	}
+	if plant {
+		// One descending taker, far from everyone else in time.
+		plan = append(plan, take{first: 1, second: 0, offsetMS: 4*nWorkers + 10})
+	}
+	return &core.SimProgram{
+		Label:  fmt.Sprintf("lockgraph-%d", seed),
+		Jitter: 0.02,
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			locks := make([]*sim.Mutex, nLocks)
+			for i := range locks {
+				locks[i] = &sim.Mutex{}
+			}
+			var wg sim.WaitGroup
+			for wi, tk := range plan {
+				tk := tk
+				wg.Add(root, 1)
+				root.Spawn(fmt.Sprintf("w%d", wi), func(t *sim.Thread) {
+					defer wg.Done(t)
+					t.Sleep(sim.Duration(tk.offsetMS) * sim.Millisecond)
+					locks[tk.first].Lock(t)
+					t.Work(sim.Millisecond)
+					locks[tk.second].Lock(t)
+					t.Work(500 * sim.Microsecond)
+					locks[tk.second].Unlock(t)
+					locks[tk.first].Unlock(t)
+				})
+			}
+			wg.Wait(root)
+		},
+	}
+}
+
+func TestRandomLockGraphs(t *testing.T) {
+	planted, exposed := 0, 0
+	for seed := int64(1); seed <= 15; seed++ {
+		// Unplanted graphs follow the ascending-order discipline: the
+		// detector must stay silent.
+		clean := randomLockGraph(seed*7, false)
+		if rep := New(Options{}).Expose(clean, 6, seed); rep != nil {
+			t.Fatalf("seed %d: false positive on ordered lock graph: %v", seed, rep)
+		}
+		// Planted graphs carry one descending taker racing the ascending
+		// takers of locks 0 and 1 — expose it when such a taker exists.
+		hasInverse := false
+		prog := randomLockGraph(seed*7, true)
+		probe := New(Options{})
+		probe.Expose(prog, 1, seed) // observation only
+		if len(probe.Candidates()) > 0 {
+			hasInverse = true
+		}
+		if !hasInverse {
+			continue // random plan had no (0,1) ascending taker to invert
+		}
+		planted++
+		if rep := New(Options{}).Expose(prog, 12, seed); rep != nil {
+			exposed++
+		}
+	}
+	if planted == 0 {
+		t.Skip("no seeds produced an invertible plant")
+	}
+	if exposed*2 < planted {
+		t.Fatalf("exposed only %d of %d planted inversions", exposed, planted)
+	}
+}

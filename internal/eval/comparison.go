@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"waffle/internal/apps"
+	"waffle/internal/baselines"
+	"waffle/internal/core"
+	"waffle/internal/stats"
+	"waffle/internal/wafflebasic"
+)
+
+// ToolRow summarizes one detector's performance over the 18-bug set — the
+// empirical companion to Table 1's qualitative design matrix: the same
+// bugs, run under four different answers to the four design questions.
+type ToolRow struct {
+	Tool        string
+	Exposed     int     // bugs exposed (majority of attempts)
+	MedianRuns  float64 // median runs-to-expose across exposed bugs
+	MeanRuns    float64 // mean runs-to-expose across exposed bugs
+	MedianSlow  float64 // median end-to-end slowdown across exposed bugs
+	TotalDelays int     // delays injected across all exposing sessions
+}
+
+// ComparisonTools builds one fresh instance of each compared detector.
+var ComparisonTools = []struct {
+	Name string
+	New  func() core.Tool
+}{
+	{"Waffle", func() core.Tool { return core.NewWaffle(core.Options{}) }},
+	{"WaffleBasic", func() core.Tool { return wafflebasic.New(core.Options{}) }},
+	{"SingleDelay (RaceFuzzer/CTrigger-style)", func() core.Tool { return baselines.NewSingleDelay(core.Options{}) }},
+	{"DataCollider-style sampler", func() core.Tool { return baselines.NewDataCollider() }},
+}
+
+// EvalToolComparison runs every compared tool over the bug set.
+func EvalToolComparison(opt BugOptions) []ToolRow {
+	opt = opt.withDefaults()
+	bugs := apps.AllBugs()
+	var rows []ToolRow
+	for _, tool := range ComparisonTools {
+		row := ToolRow{Tool: tool.Name}
+		var runs []float64
+		var slows []float64
+		for _, test := range bugs {
+			exposed := 0
+			var bugRuns, bugSlows []float64
+			for rep := 0; rep < opt.Repetitions; rep++ {
+				s := &core.Session{
+					Prog:     test.Prog,
+					Tool:     tool.New(),
+					MaxRuns:  opt.MaxRuns,
+					BaseSeed: opt.Seed + int64(rep)*10_007,
+				}
+				out := s.Expose()
+				if out.Bug != nil {
+					exposed++
+					bugRuns = append(bugRuns, float64(out.Bug.Run))
+					bugSlows = append(bugSlows, out.Slowdown())
+					row.TotalDelays += out.Bug.Delays.Count
+				}
+			}
+			if exposed*2 > opt.Repetitions {
+				row.Exposed++
+				runs = append(runs, stats.MedianFloat(bugRuns))
+				slows = append(slows, stats.MedianFloat(bugSlows))
+			}
+		}
+		row.MedianRuns = stats.MedianFloat(runs)
+		row.MeanRuns = stats.Mean(runs)
+		row.MedianSlow = stats.MedianFloat(slows)
+		rows = append(rows, row)
+	}
+	return rows
+}

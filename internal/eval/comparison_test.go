@@ -1,0 +1,110 @@
+package eval
+
+import "testing"
+
+func TestToolComparisonOrdering(t *testing.T) {
+	rows := EvalToolComparison(BugOptions{Seed: 1, Repetitions: 3, MaxRuns: 30, Majority: 2})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ToolRow{}
+	for _, r := range rows {
+		byName[r.Tool] = r
+	}
+	waffle := byName["Waffle"]
+	basic := byName["WaffleBasic"]
+	single := byName["SingleDelay (RaceFuzzer/CTrigger-style)"]
+	collider := byName["DataCollider-style sampler"]
+
+	if waffle.Exposed != 18 {
+		t.Errorf("Waffle exposed %d, want 18", waffle.Exposed)
+	}
+	if basic.Exposed >= waffle.Exposed {
+		t.Errorf("WaffleBasic exposed %d, want fewer than Waffle", basic.Exposed)
+	}
+	// The one-candidate-per-run family needs many more runs (§7: "these
+	// tools naturally require many more runs than Waffle").
+	if single.Exposed > 0 && single.MeanRuns <= waffle.MeanRuns {
+		t.Errorf("SingleDelay mean runs %.1f not above Waffle's %.1f", single.MeanRuns, waffle.MeanRuns)
+	}
+	// Analysis-free sampling exposes the fewest bugs per run budget.
+	if collider.Exposed >= waffle.Exposed {
+		t.Errorf("sampler exposed %d, expected far fewer than Waffle", collider.Exposed)
+	}
+}
+
+func TestWindowSweepMonotoneCoverage(t *testing.T) {
+	points := EvalWindowSweep([]float64{10, 100}, SweepOptions{Seed: 1, Repetitions: 3, MaxRuns: 12})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Exposed >= points[1].Exposed {
+		t.Fatalf("δ=10ms exposed %d, δ=100ms exposed %d — want growth",
+			points[0].Exposed, points[1].Exposed)
+	}
+	if points[1].Exposed < 16 {
+		t.Fatalf("δ=100ms exposed only %d bugs", points[1].Exposed)
+	}
+	if points[0].AvgPairs >= points[1].AvgPairs {
+		t.Fatalf("candidate sets did not grow with δ: %v vs %v",
+			points[0].AvgPairs, points[1].AvgPairs)
+	}
+}
+
+func TestAlphaSweepShortDelaysMissBugs(t *testing.T) {
+	points := EvalAlphaSweep([]float64{0.9, 1.15}, SweepOptions{Seed: 1, Repetitions: 3, MaxRuns: 12})
+	// α < 1 means the injected delay is shorter than the observed gap:
+	// threshold-triggered MemOrder bugs cannot manifest (Figure 2).
+	if points[0].Exposed >= points[1].Exposed {
+		t.Fatalf("α=0.9 exposed %d, α=1.15 exposed %d — want fewer at sub-gap delays",
+			points[0].Exposed, points[1].Exposed)
+	}
+}
+
+func TestFullHBTradeoff(t *testing.T) {
+	rows := EvalFullHB(FullHBOptions{Seed: 1, MaxTests: 5, MaxRuns: 15, Apps: []string{"ApplicationInsights"}})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	// Full HB prunes the synchronized-disposal false candidates...
+	if r.FullPairs >= r.PartialPairs {
+		t.Errorf("full HB pruned nothing: %.1f vs %.1f pairs", r.FullPairs, r.PartialPairs)
+	}
+	// ...but costs far more during preparation.
+	if r.FullPrepPct <= r.PartialPrepPct*1.5 {
+		t.Errorf("modeled full-HB cost too cheap: %.0f%% vs %.0f%%", r.FullPrepPct, r.PartialPrepPct)
+	}
+	// Both expose the app's bugs.
+	if r.PartialBugs != r.AppBugs || r.FullBugs != r.AppBugs {
+		t.Errorf("bug exposure regressed: partial %d/%d, full %d/%d",
+			r.PartialBugs, r.AppBugs, r.FullBugs, r.AppBugs)
+	}
+}
+
+func TestBugGapsInPaperRange(t *testing.T) {
+	rows := EvalBugGaps(1)
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var min, max float64 = 1e18, 0
+	for _, r := range rows {
+		if r.GapMS <= 0 {
+			t.Errorf("%s: no gap measured", r.ID)
+			continue
+		}
+		if r.GapMS < min {
+			min = r.GapMS
+		}
+		if r.GapMS > max {
+			max = r.GapMS
+		}
+	}
+	// §4.3: gaps range from under ~1ms to around 100ms.
+	if min > 10 {
+		t.Errorf("smallest gap %.1fms — expected some small-gap bugs", min)
+	}
+	if max < 30 || max > 120 {
+		t.Errorf("largest gap %.1fms — expected tens-of-ms gaps", max)
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"testing"
+
+	"waffle/internal/apps"
+)
+
+func TestEvalSuiteSmallSample(t *testing.T) {
+	row := EvalSuite(apps.ByName("NSubstitute"), SuiteOptions{Seed: 1, MaxTests: 4})
+	if row.Tests != 4 {
+		t.Fatalf("tests = %d", row.Tests)
+	}
+	if row.BaseMS <= 0 {
+		t.Fatal("no base time")
+	}
+	if row.MOInstrSites <= 0 || row.TSVInstrSites <= 0 {
+		t.Fatalf("site counts: MO=%v TSV=%v", row.MOInstrSites, row.TSVInstrSites)
+	}
+	if row.MOInstrSites <= row.MOInjSites {
+		t.Fatalf("injection sites (%v) not a subset of instrumentation sites (%v)",
+			row.MOInjSites, row.MOInstrSites)
+	}
+	// Instrumented runs must cost something.
+	if row.WaffleR1Pct <= 0 {
+		t.Fatalf("prep overhead = %v%%", row.WaffleR1Pct)
+	}
+}
+
+func TestEvalSuiteBasicSlowerThanWaffleDetection(t *testing.T) {
+	// The headline Table 5 shape on a dense app: WaffleBasic's detection
+	// run costs far more than Waffle's.
+	row := EvalSuite(apps.ByName("NpgSQL"), SuiteOptions{Seed: 1, MaxTests: 5})
+	if row.BasicTimedOut {
+		t.Skip("sampled tests timed out under Basic")
+	}
+	if row.BasicR2Pct <= row.WaffleR2Pct {
+		t.Fatalf("Basic R2 %.0f%% not above Waffle R2 %.0f%%", row.BasicR2Pct, row.WaffleR2Pct)
+	}
+	if row.BasicDelayDurMS <= row.WaffleDelayDurMS {
+		t.Fatalf("Basic delay duration %.0f not above Waffle's %.0f",
+			row.BasicDelayDurMS, row.WaffleDelayDurMS)
+	}
+}
+
+func TestEvalBugRow(t *testing.T) {
+	var target *apps.Test
+	for _, b := range apps.AllBugs() {
+		if b.Bug.ID == "Bug-2" {
+			target = b
+		}
+	}
+	row := EvalBug(target, BugOptions{Seed: 1, Repetitions: 5, MaxRuns: 10, Majority: 3})
+	if row.WaffleRuns != 2 {
+		t.Fatalf("Waffle runs = %d, want 2", row.WaffleRuns)
+	}
+	if row.BasicRuns != 2 {
+		t.Fatalf("Basic runs = %d, want 2", row.BasicRuns)
+	}
+	if row.WaffleSlowdown <= 1 {
+		t.Fatalf("slowdown = %v", row.WaffleSlowdown)
+	}
+	if row.BaseMS <= 0 {
+		t.Fatal("no base time")
+	}
+}
+
+func TestEvalBugMissedReportsZero(t *testing.T) {
+	var target *apps.Test
+	for _, b := range apps.AllBugs() {
+		if b.Bug.ID == "Bug-10" {
+			target = b
+		}
+	}
+	row := EvalBug(target, BugOptions{Seed: 1, Repetitions: 5, MaxRuns: 15, Majority: 3})
+	if row.BasicRuns != 0 {
+		t.Fatalf("Basic runs = %d for the Figure 4a bug, want miss", row.BasicRuns)
+	}
+	if row.WaffleRuns != 2 {
+		t.Fatalf("Waffle runs = %d, want 2", row.WaffleRuns)
+	}
+}
+
+func TestFigure2ShapeRangeVsThreshold(t *testing.T) {
+	points := EvalFigure2(Fig2Options{Seed: 1, Reps: 12})
+	var tsvPeak, moAtEnd float64
+	tsvLate := 0.0
+	for _, p := range points {
+		if p.TSVRate > tsvPeak {
+			tsvPeak = p.TSVRate
+		}
+		if p.DelayMS >= 50 {
+			tsvLate += p.TSVRate
+			moAtEnd = p.MemOrdRate
+		}
+	}
+	if tsvPeak < 0.9 {
+		t.Fatalf("TSV never triggered reliably (peak %.2f)", tsvPeak)
+	}
+	if tsvLate > 0.3 {
+		t.Fatalf("TSV still triggering at long delays (range condition violated): %v", tsvLate)
+	}
+	if moAtEnd < 0.9 {
+		t.Fatalf("MemOrder rate at long delays = %.2f, want ≈1 (threshold condition)", moAtEnd)
+	}
+	// MemOrder rate must be monotonically non-decreasing in delay length.
+	prev := -1.0
+	for _, p := range points {
+		if p.MemOrdRate+0.15 < prev { // small statistical slack
+			t.Fatalf("MemOrder rate regressed at %vms: %v after %v", p.DelayMS, p.MemOrdRate, prev)
+		}
+		if p.MemOrdRate > prev {
+			prev = p.MemOrdRate
+		}
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		for _, tool := range Table1Tools {
+			if r.Values[tool] == "" {
+				t.Fatalf("row %q missing cell for %s", r.Decision, tool)
+			}
+		}
+	}
+	// Spot-check the cells that define the design-space story.
+	for _, r := range rows {
+		switch r.Decision {
+		case "Identify during delay injection runs?":
+			if r.Values["Tsvd"] != "yes" || r.Values["Waffle"] != "no" {
+				t.Fatal("Table 1 identify-when cells wrong")
+			}
+		case "Avoid delay interference?":
+			if r.Values["Waffle"] != "yes" || r.Values["Tsvd"] != "no" {
+				t.Fatal("Table 1 interference cells wrong")
+			}
+		}
+	}
+}
+
+func TestEvalTable7SmallSample(t *testing.T) {
+	rows := EvalTable7(BugOptions{Seed: 1, Repetitions: 3, MaxRuns: 12, Majority: 2, MaxTests: 3})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Slowdown <= 0 {
+			t.Fatalf("%s: no slowdown measured", r.Name)
+		}
+	}
+	// The parent-child ablation must cost extra suite-wide detection time.
+	if rows[0].Slowdown <= 1.0 {
+		t.Errorf("no parent-child analysis slowdown = %.2f, want > 1", rows[0].Slowdown)
+	}
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Figure 2: the two fundamentally different timing conditions. For a
+// thread-safety violation, the injected delay must land API call 1's
+// execution window inside call 2's — a *range* of effective delays
+// (T4−T1 > delay > T3−T2). For a MemOrder bug, the delay must push the
+// operation past its partner — a *threshold* (delay > T4−T1). The figure
+// sweeps one injected delay length and plots each bug's trigger rate.
+
+// Fig2Point is the trigger probability of both bug shapes at one delay.
+type Fig2Point struct {
+	DelayMS    float64
+	TSVRate    float64 // thread-safety violation triggered
+	MemOrdRate float64 // MemOrder bug triggered
+}
+
+// Fig2Options parameterizes the sweep. The underlying scenario places API
+// call 2 (window WindowMS) GapMS after API call 1, and a disposal GapMS
+// after an object use; the sweep injects a fixed delay before call 1 /
+// before the use.
+type Fig2Options struct {
+	Seed     int64
+	Reps     int     // seeds per point (0 = 40)
+	GapMS    float64 // natural distance between the operations (0 = 20ms)
+	WinMS    float64 // API call execution window (0 = 8ms)
+	DelaysMS []float64
+}
+
+func (o Fig2Options) withDefaults() Fig2Options {
+	if o.Reps <= 0 {
+		o.Reps = 40
+	}
+	if o.GapMS <= 0 {
+		o.GapMS = 20
+	}
+	if o.WinMS <= 0 {
+		o.WinMS = 8
+	}
+	if len(o.DelaysMS) == 0 {
+		o.DelaysMS = []float64{0, 5, 10, 15, 20, 22, 25, 28, 30, 35, 40, 50, 60, 80}
+	}
+	return o
+}
+
+// EvalFigure2 runs the sweep.
+func EvalFigure2(opt Fig2Options) []Fig2Point {
+	opt = opt.withDefaults()
+	gap := sim.Duration(opt.GapMS * float64(sim.Millisecond))
+	win := sim.Duration(opt.WinMS * float64(sim.Millisecond))
+
+	var points []Fig2Point
+	for _, dms := range opt.DelaysMS {
+		delay := sim.Duration(dms * float64(sim.Millisecond))
+		tsvHits, moHits := 0, 0
+		for rep := 0; rep < opt.Reps; rep++ {
+			seed := opt.Seed + int64(rep)*31
+			if runFig2TSV(seed, gap, win, delay) {
+				tsvHits++
+			}
+			if runFig2MemOrder(seed, gap, delay) {
+				moHits++
+			}
+		}
+		points = append(points, Fig2Point{
+			DelayMS:    dms,
+			TSVRate:    float64(tsvHits) / float64(opt.Reps),
+			MemOrdRate: float64(moHits) / float64(opt.Reps),
+		})
+	}
+	return points
+}
+
+// runFig2TSV executes the TSV shape: call 1 at t=0 (window win), call 2 at
+// t=gap (window win). A delay before call 1 triggers the TSV only while
+// the shifted window still overlaps call 2's: gap−win < delay < gap+win.
+func runFig2TSV(seed int64, gap, win, delay sim.Duration) bool {
+	h := memmodel.NewHeap()
+	h.SetHook(memmodel.HookFunc(func(t *sim.Thread, site trace.SiteID, _ trace.ObjID, _ trace.Kind, _ sim.Duration) {
+		if site == "fig2/api1" {
+			t.Sleep(delay)
+		}
+	}))
+	w := sim.NewWorld(sim.Config{Seed: seed, Jitter: 0.02})
+	_ = w.Run(func(root *sim.Thread) {
+		dict := h.NewRef("dict")
+		other := root.Spawn("caller2", func(t *sim.Thread) {
+			t.Sleep(gap)
+			dict.APICall(t, "fig2/api2", true, win)
+		})
+		dict.APICall(root, "fig2/api1", true, win)
+		root.Join(other)
+	})
+	return len(h.TSVs()) > 0
+}
+
+// runFig2MemOrder executes the MemOrder shape: use at t=0, dispose at
+// t=gap. A delay before the use triggers the fault only when it pushes the
+// use past the dispose: delay > gap.
+func runFig2MemOrder(seed int64, gap, delay sim.Duration) bool {
+	h := memmodel.NewHeap()
+	h.SetHook(memmodel.HookFunc(func(t *sim.Thread, site trace.SiteID, _ trace.ObjID, _ trace.Kind, _ sim.Duration) {
+		if site == "fig2/use" {
+			t.Sleep(delay)
+		}
+	}))
+	w := sim.NewWorld(sim.Config{Seed: seed, Jitter: 0.02})
+	err := w.Run(func(root *sim.Thread) {
+		obj := h.NewRef("obj")
+		obj.Init(root, "fig2/init")
+		user := root.Spawn("user", func(t *sim.Thread) {
+			obj.Use(t, "fig2/use")
+		})
+		root.Sleep(gap)
+		obj.Dispose(root, "fig2/dispose")
+		root.Join(user)
+	})
+	return err != nil
+}
+
+// Table1Row is one row of the qualitative design-decision matrix (Table 1).
+type Table1Row struct {
+	Decision string
+	Values   map[string]string // tool name -> cell
+}
+
+// Table1Tools lists the matrix columns in paper order.
+var Table1Tools = []string{"RaceFuzzer", "CTrigger", "RaceMob", "DataCollider", "Tsvd", "Waffle"}
+
+// Table1 reproduces the paper's design-decision matrix verbatim — it is
+// tool metadata, not a measurement.
+func Table1() []Table1Row {
+	mk := func(decision string, vals ...string) Table1Row {
+		m := make(map[string]string, len(Table1Tools))
+		for i, tool := range Table1Tools {
+			m[tool] = vals[i]
+		}
+		return Table1Row{Decision: decision, Values: m}
+	}
+	return []Table1Row{
+		mk("Synchronization analysis?", "yes", "yes", "yes", "no", "no", "partial"),
+		mk("Synchronization inference?", "no", "no", "no", "no", "yes", "yes"),
+		mk("Identify during delay injection runs?", "no", "no", "no", "no", "yes", "no"),
+		mk("Fixed-length delay?", "yes", "yes", "no", "yes", "yes", "no"),
+		mk("Avoid delay interference?", "n/a", "n/a", "n/a", "n/a", "no", "yes"),
+		mk("Inject at sampled candidate locations?", "yes", "yes", "yes", "yes", "no", "no"),
+		mk("Probabilistic injection?", "no", "no", "yes", "yes", "yes", "yes"),
+	}
+}

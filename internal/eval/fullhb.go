@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/stats"
+)
+
+// The full-happens-before experiment quantifies the trade-off §4.1 makes:
+// Waffle deliberately tracks only parent→child fork edges because complete
+// happens-before analysis — every lock, queue, event, and join — "requires
+// significant manual effort in annotating synchronization operations, in
+// addition to the high overhead incurred by the happens-before analysis
+// itself" (prior work reports 5–10× slowdowns). The simulator knows its
+// own primitives, so this repository can run both analyses on identical
+// executions: full HB prunes more false candidates (fewer wasted delays),
+// but its modeled instrumentation cost dominates.
+
+// FullHBCostFactor scales the preparation run's per-access logging cost
+// under full tracking, modeling the reported 5–10× analysis overhead.
+const FullHBCostFactor = 8
+
+// FullHBRow compares the two analyses on one application.
+type FullHBRow struct {
+	App string
+
+	// Candidate pairs per test (averages).
+	PartialPairs float64
+	FullPairs    float64
+
+	// Preparation-run overhead (%) with modeled analysis costs.
+	PartialPrepPct float64
+	FullPrepPct    float64
+
+	// Delays injected in the first detection run (totals).
+	PartialDelays int
+	FullDelays    int
+
+	// Bugs exposed among this app's planted bugs (within MaxRuns).
+	AppBugs     int
+	PartialBugs int
+	FullBugs    int
+}
+
+// FullHBOptions bounds the experiment.
+type FullHBOptions struct {
+	Seed     int64
+	MaxTests int // per app (0 = 10)
+	MaxRuns  int // bug search budget (0 = 20)
+	Apps     []string
+}
+
+func (o FullHBOptions) withDefaults() FullHBOptions {
+	if o.MaxTests <= 0 {
+		o.MaxTests = 10
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 20
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = []string{"ApplicationInsights", "NetMQ", "NpgSQL"}
+	}
+	return o
+}
+
+// fullVariant clones a test's program with full-HB tracking enabled.
+func fullVariant(p core.Program) core.Program {
+	sp, ok := p.(*core.SimProgram)
+	if !ok {
+		return p
+	}
+	cp := *sp
+	cp.FullHB = true
+	return &cp
+}
+
+// EvalFullHB runs the comparison.
+func EvalFullHB(opt FullHBOptions) []FullHBRow {
+	opt = opt.withDefaults()
+	partialOpts := core.Options{}
+	fullOpts := core.Options{TraceCost: core.DefaultTraceCost * FullHBCostFactor}
+
+	var rows []FullHBRow
+	for _, name := range opt.Apps {
+		app := apps.ByName(name)
+		if app == nil {
+			continue
+		}
+		row := FullHBRow{App: name}
+		tests := app.Tests
+		if len(tests) > opt.MaxTests {
+			tests = tests[:opt.MaxTests]
+		}
+		var pPairs, fPairs, pPrep, fPrep []float64
+		for i, test := range tests {
+			seed := opt.Seed + int64(i)*101
+			base := sim.Duration(test.Prog.Execute(seed, nil).End)
+			if base <= 0 {
+				continue
+			}
+
+			// Partial (fork-only) analysis: Waffle as shipped.
+			pw := core.NewWaffle(partialOpts)
+			r1 := runTool(test.Prog, pw, 1, nil, seed)
+			r2 := runTool(test.Prog, pw, 2, &r1, seed+1)
+			pPrep = append(pPrep, pct(r1.End, base))
+			if pw.Plan() != nil {
+				pPairs = append(pPairs, float64(len(pw.Plan().Pairs)))
+			}
+			row.PartialDelays += r2.Stats.Count
+
+			// Full happens-before analysis. The candidate-set comparison
+			// uses identical timing (default costs) so pruning is the only
+			// variable; the overhead comparison applies the modeled
+			// analysis cost.
+			fprog := fullVariant(test.Prog)
+			fcw := core.NewWaffle(partialOpts)
+			fc1 := runTool(fprog, fcw, 1, nil, seed)
+			fc2 := runTool(fprog, fcw, 2, &fc1, seed+1)
+			if fcw.Plan() != nil {
+				fPairs = append(fPairs, float64(len(fcw.Plan().Pairs)))
+			}
+			row.FullDelays += fc2.Stats.Count
+
+			fw := core.NewWaffle(fullOpts)
+			f1 := runTool(fprog, fw, 1, nil, seed)
+			fPrep = append(fPrep, pct(f1.End, base))
+		}
+		row.PartialPairs = stats.Mean(pPairs)
+		row.FullPairs = stats.Mean(fPairs)
+		row.PartialPrepPct = stats.Mean(pPrep)
+		row.FullPrepPct = stats.Mean(fPrep)
+
+		for _, bug := range app.BugTests() {
+			row.AppBugs++
+			ps := &core.Session{Prog: bug.Prog, Tool: core.NewWaffle(partialOpts), MaxRuns: opt.MaxRuns, BaseSeed: opt.Seed}
+			if ps.Expose().Bug != nil {
+				row.PartialBugs++
+			}
+			fs := &core.Session{Prog: fullVariant(bug.Prog), Tool: core.NewWaffle(fullOpts), MaxRuns: opt.MaxRuns, BaseSeed: opt.Seed}
+			if fs.Expose().Bug != nil {
+				row.FullBugs++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/stats"
+)
+
+// Sensitivity sweeps over Waffle's two numeric design parameters — the
+// near-miss window δ and the delay multiplier α. The paper fixes δ=100ms
+// (TSVD's default, §6.1) and α=1.15 (§4.3) without a sweep; these
+// experiments characterize how sensitive the headline result (18/18 bugs,
+// mostly 2 runs) is to those choices, extending Table 7's ablation style
+// to the continuous parameters.
+
+// SweepPoint is one parameter setting's aggregate over the 18 bugs.
+type SweepPoint struct {
+	Value       float64 // the swept parameter (ms for δ, ratio for α)
+	Exposed     int     // bugs exposed (majority of attempts)
+	AvgRuns     float64 // mean runs-to-expose across exposed bugs
+	AvgPairs    float64 // mean candidate-set size on the bug inputs
+	AvgSlowdown float64 // mean end-to-end slowdown across exposed bugs
+}
+
+// SweepOptions bounds a sensitivity sweep.
+type SweepOptions struct {
+	Seed        int64
+	Repetitions int // sessions per bug per point (0 = 5)
+	MaxRuns     int // 0 = 20
+	Bugs        int // cap on bug inputs (0 = all 18)
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Repetitions <= 0 {
+		o.Repetitions = 5
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 20
+	}
+	return o
+}
+
+// EvalWindowSweep varies the near-miss window δ.
+func EvalWindowSweep(windowsMS []float64, opt SweepOptions) []SweepPoint {
+	opt = opt.withDefaults()
+	if len(windowsMS) == 0 {
+		windowsMS = []float64{10, 25, 50, 100, 200}
+	}
+	var points []SweepPoint
+	for _, ms := range windowsMS {
+		opts := core.Options{Window: sim.Duration(ms * float64(sim.Millisecond))}
+		points = append(points, sweepPoint(ms, opts, opt))
+	}
+	return points
+}
+
+// EvalAlphaSweep varies the delay multiplier α.
+func EvalAlphaSweep(alphas []float64, opt SweepOptions) []SweepPoint {
+	opt = opt.withDefaults()
+	if len(alphas) == 0 {
+		alphas = []float64{0.9, 1.0, 1.05, 1.15, 1.5, 2.0}
+	}
+	var points []SweepPoint
+	for _, a := range alphas {
+		opts := core.Options{Alpha: a}
+		points = append(points, sweepPoint(a, opts, opt))
+	}
+	return points
+}
+
+// sweepPoint measures one parameter setting over the bug set.
+func sweepPoint(value float64, tool core.Options, opt SweepOptions) SweepPoint {
+	bugs := apps.AllBugs()
+	if opt.Bugs > 0 && len(bugs) > opt.Bugs {
+		bugs = bugs[:opt.Bugs]
+	}
+	p := SweepPoint{Value: value}
+	var runs, slows, pairs []float64
+	for _, test := range bugs {
+		exposed := 0
+		var bugRuns, bugSlows []float64
+		for rep := 0; rep < opt.Repetitions; rep++ {
+			wf := core.NewWaffle(tool)
+			s := &core.Session{
+				Prog:     test.Prog,
+				Tool:     wf,
+				MaxRuns:  opt.MaxRuns,
+				BaseSeed: opt.Seed + int64(rep)*10_007,
+			}
+			out := s.Expose()
+			if out.Bug != nil {
+				exposed++
+				bugRuns = append(bugRuns, float64(out.Bug.Run))
+				bugSlows = append(bugSlows, out.Slowdown())
+			}
+			if plan := wf.Plan(); plan != nil && rep == 0 {
+				pairs = append(pairs, float64(len(plan.Pairs)))
+			}
+		}
+		if exposed*2 > opt.Repetitions {
+			p.Exposed++
+			runs = append(runs, stats.MedianFloat(bugRuns))
+			slows = append(slows, stats.MedianFloat(bugSlows))
+		}
+	}
+	p.AvgRuns = stats.Mean(runs)
+	p.AvgPairs = stats.Mean(pairs)
+	p.AvgSlowdown = stats.Mean(slows)
+	return p
+}

@@ -1,0 +1,138 @@
+// Package report renders evaluation results as aligned ASCII tables
+// matching the layouts of the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends one row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// trimFloat renders floats compactly (1 decimal unless integral).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	totalWidth := 0
+	for _, wd := range widths {
+		totalWidth += wd + 2
+	}
+	if t.title != "" {
+		fmt.Fprintln(w, t.title)
+	}
+	line := strings.Repeat("-", totalWidth)
+	fmt.Fprintln(w, line)
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(cell))
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.headers)
+	fmt.Fprintln(w, line)
+	for _, row := range t.rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w, line)
+}
+
+// Pct formats an overhead percentage cell (integer percent).
+func Pct(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Slow formats a slowdown cell like the paper's "2.5×"; zero renders "-"
+// (missed).
+func Slow(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}
+
+// Runs formats a runs-to-expose cell; zero renders "-" (missed).
+func Runs(v int) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// YesNo renders a boolean as the paper's check/cross cells.
+func YesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		fmt.Fprint(w, "|")
+		for _, c := range cells {
+			fmt.Fprintf(w, " %s |", strings.ReplaceAll(c, "|", "\\|"))
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		// Pad short rows so the markdown table stays rectangular.
+		cells := make([]string, len(t.headers))
+		copy(cells, row)
+		writeRow(cells)
+	}
+	fmt.Fprintln(w)
+}

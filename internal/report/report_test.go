@@ -1,0 +1,170 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "App", "Value")
+	tb.Row("NetMQ", 12.5)
+	tb.Row("A-much-longer-name", 3)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "A-much-longer-name") {
+		t.Fatal("row missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, rule, header, rule, 2 rows, rule.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: both data rows start their second column at the same
+	// byte offset.
+	idx1 := strings.Index(lines[4], "12.5")
+	idx2 := strings.Index(lines[5], "3")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "X")
+	tb.Row("y")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Fatal("leading blank line for empty title")
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tb := NewTable("", "V")
+	tb.Row(2.0)
+	tb.Row(2.5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "\n2\n") && !strings.Contains(out, "2  ") && !strings.Contains(out, "\n2") {
+		t.Fatalf("integral float not trimmed: %q", out)
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatalf("fractional float lost: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.4) != "12" {
+		t.Errorf("Pct = %q", Pct(12.4))
+	}
+	if Slow(2.34) != "2.3x" {
+		t.Errorf("Slow = %q", Slow(2.34))
+	}
+	if Slow(0) != "-" {
+		t.Errorf("Slow(0) = %q", Slow(0))
+	}
+	if Runs(3) != "3" || Runs(0) != "-" {
+		t.Errorf("Runs cells wrong")
+	}
+	if YesNo(true) != "yes" || YesNo(false) != "no" {
+		t.Errorf("YesNo cells wrong")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := NewTable("", "Décision", "V")
+	tb.Row("§4.1 — prune", 1)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "§4.1 — prune") {
+		t.Fatal("unicode cell mangled")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := &trace.Trace{
+		Label: "tl",
+		End:   sim.Time(100 * sim.Millisecond),
+		Events: []trace.Event{
+			{Seq: 0, T: 0, TID: 1, Site: "a", Obj: 1, Kind: trace.KindInit},
+			{Seq: 1, T: sim.Time(50 * sim.Millisecond), TID: 2, Site: "b", Obj: 1, Kind: trace.KindUse},
+			{Seq: 2, T: sim.Time(99 * sim.Millisecond), TID: 1, Site: "c", Obj: 1, Kind: trace.KindDispose},
+		},
+	}
+	out := Timeline(tr, 40)
+	if !strings.Contains(out, "thd 1") || !strings.Contains(out, "thd 2") {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var lane1, lane2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "thd 1") {
+			lane1 = l
+		}
+		if strings.HasPrefix(l, "thd 2") {
+			lane2 = l
+		}
+	}
+	if !strings.Contains(lane1, "I") || !strings.Contains(lane1, "D") {
+		t.Fatalf("thread 1 markers missing: %s", lane1)
+	}
+	if !strings.Contains(lane2, "U") {
+		t.Fatalf("thread 2 marker missing: %s", lane2)
+	}
+	// Init at t=0 must be in the first bucket, dispose in the last.
+	bar1 := lane1[strings.Index(lane1, "|")+1 : strings.LastIndex(lane1, "|")]
+	if bar1[0] != 'I' || bar1[len(bar1)-1] != 'D' {
+		t.Fatalf("bucketing wrong: %q", bar1)
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	out := Timeline(&trace.Trace{Label: "empty"}, 40)
+	if !strings.Contains(out, "empty trace") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestTimelineMarkerPrecedence(t *testing.T) {
+	// Init and use in the same bucket: the init must win.
+	tr := &trace.Trace{
+		Label: "prec",
+		End:   sim.Time(10 * sim.Millisecond),
+		Events: []trace.Event{
+			{Seq: 0, T: 0, TID: 1, Site: "a", Obj: 1, Kind: trace.KindUse},
+			{Seq: 1, T: 1, TID: 1, Site: "a", Obj: 1, Kind: trace.KindInit},
+		},
+	}
+	out := Timeline(tr, 10)
+	if !strings.Contains(out, "I") {
+		t.Fatalf("init lost precedence:\n%s", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("My Table", "App", "Value")
+	tb.Row("NetMQ", 2.5)
+	tb.Row("has|pipe", 1)
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "### My Table") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| App | Value |") {
+		t.Fatalf("header row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, `has\|pipe`) {
+		t.Fatalf("pipe not escaped:\n%s", out)
+	}
+}

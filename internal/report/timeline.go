@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Timeline renders an ASCII view of a trace: one lane per thread, time
+// bucketed into width columns, one marker per bucket showing the most
+// significant event executed there (I=init, D=dispose, U=use, A=API call).
+// Initialization and disposal dominate a bucket because they are the
+// operations MemOrder analysis pivots on.
+func Timeline(tr *trace.Trace, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if len(tr.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	end := tr.End
+	if end <= 0 {
+		end = tr.Events[len(tr.Events)-1].T + 1
+	}
+	bucket := func(t sim.Time) int {
+		b := int(int64(t) * int64(width) / int64(end))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	lanes := map[int][]byte{}
+	var tids []int
+	for _, e := range tr.Events {
+		lane, ok := lanes[e.TID]
+		if !ok {
+			lane = []byte(strings.Repeat(".", width))
+			lanes[e.TID] = lane
+			tids = append(tids, e.TID)
+		}
+		marker := markerFor(e.Kind)
+		b := bucket(e.T)
+		if rank(marker) > rank(lane[b]) {
+			lane[b] = marker
+		}
+	}
+	sort.Ints(tids)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %s, %d events over %v (I=init U=use D=dispose A=api)\n",
+		tr.Label, len(tr.Events), end)
+	for _, tid := range tids {
+		fmt.Fprintf(&sb, "thd %-4d |%s|\n", tid, lanes[tid])
+	}
+	fmt.Fprintf(&sb, "          0%s%v\n", strings.Repeat(" ", width-len(end.String())), end)
+	return sb.String()
+}
+
+func markerFor(k trace.Kind) byte {
+	switch k {
+	case trace.KindInit:
+		return 'I'
+	case trace.KindDispose:
+		return 'D'
+	case trace.KindAPIRead, trace.KindAPIWrite:
+		return 'A'
+	default:
+		return 'U'
+	}
+}
+
+// rank orders markers by significance within one bucket.
+func rank(m byte) int {
+	switch m {
+	case 'I', 'D':
+		return 3
+	case 'A':
+		return 2
+	case 'U':
+		return 1
+	default:
+		return 0
+	}
+}

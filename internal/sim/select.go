@@ -1,0 +1,57 @@
+package sim
+
+// Select waits on several queues at once, returning the index of the queue
+// that delivered, the value, and ok=true — or ok=false when every queue is
+// closed-and-drained or the optional timeout elapses (d ≤ 0 means wait
+// forever). Ties at the same instant resolve in argument order, keeping
+// runs deterministic. This is the substrate's analog of a multi-channel
+// select for broker- and proxy-shaped scenarios.
+func Select(t *Thread, d Duration, queues ...*Queue) (idx int, v any, ok bool) {
+	if len(queues) == 0 {
+		return -1, nil, false
+	}
+	var deadline Time
+	if d > 0 {
+		deadline = t.w.now.Add(d)
+	}
+	for {
+		allClosed := true
+		for i, q := range queues {
+			if v, ok := q.TryRecv(); ok {
+				t.w.noteSync(t, SyncAcquire, q)
+				return i, v, true
+			}
+			if !q.closed {
+				allClosed = false
+			}
+		}
+		if allClosed {
+			return -1, nil, false
+		}
+		if d > 0 && t.w.now >= deadline {
+			return -1, nil, false
+		}
+
+		// Park as a waiter on every open queue; any Send (or Close) wakes
+		// us, and the deadline wake supersedes nothing if a signal lands
+		// first (newest-wake-wins scheduling).
+		for _, q := range queues {
+			if !q.closed {
+				q.waiters = append(q.waiters, t)
+			}
+		}
+		if d > 0 {
+			t.w.schedule(t, deadline)
+		} else {
+			t.block()
+			for _, q := range queues {
+				q.waiters = removeWaiter(q.waiters, t)
+			}
+			continue
+		}
+		t.park()
+		for _, q := range queues {
+			q.waiters = removeWaiter(q.waiters, t)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import "testing"
+
+func TestSelectImmediate(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var a, b Queue
+		b.Send(main, "from-b")
+		idx, v, ok := Select(main, 0, &a, &b)
+		if !ok || idx != 1 || v.(string) != "from-b" {
+			t.Errorf("Select = %d, %v, %v", idx, v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectTieBreaksByArgumentOrder(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var a, b Queue
+		a.Send(main, "a")
+		b.Send(main, "b")
+		idx, v, ok := Select(main, 0, &a, &b)
+		if !ok || idx != 0 || v.(string) != "a" {
+			t.Errorf("Select = %d, %v, %v (want queue 0)", idx, v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectBlocksUntilAnySend(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var a, b Queue
+		c := main.Spawn("selector", func(th *Thread) {
+			idx, v, ok := Select(th, 0, &a, &b)
+			if !ok || idx != 1 || v.(int) != 7 {
+				t.Errorf("Select = %d, %v, %v", idx, v, ok)
+			}
+			if th.Now() < Time(4*Millisecond) {
+				t.Errorf("woke early at %v", th.Now())
+			}
+		})
+		main.Sleep(4 * Millisecond)
+		b.Send(main, 7)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectTimeout(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var a, b Queue
+		_, _, ok := Select(main, 3*Millisecond, &a, &b)
+		if ok {
+			t.Error("empty select succeeded")
+		}
+		if got, want := main.Now(), Time(3*Millisecond); got != want {
+			t.Errorf("timed out at %v, want %v", got, want)
+		}
+		// Thread remains healthy after the timed select.
+		main.Sleep(10 * Millisecond)
+		if main.Now() != Time(13*Millisecond) {
+			t.Errorf("stale wake after select: %v", main.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectAllClosed(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var a, b Queue
+		c := main.Spawn("selector", func(th *Thread) {
+			if _, _, ok := Select(th, 0, &a, &b); ok {
+				t.Error("select on closed queues succeeded")
+			}
+		})
+		main.Sleep(Millisecond)
+		a.Close(main)
+		b.Close(main)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectNoQueues(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		if _, _, ok := Select(main, Millisecond); ok {
+			t.Error("select with no queues succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSelectDoesNotStealFromPlainReceivers(t *testing.T) {
+	// A selector and a plain receiver share a queue: every message goes to
+	// exactly one of them, none is lost or doubled.
+	w := NewWorld(Config{Seed: 1})
+	total := 0
+	err := w.Run(func(main *Thread) {
+		var q Queue
+		var other Queue
+		var wg WaitGroup
+		wg.Add(main, 2)
+		main.Spawn("selector", func(th *Thread) {
+			defer wg.Done(th)
+			for {
+				_, _, ok := Select(th, 0, &q, &other)
+				if !ok {
+					return
+				}
+				total++
+			}
+		})
+		main.Spawn("receiver", func(th *Thread) {
+			defer wg.Done(th)
+			for {
+				if _, ok := q.Recv(th); !ok {
+					return
+				}
+				total++
+			}
+		})
+		for i := 0; i < 10; i++ {
+			main.Sleep(Millisecond)
+			q.Send(main, i)
+		}
+		q.Close(main)
+		other.Close(main)
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if total != 10 {
+		t.Fatalf("delivered %d messages, want 10", total)
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import "errors"
+
+// Mutex is a virtual-time mutual-exclusion lock. The zero value is unlocked.
+// All methods must be called from thread context. Lock order among waiters
+// is FIFO, which keeps runs deterministic for a given seed.
+type Mutex struct {
+	owner   *Thread
+	waiters []*Thread
+}
+
+// Lock acquires the mutex, blocking the calling thread until available.
+func (m *Mutex) Lock(t *Thread) {
+	t.w.noteSync(t, SyncRequest, m)
+	if m.owner == nil {
+		m.owner = t
+		t.w.noteSync(t, SyncAcquire, m)
+		return
+	}
+	if m.owner == t {
+		t.Throw(errors.New("sim: recursive Mutex.Lock"))
+	}
+	m.waiters = append(m.waiters, t)
+	t.block()
+	t.w.noteSync(t, SyncAcquire, m)
+}
+
+// TryLock acquires the mutex if it is free, reporting whether it did.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.owner == nil {
+		m.owner = t
+		t.w.noteSync(t, SyncAcquire, m)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex and hands it to the oldest waiter, if any.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		t.Throw(errors.New("sim: Unlock of mutex not held by caller"))
+	}
+	t.w.noteSync(t, SyncRelease, m)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[0].w.trimFront(m.waiters)
+	m.owner = next
+	t.w.schedule(next, t.w.now)
+}
+
+// trimFront drops the first element, reusing the backing array.
+func (w *World) trimFront(ts []*Thread) []*Thread {
+	copy(ts, ts[1:])
+	ts[len(ts)-1] = nil
+	return ts[:len(ts)-1]
+}
+
+// WaitGroup waits for a collection of threads to finish, mirroring
+// sync.WaitGroup semantics in virtual time.
+type WaitGroup struct {
+	count   int
+	waiters []*Thread
+}
+
+// Add adds delta to the counter. Must not drive the counter negative.
+func (wg *WaitGroup) Add(t *Thread, delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		t.Throw(errors.New("sim: negative WaitGroup counter"))
+	}
+	if wg.count == 0 {
+		wg.release(t)
+	}
+}
+
+// Done decrements the counter by one, publishing the finishing thread's
+// causal past to waiters.
+func (wg *WaitGroup) Done(t *Thread) {
+	t.w.noteSync(t, SyncRelease, wg)
+	wg.Add(t, -1)
+}
+
+// Wait blocks until the counter is zero.
+func (wg *WaitGroup) Wait(t *Thread) {
+	if wg.count == 0 {
+		t.w.noteSync(t, SyncAcquire, wg)
+		return
+	}
+	wg.waiters = append(wg.waiters, t)
+	t.block()
+	t.w.noteSync(t, SyncAcquire, wg)
+}
+
+func (wg *WaitGroup) release(t *Thread) {
+	for _, waiter := range wg.waiters {
+		t.w.schedule(waiter, t.w.now)
+	}
+	wg.waiters = nil
+}
+
+// Event is a manual-reset event: threads Wait until some thread Sets it.
+// Once set it stays set until Reset.
+type Event struct {
+	set     bool
+	waiters []*Thread
+}
+
+// Set marks the event signaled and wakes all waiters.
+func (e *Event) Set(t *Thread) {
+	t.w.noteSync(t, SyncRelease, e)
+	e.set = true
+	for _, waiter := range e.waiters {
+		t.w.schedule(waiter, t.w.now)
+	}
+	e.waiters = nil
+}
+
+// Reset clears the signaled state.
+func (e *Event) Reset() { e.set = false }
+
+// IsSet reports whether the event is signaled.
+func (e *Event) IsSet() bool { return e.set }
+
+// Wait blocks until the event is signaled (returns immediately if already).
+func (e *Event) Wait(t *Thread) {
+	if e.set {
+		t.w.noteSync(t, SyncAcquire, e)
+		return
+	}
+	e.waiters = append(e.waiters, t)
+	t.block()
+	t.w.noteSync(t, SyncAcquire, e)
+}
+
+// Queue is an unbounded FIFO channel between threads. A zero Queue is ready
+// to use. Close wakes all blocked receivers.
+type Queue struct {
+	items   []any
+	waiters []*Thread
+	closed  bool
+}
+
+// ErrClosed is thrown by Send on a closed queue.
+var ErrClosed = errors.New("sim: send on closed queue")
+
+// Send enqueues v and wakes one blocked receiver.
+func (q *Queue) Send(t *Thread, v any) {
+	if q.closed {
+		t.Throw(ErrClosed)
+	}
+	t.w.noteSync(t, SyncRelease, q)
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = t.w.trimFront(q.waiters)
+		t.w.schedule(next, t.w.now)
+	}
+}
+
+// Recv dequeues the oldest item, blocking while the queue is empty and open.
+// ok is false when the queue is closed and drained.
+func (q *Queue) Recv(t *Thread) (v any, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.waiters = append(q.waiters, t)
+		t.block()
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	t.w.noteSync(t, SyncAcquire, q)
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok is false if nothing was available.
+func (q *Queue) TryRecv() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Close marks the queue closed and wakes all blocked receivers.
+func (q *Queue) Close(t *Thread) {
+	if q.closed {
+		return
+	}
+	t.w.noteSync(t, SyncRelease, q)
+	q.closed = true
+	for _, waiter := range q.waiters {
+		t.w.schedule(waiter, t.w.now)
+	}
+	q.waiters = nil
+}
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	permits int
+	waiters []*Thread
+}
+
+// NewSemaphore returns a semaphore holding n permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{permits: n} }
+
+// Acquire takes one permit, blocking until available.
+func (s *Semaphore) Acquire(t *Thread) {
+	for s.permits == 0 {
+		s.waiters = append(s.waiters, t)
+		t.block()
+	}
+	s.permits--
+	t.w.noteSync(t, SyncAcquire, s)
+}
+
+// Release returns one permit and wakes one waiter.
+func (s *Semaphore) Release(t *Thread) {
+	t.w.noteSync(t, SyncRelease, s)
+	s.permits++
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = t.w.trimFront(s.waiters)
+		t.w.schedule(next, t.w.now)
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import "errors"
+
+// RWMutex is a virtual-time readers-writer lock with writer preference:
+// once a writer is waiting, new readers queue behind it. The zero value is
+// unlocked.
+type RWMutex struct {
+	readers     int
+	writer      *Thread
+	waitWriters []*Thread
+	waitReaders []*Thread
+}
+
+// RLock acquires a shared (read) lock.
+func (m *RWMutex) RLock(t *Thread) {
+	for m.writer != nil || len(m.waitWriters) > 0 {
+		m.waitReaders = append(m.waitReaders, t)
+		t.block()
+	}
+	m.readers++
+	t.w.noteSync(t, SyncAcquire, m)
+}
+
+// RUnlock releases a shared lock.
+func (m *RWMutex) RUnlock(t *Thread) {
+	if m.readers <= 0 {
+		t.Throw(errors.New("sim: RUnlock without RLock"))
+	}
+	t.w.noteSync(t, SyncRelease, m)
+	m.readers--
+	if m.readers == 0 {
+		m.wakeNext(t)
+	}
+}
+
+// Lock acquires the exclusive (write) lock.
+func (m *RWMutex) Lock(t *Thread) {
+	t.w.noteSync(t, SyncRequest, m)
+	for m.writer != nil || m.readers > 0 {
+		m.waitWriters = append(m.waitWriters, t)
+		t.block()
+	}
+	m.writer = t
+	t.w.noteSync(t, SyncAcquire, m)
+}
+
+// Unlock releases the exclusive lock.
+func (m *RWMutex) Unlock(t *Thread) {
+	if m.writer != t {
+		t.Throw(errors.New("sim: Unlock of RWMutex not held by caller"))
+	}
+	t.w.noteSync(t, SyncRelease, m)
+	m.writer = nil
+	m.wakeNext(t)
+}
+
+// wakeNext hands the lock opportunity to a waiting writer (preferred) or
+// all waiting readers.
+func (m *RWMutex) wakeNext(t *Thread) {
+	if len(m.waitWriters) > 0 {
+		next := m.waitWriters[0]
+		m.waitWriters = t.w.trimFront(m.waitWriters)
+		t.w.schedule(next, t.w.now)
+		return
+	}
+	for _, r := range m.waitReaders {
+		t.w.schedule(r, t.w.now)
+	}
+	m.waitReaders = m.waitReaders[:0]
+}
+
+// Cond is a virtual-time condition variable bound to a Mutex.
+type Cond struct {
+	// L is the mutex that guards the condition; must be set before use.
+	L       *Mutex
+	waiters []*Thread
+}
+
+// Wait atomically releases the mutex, blocks until Signal or Broadcast,
+// and reacquires the mutex before returning. As with sync.Cond, callers
+// must re-check their condition in a loop.
+func (c *Cond) Wait(t *Thread) {
+	if c.L == nil || c.L.owner != t {
+		t.Throw(errors.New("sim: Cond.Wait without held mutex"))
+	}
+	c.waiters = append(c.waiters, t)
+	c.L.Unlock(t)
+	t.block()
+	c.L.Lock(t)
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal(t *Thread) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	next := c.waiters[0]
+	c.waiters = t.w.trimFront(c.waiters)
+	t.w.schedule(next, t.w.now)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast(t *Thread) {
+	for _, waiter := range c.waiters {
+		t.w.schedule(waiter, t.w.now)
+	}
+	c.waiters = c.waiters[:0]
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRWMutexSharedReaders(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m RWMutex
+	concurrent, maxConcurrent := 0, 0
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(main, 1)
+			main.Spawn("reader", func(th *Thread) {
+				m.RLock(th)
+				concurrent++
+				if concurrent > maxConcurrent {
+					maxConcurrent = concurrent
+				}
+				th.Sleep(Millisecond)
+				concurrent--
+				m.RUnlock(th)
+				wg.Done(th)
+			})
+		}
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxConcurrent != 4 {
+		t.Fatalf("readers did not share: max %d", maxConcurrent)
+	}
+	if got := w.Now(); got > Time(2*Millisecond) {
+		t.Fatalf("shared reads serialized: %v", got)
+	}
+}
+
+func TestRWMutexWriterExcludes(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m RWMutex
+	inWrite := false
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(main, 1)
+			main.Spawn("writer", func(th *Thread) {
+				m.Lock(th)
+				if inWrite {
+					t.Error("two writers inside")
+				}
+				inWrite = true
+				th.Sleep(Millisecond)
+				inWrite = false
+				m.Unlock(th)
+				wg.Done(th)
+			})
+			wg.Add(main, 1)
+			main.Spawn("reader", func(th *Thread) {
+				m.RLock(th)
+				if inWrite {
+					t.Error("reader inside while writing")
+				}
+				th.Sleep(500 * Microsecond)
+				m.RUnlock(th)
+				wg.Done(th)
+			})
+		}
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	// A waiting writer blocks newly arriving readers.
+	w := NewWorld(Config{Seed: 1})
+	var m RWMutex
+	var order []string
+	err := w.Run(func(main *Thread) {
+		m.RLock(main) // hold a read lock
+		writer := main.Spawn("writer", func(th *Thread) {
+			m.Lock(th)
+			order = append(order, "writer")
+			m.Unlock(th)
+		})
+		main.Sleep(Millisecond) // writer is now queued
+		lateReader := main.Spawn("late-reader", func(th *Thread) {
+			m.RLock(th)
+			order = append(order, "late-reader")
+			m.RUnlock(th)
+		})
+		main.Sleep(Millisecond)
+		m.RUnlock(main) // release: writer must go first
+		main.Join(writer)
+		main.Join(lateReader)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "writer" {
+		t.Fatalf("order = %v, want writer first", order)
+	}
+}
+
+func TestRWMutexMisuseFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m RWMutex
+	err := w.Run(func(main *Thread) { m.RUnlock(main) })
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("RUnlock misuse err = %v", err)
+	}
+	w2 := NewWorld(Config{Seed: 1})
+	var m2 RWMutex
+	err2 := w2.Run(func(main *Thread) { m2.Unlock(main) })
+	if !errors.As(err2, &f) {
+		t.Fatalf("Unlock misuse err = %v", err2)
+	}
+}
+
+func TestCondSignalAndBroadcast(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var mu Mutex
+	cond := Cond{L: &mu}
+	ready := 0
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(main, 1)
+			main.Spawn("waiter", func(th *Thread) {
+				mu.Lock(th)
+				for ready == 0 {
+					cond.Wait(th)
+				}
+				ready--
+				mu.Unlock(th)
+				wg.Done(th)
+			})
+		}
+		main.Sleep(Millisecond)
+		mu.Lock(main)
+		ready = 1
+		cond.Signal(main)
+		mu.Unlock(main)
+		main.Sleep(Millisecond)
+		mu.Lock(main)
+		ready += 2
+		cond.Broadcast(main)
+		mu.Unlock(main)
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ready != 0 {
+		t.Fatalf("ready = %d after all waiters", ready)
+	}
+}
+
+func TestCondWaitWithoutLockFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var mu Mutex
+	cond := Cond{L: &mu}
+	err := w.Run(func(main *Thread) { cond.Wait(main) })
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMutexExcludes(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m Mutex
+	inCrit := 0
+	maxIn := 0
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(main, 1)
+			main.Spawn("t", func(t *Thread) {
+				m.Lock(t)
+				inCrit++
+				if inCrit > maxIn {
+					maxIn = inCrit
+				}
+				t.Sleep(Millisecond)
+				inCrit--
+				m.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxIn != 1 {
+		t.Fatalf("max threads in critical section = %d", maxIn)
+	}
+	if got, want := w.Now(), Time(4*Millisecond); got != want {
+		t.Fatalf("serialized time = %v, want %v", got, want)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m Mutex
+	err := w.Run(func(main *Thread) {
+		if !m.TryLock(main) {
+			t.Error("TryLock on free mutex failed")
+		}
+		if m.TryLock(main) {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		m.Unlock(main)
+		if !m.TryLock(main) {
+			t.Error("TryLock after Unlock failed")
+		}
+		m.Unlock(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMutexRecursiveLockFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m Mutex
+	err := w.Run(func(main *Thread) {
+		m.Lock(main)
+		m.Lock(main)
+	})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}
+
+func TestMutexUnlockNotOwnerFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var m Mutex
+	err := w.Run(func(main *Thread) { m.Unlock(main) })
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var q Queue
+	var got []int
+	err := w.Run(func(main *Thread) {
+		c := main.Spawn("consumer", func(t *Thread) {
+			for {
+				v, ok := q.Recv(t)
+				if !ok {
+					return
+				}
+				got = append(got, v.(int))
+			}
+		})
+		for i := 0; i < 5; i++ {
+			q.Send(main, i)
+			main.Sleep(100 * Microsecond)
+		}
+		q.Close(main)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestQueueRecvBlocksUntilSend(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var q Queue
+	err := w.Run(func(main *Thread) {
+		c := main.Spawn("consumer", func(th *Thread) {
+			v, ok := q.Recv(th)
+			if !ok || v.(string) != "late" {
+				t.Errorf("Recv = %v, %v", v, ok)
+			}
+			if th.Now() < Time(3*Millisecond) {
+				t.Errorf("Recv returned at %v, before the send", th.Now())
+			}
+		})
+		main.Sleep(3 * Millisecond)
+		q.Send(main, "late")
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueSendOnClosedFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var q Queue
+	err := w.Run(func(main *Thread) {
+		q.Close(main)
+		q.Send(main, 1)
+	})
+	var f *Fault
+	if !errors.As(err, &f) || !errors.Is(f.Err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed fault", err)
+	}
+}
+
+func TestQueueTryRecv(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var q Queue
+	err := w.Run(func(main *Thread) {
+		if _, ok := q.TryRecv(); ok {
+			t.Error("TryRecv on empty queue succeeded")
+		}
+		q.Send(main, 7)
+		v, ok := q.TryRecv()
+		if !ok || v.(int) != 7 {
+			t.Errorf("TryRecv = %v, %v", v, ok)
+		}
+		if q.Len() != 0 {
+			t.Errorf("Len = %d after drain", q.Len())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var e Event
+	woke := 0
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(main, 1)
+			main.Spawn("waiter", func(t *Thread) {
+				e.Wait(t)
+				woke++
+				wg.Done(t)
+			})
+		}
+		main.Sleep(Millisecond)
+		e.Set(main)
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke %d waiters, want 3", woke)
+	}
+	if !e.IsSet() {
+		t.Fatal("event not set")
+	}
+	e.Reset()
+	if e.IsSet() {
+		t.Fatal("event still set after Reset")
+	}
+}
+
+func TestEventWaitAfterSetReturnsImmediately(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var e Event
+	err := w.Run(func(main *Thread) {
+		e.Set(main)
+		e.Wait(main) // must not block
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	s := NewSemaphore(2)
+	in, maxIn := 0, 0
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		for i := 0; i < 6; i++ {
+			wg.Add(main, 1)
+			main.Spawn("t", func(t *Thread) {
+				s.Acquire(t)
+				in++
+				if in > maxIn {
+					maxIn = in
+				}
+				t.Sleep(Millisecond)
+				in--
+				s.Release(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxIn != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxIn)
+	}
+}
+
+func TestWaitGroupZeroWaitReturns(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		wg.Wait(main) // counter already zero
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitGroupNegativeFaults(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var wg WaitGroup
+		wg.Done(main)
+	})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}

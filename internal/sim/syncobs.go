@@ -1,0 +1,42 @@
+package sim
+
+// Synchronization observation: an optional world-level observer sees every
+// release/acquire edge the primitives create, enabling full happens-before
+// analysis — the expensive road §4.1 of the paper deliberately avoids
+// (annotating and tracking every synchronization operation, with the 5-10×
+// slowdowns prior work reports). The substrate knows its own primitives,
+// so the "annotation" is exact here; the repository uses it to quantify
+// the trade-off Waffle's partial (fork-only) analysis makes.
+
+// SyncOp classifies one synchronization event.
+type SyncOp uint8
+
+const (
+	// SyncRelease publishes the thread's causal past into a sync object
+	// (unlock, send, set, done, thread/task completion).
+	SyncRelease SyncOp = iota
+	// SyncAcquire absorbs a sync object's causal past into the thread
+	// (lock, recv, wait-return, join-return).
+	SyncAcquire
+	// SyncRequest announces intent to acquire an exclusive lock, emitted
+	// before any blocking — the injection point for lock-order tools
+	// (a delay here extends the hold of already-held locks while the
+	// requested one is still free for others to take).
+	SyncRequest
+)
+
+// SyncObserver receives one call per release/acquire edge. The key
+// identifies the synchronization object (pointer identity). Observers run
+// in the acting thread's context, under the scheduler baton.
+type SyncObserver func(t *Thread, op SyncOp, key any)
+
+// SetSyncObserver installs the observer (nil disables). Install before
+// Run; primitives consult it on every operation.
+func (w *World) SetSyncObserver(obs SyncObserver) { w.syncObs = obs }
+
+// noteSync dispatches one edge to the observer, if any.
+func (w *World) noteSync(t *Thread, op SyncOp, key any) {
+	if w.syncObs != nil {
+		w.syncObs(t, op, key)
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTaskPoolRunsTasks(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	ran := 0
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 2, "pool")
+		var handles []*TaskHandle
+		for i := 0; i < 6; i++ {
+			handles = append(handles, pool.Submit(main, "t", func(th *Thread) {
+				th.Work(Millisecond)
+				ran++
+			}))
+		}
+		for _, h := range handles {
+			h.Wait(main)
+			if !h.Done() {
+				t.Error("Wait returned before Done")
+			}
+		}
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 6 {
+		t.Fatalf("ran %d tasks, want 6", ran)
+	}
+}
+
+func TestTaskPoolParallelism(t *testing.T) {
+	// Two workers: six 1ms tasks should take ~3ms, not ~6ms.
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 2, "pool")
+		var handles []*TaskHandle
+		for i := 0; i < 6; i++ {
+			handles = append(handles, pool.Submit(main, "t", func(th *Thread) {
+				th.Sleep(Millisecond)
+			}))
+		}
+		for _, h := range handles {
+			h.Wait(main)
+		}
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := w.Now(); got < Time(3*Millisecond) || got > Time(4*Millisecond) {
+		t.Fatalf("6 tasks on 2 workers took %v, want ~3ms", got)
+	}
+}
+
+func TestTaskRunsOnWorkerThreadIdentity(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	var taskTID int
+	var workerIDs []int
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 1, "pool")
+		for _, wk := range pool.Workers() {
+			workerIDs = append(workerIDs, wk.ID())
+		}
+		h := pool.Submit(main, "t", func(th *Thread) { taskTID = th.ID() })
+		h.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(workerIDs) != 1 || taskTID != workerIDs[0] {
+		t.Fatalf("task ran on thread %d, workers %v", taskTID, workerIDs)
+	}
+}
+
+func TestTaskAsyncLocalContextFlows(t *testing.T) {
+	// A plain TLS value is visible inside the task even though the task
+	// runs on a worker thread that never set it.
+	w := NewWorld(Config{Seed: 1})
+	var seen any
+	var workerOwn any
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 1, "pool")
+		main.SetTLS("request-id", "r-42")
+		h := pool.Submit(main, "t", func(th *Thread) { seen = th.TLS("request-id") })
+		h.Wait(main)
+		// Outside a task, the worker's own TLS must be untouched.
+		h2 := pool.Submit(main, "probe", func(th *Thread) {})
+		h2.Wait(main)
+		for _, wk := range pool.Workers() {
+			_ = wk
+		}
+		workerOwn = nil
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if seen != "r-42" {
+		t.Fatalf("async-local value = %v", seen)
+	}
+	if workerOwn != nil {
+		t.Fatalf("worker TLS polluted: %v", workerOwn)
+	}
+}
+
+type taskForkCounter struct{ forks int }
+
+func (f *taskForkCounter) ForkTask(_ *Thread, taskID int) any {
+	f.forks++
+	return &taskForkCounter{}
+}
+
+func TestTaskForkerHookRunsPerSubmit(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	fc := &taskForkCounter{}
+	err := w.Run(func(main *Thread) {
+		main.SetTLS("vc", fc)
+		pool := NewTaskPool(main, 2, "pool")
+		var handles []*TaskHandle
+		for i := 0; i < 3; i++ {
+			handles = append(handles, pool.Submit(main, "t", func(th *Thread) {
+				if th.TLS("vc") == fc {
+					t.Error("task shares submitter's value despite TaskForker")
+				}
+			}))
+		}
+		for _, h := range handles {
+			h.Wait(main)
+		}
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fc.forks != 3 {
+		t.Fatalf("ForkTask ran %d times, want 3", fc.forks)
+	}
+}
+
+func TestTaskIDsUniqueVsThreads(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	ids := map[int]bool{}
+	err := w.Run(func(main *Thread) {
+		ids[main.ID()] = true
+		pool := NewTaskPool(main, 2, "pool")
+		for _, wk := range pool.Workers() {
+			if ids[wk.ID()] {
+				t.Errorf("duplicate id %d", wk.ID())
+			}
+			ids[wk.ID()] = true
+		}
+		for i := 0; i < 4; i++ {
+			h := pool.Submit(main, "t", func(*Thread) {})
+			if ids[h.ID()] {
+				t.Errorf("task id %d collides", h.ID())
+			}
+			ids[h.ID()] = true
+			h.Wait(main)
+		}
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTaskFaultPropagates(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 1, "pool")
+		h := pool.Submit(main, "boom", func(th *Thread) {
+			th.Throw(errors.New("task exploded"))
+		})
+		h.Wait(main)
+	})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}
+
+func TestSubmitFromWorkerThread(t *testing.T) {
+	// A task can submit a child task to the same pool (nested submission).
+	w := NewWorld(Config{Seed: 1})
+	childRan := false
+	err := w.Run(func(main *Thread) {
+		pool := NewTaskPool(main, 2, "pool")
+		var child *TaskHandle
+		parent := pool.Submit(main, "parent", func(th *Thread) {
+			child = pool.Submit(th, "child", func(*Thread) { childRan = true })
+		})
+		parent.Wait(main)
+		child.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !childRan {
+		t.Fatal("nested task never ran")
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+// Timed variants of the blocking primitives. Network-flavored application
+// code (brokers, keep-alive monitors, RPC clients) waits with deadlines;
+// these variants let scenarios model that without hand-rolled timer
+// threads. A timed-out waiter simply gives up its slot — no fault.
+
+// WaitTimeout blocks until the event is signaled or d elapses, reporting
+// whether the event was signaled.
+func (e *Event) WaitTimeout(t *Thread, d Duration) bool {
+	if e.set {
+		t.w.noteSync(t, SyncAcquire, e)
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := t.w.now.Add(d)
+	// Push a deadline wake; a Set reschedules us earlier and supersedes it
+	// (the scheduler honors only a thread's newest wake). After waking we
+	// decide by state and scrub our waiter entry.
+	e.waiters = append(e.waiters, t)
+	t.w.schedule(t, deadline)
+	t.park()
+	e.waiters = removeWaiter(e.waiters, t)
+	if e.set {
+		t.w.noteSync(t, SyncAcquire, e)
+		return true
+	}
+	return false
+}
+
+// RecvTimeout dequeues the oldest item, giving up after d. ok is false on
+// timeout or when the queue is closed and drained.
+func (q *Queue) RecvTimeout(t *Thread, d Duration) (v any, ok bool) {
+	if v, ok := q.TryRecv(); ok {
+		t.w.noteSync(t, SyncAcquire, q)
+		return v, true
+	}
+	if q.closed || d <= 0 {
+		return nil, false
+	}
+	deadline := t.w.now.Add(d)
+	for {
+		q.waiters = append(q.waiters, t)
+		t.w.schedule(t, deadline)
+		t.park()
+		q.waiters = removeWaiter(q.waiters, t)
+		if v, ok := q.TryRecv(); ok {
+			t.w.noteSync(t, SyncAcquire, q)
+			return v, true
+		}
+		if q.closed || t.w.now >= deadline {
+			return nil, false
+		}
+	}
+}
+
+// AcquireTimeout takes one permit, giving up after d. It reports whether a
+// permit was acquired.
+func (s *Semaphore) AcquireTimeout(t *Thread, d Duration) bool {
+	if s.permits > 0 {
+		s.permits--
+		t.w.noteSync(t, SyncAcquire, s)
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := t.w.now.Add(d)
+	for {
+		s.waiters = append(s.waiters, t)
+		t.w.schedule(t, deadline)
+		t.park()
+		s.waiters = removeWaiter(s.waiters, t)
+		if s.permits > 0 {
+			s.permits--
+			t.w.noteSync(t, SyncAcquire, s)
+			return true
+		}
+		if t.w.now >= deadline {
+			return false
+		}
+	}
+}
+
+// removeWaiter deletes t from a waiter list (no-op when absent).
+func removeWaiter(list []*Thread, t *Thread) []*Thread {
+	for i, w := range list {
+		if w == t {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}

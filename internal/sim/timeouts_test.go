@@ -1,0 +1,150 @@
+package sim
+
+import "testing"
+
+func TestEventWaitTimeoutExpires(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var e Event
+		if e.WaitTimeout(main, 5*Millisecond) {
+			t.Error("timeout wait reported signaled")
+		}
+		if got, want := main.Now(), Time(5*Millisecond); got != want {
+			t.Errorf("woke at %v, want %v", got, want)
+		}
+		// The thread must be fully functional afterwards: a later Sleep
+		// must not be cut short by any stale deadline wake.
+		main.Sleep(10 * Millisecond)
+		if got, want := main.Now(), Time(15*Millisecond); got != want {
+			t.Errorf("post-timeout sleep ended at %v, want %v", got, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventWaitTimeoutSignaledEarly(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var e Event
+		waiter := main.Spawn("waiter", func(th *Thread) {
+			if !e.WaitTimeout(th, 50*Millisecond) {
+				t.Error("early signal reported as timeout")
+			}
+			if th.Now() > Time(3*Millisecond) {
+				t.Errorf("woke at %v, want ~2ms", th.Now())
+			}
+			// No stale deadline wake may shorten later blocking.
+			th.Sleep(100 * Millisecond)
+			if th.Now() < Time(100*Millisecond) {
+				t.Errorf("stale wake cut sleep short: %v", th.Now())
+			}
+		})
+		main.Sleep(2 * Millisecond)
+		e.Set(main)
+		main.Join(waiter)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueRecvTimeout(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var q Queue
+		if _, ok := q.RecvTimeout(main, 3*Millisecond); ok {
+			t.Error("empty queue recv succeeded")
+		}
+		if got, want := main.Now(), Time(3*Millisecond); got != want {
+			t.Errorf("timeout at %v, want %v", got, want)
+		}
+		// Early delivery.
+		c := main.Spawn("consumer", func(th *Thread) {
+			v, ok := q.RecvTimeout(th, 60*Millisecond)
+			if !ok || v.(string) != "msg" {
+				t.Errorf("RecvTimeout = %v, %v", v, ok)
+			}
+			if th.Now() > Time(10*Millisecond) {
+				t.Errorf("delivery late: %v", th.Now())
+			}
+		})
+		main.Sleep(2 * Millisecond)
+		q.Send(main, "msg")
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueRecvTimeoutClosed(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var q Queue
+		c := main.Spawn("consumer", func(th *Thread) {
+			if _, ok := q.RecvTimeout(th, 50*Millisecond); ok {
+				t.Error("closed queue recv succeeded")
+			}
+			if th.Now() > Time(5*Millisecond) {
+				t.Errorf("close not honored promptly: %v", th.Now())
+			}
+		})
+		main.Sleep(Millisecond)
+		q.Close(main)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSemaphoreAcquireTimeout(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		s := NewSemaphore(1)
+		s.Acquire(main)
+		if s.AcquireTimeout(main, 2*Millisecond) {
+			t.Error("second permit acquired")
+		}
+		c := main.Spawn("waiter", func(th *Thread) {
+			if !s.AcquireTimeout(th, 50*Millisecond) {
+				t.Error("released permit not acquired")
+			}
+		})
+		main.Sleep(3 * Millisecond)
+		s.Release(main)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTimedWaitsDoNotCorruptOtherBlocking(t *testing.T) {
+	// A thread that timed out on one primitive must block correctly on a
+	// different one: no stale run-queue entry or stale waiter-list entry may
+	// wake it spuriously.
+	w := NewWorld(Config{Seed: 1})
+	err := w.Run(func(main *Thread) {
+		var e Event
+		var q Queue
+		c := main.Spawn("mixed", func(th *Thread) {
+			e.WaitTimeout(th, Millisecond) // times out
+			v, ok := q.Recv(th)            // must block until the real send
+			if !ok || v.(int) != 42 {
+				t.Errorf("Recv = %v, %v", v, ok)
+			}
+			if th.Now() < Time(20*Millisecond) {
+				t.Errorf("spurious wake at %v", th.Now())
+			}
+		})
+		main.Sleep(20 * Millisecond)
+		q.Send(main, 42)
+		main.Join(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

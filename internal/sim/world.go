@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes a World.
+type Config struct {
+	// Seed drives all scheduling tie-breaks and duration jitter. Two runs
+	// with equal seeds and equal thread programs are identical.
+	Seed int64
+
+	// Jitter is the relative spread applied to Work durations, e.g. 0.05
+	// scales each duration by a uniform factor in [0.95, 1.05]. Zero means
+	// fully deterministic durations.
+	Jitter float64
+
+	// MaxTime aborts the run with ErrTimeout once virtual time would pass
+	// it. Zero means no limit.
+	MaxTime Duration
+
+	// MaxEvents aborts the run with ErrEventLimit after that many scheduler
+	// events (a runaway-loop backstop). Zero means a generous default.
+	MaxEvents int
+}
+
+// DefaultMaxEvents bounds scheduler events when Config.MaxEvents is zero.
+const DefaultMaxEvents = 20_000_000
+
+// Errors reported by World.Run.
+var (
+	// ErrTimeout reports that virtual time exceeded Config.MaxTime.
+	ErrTimeout = errors.New("sim: virtual time limit exceeded")
+	// ErrDeadlock reports that live threads remain but none is runnable.
+	ErrDeadlock = errors.New("sim: deadlock: all live threads blocked")
+	// ErrEventLimit reports that the scheduler event budget was exhausted.
+	ErrEventLimit = errors.New("sim: event limit exceeded")
+)
+
+// Fault describes an unhandled failure raised by a thread — the analog of
+// the unhandled exception that is Waffle's bug oracle.
+type Fault struct {
+	Err    error    // what went wrong
+	Thread int      // faulting thread id
+	Name   string   // faulting thread name
+	T      Time     // virtual time of the fault
+	Op     string   // the thread's last announced operation label
+	Stacks []string // one "name@op" line per live thread, faulting first
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault at %v in thread %d (%s) during %q: %v", f.T, f.Thread, f.Name, f.Op, f.Err)
+}
+
+// World is a deterministic virtual-time scheduler. Create one with NewWorld,
+// populate it via Run's root thread, and inspect the outcome afterwards.
+// A World must not be reused after Run returns.
+type World struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     Time
+	nextTID int
+	events  int
+
+	queue    eventQueue
+	threads  map[int]*Thread
+	alive    int
+	current  *Thread
+	fault    *Fault
+	stopping bool
+	syncObs  SyncObserver
+
+	parkCh chan struct{}
+}
+
+// NewWorld returns a World configured by cfg.
+func NewWorld(cfg Config) *World {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	return &World{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		threads: make(map[int]*Thread),
+		parkCh:  make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time. Safe to call from thread context or
+// after Run returns.
+func (w *World) Now() Time { return w.now }
+
+// Seed reports the seed the world was created with.
+func (w *World) Seed() int64 { return w.cfg.Seed }
+
+// Fault returns the fault that ended the run, or nil.
+func (w *World) Fault() *Fault { return w.fault }
+
+// Rand returns a float64 in [0,1) from the world's seeded stream. Must only
+// be called from thread context (under the scheduler baton).
+func (w *World) Rand() float64 { return w.rng.Float64() }
+
+// Jitter scales d by the configured jitter spread.
+func (w *World) Jitter(d Duration) Duration {
+	if w.cfg.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + w.cfg.Jitter*(2*w.rng.Float64()-1)
+	j := Duration(float64(d) * f)
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// Run creates the root thread executing main and drives the world until all
+// threads finish, a thread faults, the world deadlocks, or a limit trips.
+// It returns nil on clean completion; a *Fault satisfies errors.As.
+func (w *World) Run(main func(*Thread)) error {
+	if w.nextTID != 0 {
+		return errors.New("sim: World.Run called twice")
+	}
+	root := w.newThread(nil, "main", main)
+	w.schedule(root, 0)
+
+	var err error
+	for {
+		if w.fault != nil {
+			err = w.fault
+			break
+		}
+		if w.events >= w.cfg.MaxEvents {
+			err = ErrEventLimit
+			break
+		}
+		if w.queue.Len() == 0 {
+			if w.alive > 0 {
+				err = ErrDeadlock
+			}
+			break
+		}
+		it := heap.Pop(&w.queue).(*eventItem)
+		if it.t.state == stateDone || it.gen != it.t.wakeGen {
+			// Stale entry: the thread finished, or was rescheduled after
+			// this entry was pushed (timed waits push a deadline wake that
+			// an early signal supersedes).
+			continue
+		}
+		w.events++
+		if it.wake > w.now {
+			w.now = it.wake
+		}
+		if w.cfg.MaxTime > 0 && w.now > Time(w.cfg.MaxTime) {
+			err = ErrTimeout
+			break
+		}
+		w.resume(it.t, resumeMsg{})
+	}
+	w.killAll()
+	return err
+}
+
+// resume hands the baton to t and waits until it parks again.
+func (w *World) resume(t *Thread, msg resumeMsg) {
+	w.current = t
+	t.state = stateRunning
+	t.resume <- msg
+	<-w.parkCh
+	w.current = nil
+}
+
+// killAll unwinds every live thread so Run leaks no goroutines.
+func (w *World) killAll() {
+	w.stopping = true
+	ids := make([]int, 0, len(w.threads))
+	for id, t := range w.threads {
+		if t.state != stateDone {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := w.threads[id]
+		if t.state == stateDone {
+			continue
+		}
+		w.resume(t, resumeMsg{kill: true})
+	}
+}
+
+// schedule makes t runnable at wake (clamped to now). Rescheduling a
+// thread invalidates any earlier pending entry for it: only the newest
+// wake counts (timed waits rely on this to let a signal supersede the
+// deadline wake).
+func (w *World) schedule(t *Thread, wake Time) {
+	if wake < w.now {
+		wake = w.now
+	}
+	t.state = stateRunnable
+	t.wakeGen++
+	heap.Push(&w.queue, &eventItem{wake: wake, prio: w.rng.Uint64(), seq: w.queue.nextSeq(), gen: t.wakeGen, t: t})
+}
+
+func (w *World) newThread(parent *Thread, name string, fn func(*Thread)) *Thread {
+	w.nextTID++
+	t := &Thread{
+		w:      w,
+		id:     w.nextTID,
+		name:   name,
+		resume: make(chan resumeMsg),
+		tls:    make(map[TLSKey]any),
+	}
+	if parent != nil {
+		t.parent = parent.id
+		for k, v := range parent.tls {
+			if f, ok := v.(TLSForker); ok {
+				t.tls[k] = f.ForkTLS(parent, t)
+			} else {
+				t.tls[k] = v
+			}
+		}
+	}
+	w.threads[t.id] = t
+	w.alive++
+	go t.run(fn)
+	return t
+}
+
+// stacks renders one line per live thread, the faulting thread first.
+func (w *World) stacks(first *Thread) []string {
+	var out []string
+	add := func(t *Thread) {
+		out = append(out, fmt.Sprintf("thread %d (%s) @ %s", t.id, t.name, t.op))
+	}
+	add(first)
+	ids := make([]int, 0, len(w.threads))
+	for id := range w.threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := w.threads[id]
+		if t != first && t.state != stateDone {
+			add(t)
+		}
+	}
+	return out
+}
+
+// Threads reports a snapshot of all threads ever created, ordered by id.
+// Intended for post-run inspection and reports.
+func (w *World) Threads() []ThreadInfo {
+	ids := make([]int, 0, len(w.threads))
+	for id := range w.threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]ThreadInfo, 0, len(ids))
+	for _, id := range ids {
+		t := w.threads[id]
+		out = append(out, ThreadInfo{ID: t.id, Parent: t.parent, Name: t.name, Done: t.state == stateDone, LastOp: t.op})
+	}
+	return out
+}
+
+// ThreadInfo is a read-only snapshot of one thread's identity and progress.
+type ThreadInfo struct {
+	ID     int
+	Parent int
+	Name   string
+	Done   bool
+	LastOp string
+}
+
+// eventItem orders runnable threads by (wake time, seeded priority, seq).
+type eventItem struct {
+	wake Time
+	prio uint64
+	seq  uint64
+	gen  uint64
+	t    *Thread
+}
+
+type eventQueue struct {
+	items []*eventItem
+	seq   uint64
+}
+
+func (q *eventQueue) nextSeq() uint64 { q.seq++; return q.seq }
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.wake != b.wake {
+		return a.wake < b.wake
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*eventItem)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,168 @@
+// Package stats provides the measurement helpers the evaluation harness
+// uses: the delay-overlap ratio of §3.3, order statistics over repeated
+// probabilistic experiments (the paper repeats every experiment 15 times,
+// §6.1), and slowdown aggregation.
+package stats
+
+import (
+	"sort"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+)
+
+// Repetitions is the paper's repetition count for probabilistic
+// experiments (§6.1).
+const Repetitions = 15
+
+// OverlapRatio computes §3.3's delay-overlap metric: the complement of the
+// ratio between the "time projection" (union length) of all delays and the
+// total delay duration injected. 0 = no overlap; → (D−1)/D when all D
+// delays coincide.
+func OverlapRatio(ivs []core.Interval) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	spans := make([]core.Interval, len(ivs))
+	copy(spans, ivs)
+	for _, iv := range spans {
+		total += iv.Dur()
+	}
+	if total <= 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var union sim.Duration
+	curStart, curEnd := spans[0].Start, spans[0].End
+	for _, iv := range spans[1:] {
+		if iv.Start > curEnd {
+			union += curEnd.Sub(curStart)
+			curStart, curEnd = iv.Start, iv.End
+			continue
+		}
+		if iv.End > curEnd {
+			curEnd = iv.End
+		}
+	}
+	union += curEnd.Sub(curStart)
+	return 1 - float64(union)/float64(total)
+}
+
+// MedianInt returns the median of xs (lower middle for even lengths);
+// 0 for an empty slice.
+func MedianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]int, len(xs))
+	copy(s, xs)
+	sort.Ints(s)
+	return s[(len(s)-1)/2]
+}
+
+// MedianFloat returns the median of xs; 0 for an empty slice.
+func MedianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Majority reports the value occurring in at least ceil(n/2)+... — the
+// paper's criterion "at least 10 of 15 attempts" generalized: it returns
+// the most frequent value and whether it reaches threshold occurrences.
+func Majority(xs []int, threshold int) (value int, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	counts := make(map[int]int)
+	best, bestN := xs[0], 0
+	for _, x := range xs {
+		counts[x]++
+		if counts[x] > bestN || (counts[x] == bestN && x < best) {
+			best, bestN = x, counts[x]
+		}
+	}
+	return best, bestN >= threshold
+}
+
+// ExposeResult summarizes one repetition of a bug-exposure experiment.
+type ExposeResult struct {
+	Runs     int     // runs to expose (0 = missed)
+	Slowdown float64 // total time over base time
+}
+
+// RepeatExpose performs n independent exposure sessions (distinct base
+// seeds) of tool-builder tb against program-builder pb and collects
+// per-repetition results. Builders return fresh instances so no state
+// leaks between repetitions.
+func RepeatExpose(n int, maxRuns int, seed0 int64, pb func() core.Program, tb func() core.Tool) []ExposeResult {
+	out := make([]ExposeResult, 0, n)
+	for i := 0; i < n; i++ {
+		s := &core.Session{
+			Prog:     pb(),
+			Tool:     tb(),
+			MaxRuns:  maxRuns,
+			BaseSeed: seed0 + int64(i)*10_007,
+		}
+		o := s.Expose()
+		out = append(out, ExposeResult{Runs: o.RunsToExpose(), Slowdown: o.Slowdown()})
+	}
+	return out
+}
+
+// Summary condenses repeated exposure results per the paper's reporting
+// rules (§6.2): a bug "detected in k runs" must hold in a majority of
+// attempts; flakier bugs report the median; misses count separately.
+type Summary struct {
+	Attempts       int
+	Exposed        int     // attempts that exposed the bug at all
+	RunsReported   int     // majority value, or median across exposing attempts
+	MajorityStable bool    // true when ≥10/15-style majority agreed
+	MedianSlowdown float64 // median slowdown across exposing attempts
+}
+
+// Summarize condenses results with majority threshold (use 10 for the
+// paper's 10-of-15 rule).
+func Summarize(results []ExposeResult, threshold int) Summary {
+	s := Summary{Attempts: len(results)}
+	var runs []int
+	var slows []float64
+	for _, r := range results {
+		if r.Runs > 0 {
+			s.Exposed++
+			runs = append(runs, r.Runs)
+			slows = append(slows, r.Slowdown)
+		}
+	}
+	if len(runs) == 0 {
+		return s
+	}
+	if v, ok := Majority(runs, threshold); ok {
+		s.RunsReported = v
+		s.MajorityStable = true
+	} else {
+		s.RunsReported = MedianInt(runs)
+	}
+	s.MedianSlowdown = MedianFloat(slows)
+	return s
+}

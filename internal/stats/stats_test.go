@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+func iv(start, end sim.Time) core.Interval { return core.Interval{Site: "s", Start: start, End: end} }
+
+func TestOverlapRatioDisjoint(t *testing.T) {
+	r := OverlapRatio([]core.Interval{iv(0, 10), iv(20, 30), iv(40, 50)})
+	if r != 0 {
+		t.Fatalf("disjoint overlap = %v, want 0", r)
+	}
+}
+
+func TestOverlapRatioIdentical(t *testing.T) {
+	// D identical delays: ratio = (D−1)/D.
+	r := OverlapRatio([]core.Interval{iv(0, 100), iv(0, 100), iv(0, 100), iv(0, 100)})
+	if math.Abs(r-0.75) > 1e-9 {
+		t.Fatalf("identical overlap = %v, want 0.75", r)
+	}
+}
+
+func TestOverlapRatioPartial(t *testing.T) {
+	// [0,100] and [50,150]: union 150, total 200 → 0.25.
+	r := OverlapRatio([]core.Interval{iv(0, 100), iv(50, 150)})
+	if math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("partial overlap = %v, want 0.25", r)
+	}
+}
+
+func TestOverlapRatioEmptyAndZero(t *testing.T) {
+	if OverlapRatio(nil) != 0 {
+		t.Fatal("nil overlap != 0")
+	}
+	if OverlapRatio([]core.Interval{iv(5, 5)}) != 0 {
+		t.Fatal("zero-length interval overlap != 0")
+	}
+}
+
+func TestOverlapRatioUnsortedInput(t *testing.T) {
+	r := OverlapRatio([]core.Interval{iv(50, 150), iv(0, 100)})
+	if math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("unsorted overlap = %v, want 0.25", r)
+	}
+}
+
+// Property: ratio stays in [0, 1) and is permutation-invariant.
+func TestOverlapRatioProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		var ivs []core.Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := sim.Time(raw[i])
+			ivs = append(ivs, iv(start, start.Add(sim.Duration(raw[i+1]%1000)+1)))
+		}
+		if len(ivs) == 0 {
+			return true
+		}
+		r := OverlapRatio(ivs)
+		if r < 0 || r >= 1 {
+			return false
+		}
+		rev := make([]core.Interval, len(ivs))
+		for i, v := range ivs {
+			rev[len(ivs)-1-i] = v
+		}
+		return math.Abs(OverlapRatio(rev)-r) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedians(t *testing.T) {
+	if MedianInt([]int{5, 1, 3}) != 3 {
+		t.Fatal("MedianInt odd")
+	}
+	if MedianInt([]int{4, 1, 3, 2}) != 2 {
+		t.Fatal("MedianInt even (lower middle)")
+	}
+	if MedianInt(nil) != 0 {
+		t.Fatal("MedianInt empty")
+	}
+	if MedianFloat([]float64{1, 9, 5}) != 5 {
+		t.Fatal("MedianFloat odd")
+	}
+	if MedianFloat([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("MedianFloat even")
+	}
+	if MedianFloat(nil) != 0 {
+		t.Fatal("MedianFloat empty")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean empty")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	v, ok := Majority([]int{2, 2, 2, 3, 2}, 4)
+	if !ok || v != 2 {
+		t.Fatalf("Majority = %d, %v", v, ok)
+	}
+	_, ok = Majority([]int{1, 2, 3}, 2)
+	if ok {
+		t.Fatal("spurious majority")
+	}
+	if _, ok := Majority(nil, 1); ok {
+		t.Fatal("majority on empty")
+	}
+}
+
+// racy program for RepeatExpose round trips.
+func racyProg() core.Program {
+	return &core.SimProgram{
+		Label: "racy",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("r")
+			u := root.Spawn("u", func(th *sim.Thread) {
+				th.Sleep(3 * sim.Millisecond)
+				r.Use(th, "use")
+			})
+			root.Sleep(1 * sim.Millisecond)
+			r.Init(root, "init")
+			root.Join(u)
+		},
+	}
+}
+
+func TestRepeatExposeAndSummarize(t *testing.T) {
+	results := RepeatExpose(Repetitions, 10, 1,
+		racyProg,
+		func() core.Tool { return core.NewWaffle(core.Options{}) })
+	if len(results) != Repetitions {
+		t.Fatalf("results = %d", len(results))
+	}
+	sum := Summarize(results, 10)
+	if sum.Exposed != Repetitions {
+		t.Fatalf("exposed %d/%d", sum.Exposed, Repetitions)
+	}
+	if !sum.MajorityStable || sum.RunsReported != 2 {
+		t.Fatalf("summary = %+v, want stable 2 runs", sum)
+	}
+	if sum.MedianSlowdown <= 0 {
+		t.Fatalf("median slowdown = %v", sum.MedianSlowdown)
+	}
+}
+
+func TestSummarizeAllMissed(t *testing.T) {
+	sum := Summarize([]ExposeResult{{Runs: 0}, {Runs: 0}}, 2)
+	if sum.Exposed != 0 || sum.RunsReported != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"waffle/internal/sim"
+	"waffle/internal/vclock"
+)
+
+// Streaming trace format: events are written incrementally as they occur,
+// so a preparation run over an allocation-heavy input (NpgSQL-class traces
+// run to hundreds of thousands of events) never buffers the whole trace in
+// memory. The stream is a header followed by self-delimiting frames:
+//
+//	magic "WFTS" | uvarint version | label | varint seed
+//	frame 'S': uvarint index, string          (site-table entry)
+//	frame 'E': event fields (site by index)   (one instrumented access)
+//	frame 'Z': varint end-time                (trailer; ends the stream)
+//
+// Site-table entries are interleaved on first use, so the writer needs no
+// second pass and the reader needs no seeking.
+
+const (
+	streamMagic   = "WFTS"
+	streamVersion = 1
+
+	frameSite  = 'S'
+	frameEvent = 'E'
+	frameEnd   = 'Z'
+)
+
+// StreamRecorder writes events to w as they happen. It is a drop-in
+// alternative to Recorder for hooks that should not hold the trace in
+// memory; pair it with ReadStream to load the trace back.
+type StreamRecorder struct {
+	bw    *binWriter
+	sites map[SiteID]uint64
+	n     int
+	err   error
+}
+
+// NewStreamRecorder writes the stream header and returns the recorder.
+func NewStreamRecorder(w io.Writer, label string, seed int64) (*StreamRecorder, error) {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	if _, err := bw.w.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.uvarint(streamVersion); err != nil {
+		return nil, err
+	}
+	if err := bw.str(label); err != nil {
+		return nil, err
+	}
+	if err := bw.varint(seed); err != nil {
+		return nil, err
+	}
+	return &StreamRecorder{bw: bw, sites: make(map[SiteID]uint64)}, nil
+}
+
+// Record appends one event frame (and a site frame on first use of a
+// site). Errors are sticky and surfaced by Close.
+func (r *StreamRecorder) Record(t *sim.Thread, site SiteID, obj ObjID, kind Kind, dur sim.Duration) {
+	if r.err != nil {
+		return
+	}
+	idx, ok := r.sites[site]
+	if !ok {
+		idx = uint64(len(r.sites))
+		r.sites[site] = idx
+		r.err = r.writeSiteFrame(idx, site)
+		if r.err != nil {
+			return
+		}
+	}
+	r.err = r.writeEventFrame(t, idx, obj, kind, dur)
+	if r.err == nil {
+		r.n++
+	}
+}
+
+// Len reports the number of events recorded so far.
+func (r *StreamRecorder) Len() int { return r.n }
+
+// Close writes the trailer and flushes. The recorder must not be used
+// afterwards.
+func (r *StreamRecorder) Close(end sim.Time) error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := r.bw.w.WriteByte(frameEnd); err != nil {
+		return err
+	}
+	if err := r.bw.varint(int64(end)); err != nil {
+		return err
+	}
+	return r.bw.w.Flush()
+}
+
+func (r *StreamRecorder) writeSiteFrame(idx uint64, site SiteID) error {
+	if err := r.bw.w.WriteByte(frameSite); err != nil {
+		return err
+	}
+	if err := r.bw.uvarint(idx); err != nil {
+		return err
+	}
+	return r.bw.str(string(site))
+}
+
+func (r *StreamRecorder) writeEventFrame(t *sim.Thread, siteIdx uint64, obj ObjID, kind Kind, dur sim.Duration) error {
+	if err := r.bw.w.WriteByte(frameEvent); err != nil {
+		return err
+	}
+	if err := r.bw.uvarint(siteIdx); err != nil {
+		return err
+	}
+	if err := r.bw.varint(int64(t.Now())); err != nil {
+		return err
+	}
+	if err := r.bw.varint(int64(t.ID())); err != nil {
+		return err
+	}
+	if err := r.bw.varint(int64(obj)); err != nil {
+		return err
+	}
+	if err := r.bw.w.WriteByte(byte(kind)); err != nil {
+		return err
+	}
+	if err := r.bw.varint(int64(dur)); err != nil {
+		return err
+	}
+	clk := vclock.Of(t)
+	if clk == nil {
+		return r.bw.uvarint(0)
+	}
+	snap := clk.Snapshot()
+	if err := r.bw.uvarint(uint64(len(snap))); err != nil {
+		return err
+	}
+	for _, e := range snap {
+		if err := r.bw.varint(int64(e.TID)); err != nil {
+			return err
+		}
+		if err := r.bw.varint(e.Counter); err != nil {
+			return err
+		}
+	}
+	return r.bw.varint(int64(clk.Owner()))
+}
+
+// ReadStream loads a trace written by StreamRecorder. A stream without a
+// trailer (e.g. the run crashed) is rejected as truncated.
+func ReadStream(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != streamMagic {
+		return nil, fmt.Errorf("%w: bad stream magic %q", ErrBadFormat, magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != streamVersion {
+		return nil, fmt.Errorf("%w: stream version %d", ErrBadFormat, version)
+	}
+	label, err := readStr(br)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: seed", ErrBadFormat)
+	}
+
+	tr := &Trace{Label: label, Seed: seed}
+	var sites []SiteID
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated stream (no trailer)", ErrBadFormat)
+		}
+		switch tag {
+		case frameSite:
+			idx, err := binary.ReadUvarint(br)
+			if err != nil || idx != uint64(len(sites)) {
+				return nil, fmt.Errorf("%w: site frame index", ErrBadFormat)
+			}
+			s, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			sites = append(sites, SiteID(s))
+		case frameEvent:
+			ev, err := readStreamEvent(br, sites)
+			if err != nil {
+				return nil, err
+			}
+			ev.Seq = len(tr.Events)
+			tr.Events = append(tr.Events, ev)
+		case frameEnd:
+			end, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: trailer", ErrBadFormat)
+			}
+			tr.End = sim.Time(end)
+			return tr, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown frame %q", ErrBadFormat, tag)
+		}
+	}
+}
+
+func readStreamEvent(br *bufio.Reader, sites []SiteID) (Event, error) {
+	var ev Event
+	siteIdx, err := binary.ReadUvarint(br)
+	if err != nil || siteIdx >= uint64(len(sites)) {
+		return ev, fmt.Errorf("%w: event site index", ErrBadFormat)
+	}
+	ev.Site = sites[siteIdx]
+	tv, err := binary.ReadVarint(br)
+	if err != nil {
+		return ev, fmt.Errorf("%w: event time", ErrBadFormat)
+	}
+	ev.T = sim.Time(tv)
+	tid, err := binary.ReadVarint(br)
+	if err != nil {
+		return ev, fmt.Errorf("%w: event tid", ErrBadFormat)
+	}
+	ev.TID = int(tid)
+	obj, err := binary.ReadVarint(br)
+	if err != nil {
+		return ev, fmt.Errorf("%w: event obj", ErrBadFormat)
+	}
+	ev.Obj = ObjID(obj)
+	kindByte, err := br.ReadByte()
+	if err != nil || Kind(kindByte) > KindAPIWrite {
+		return ev, fmt.Errorf("%w: event kind", ErrBadFormat)
+	}
+	ev.Kind = Kind(kindByte)
+	dur, err := binary.ReadVarint(br)
+	if err != nil {
+		return ev, fmt.Errorf("%w: event dur", ErrBadFormat)
+	}
+	ev.Dur = sim.Duration(dur)
+	nClock, err := binary.ReadUvarint(br)
+	if err != nil || nClock > math.MaxInt16 {
+		return ev, fmt.Errorf("%w: event clock size", ErrBadFormat)
+	}
+	if nClock > 0 {
+		entries := make([]vclock.Entry, nClock)
+		for j := range entries {
+			etid, err := binary.ReadVarint(br)
+			if err != nil {
+				return ev, fmt.Errorf("%w: clock tid", ErrBadFormat)
+			}
+			ctr, err := binary.ReadVarint(br)
+			if err != nil {
+				return ev, fmt.Errorf("%w: clock ctr", ErrBadFormat)
+			}
+			entries[j] = vclock.Entry{TID: int(etid), Counter: ctr}
+		}
+		owner, err := binary.ReadVarint(br)
+		if err != nil {
+			return ev, fmt.Errorf("%w: clock owner", ErrBadFormat)
+		}
+		ev.Clock = vclock.FromSnapshot(int(owner), entries)
+	}
+	return ev, nil
+}

@@ -1,0 +1,89 @@
+package vclock
+
+import "waffle/internal/sim"
+
+// Full happens-before tracking: a SyncTracker listens to the simulator's
+// release/acquire edges and folds them into the thread clocks that ride
+// the TLS. With a tracker installed, recorded clocks capture the complete
+// happens-before relation (forks, joins, locks, queues, events,
+// semaphores), not just the fork edges Waffle's partial analysis keeps —
+// the expensive alternative §4.1 weighs and rejects. The repository uses
+// it to quantify that trade-off (see internal/eval's full-HB experiment).
+
+// SyncTracker maintains per-object clocks under release-acquire semantics
+// (FastTrack-style): a release joins the thread's clock into the object's
+// and advances the thread's own component; an acquire joins the object's
+// clock into the thread's.
+type SyncTracker struct {
+	clocks map[any]*Clock
+	edges  int
+}
+
+// NewSyncTracker returns an empty tracker.
+func NewSyncTracker() *SyncTracker {
+	return &SyncTracker{clocks: make(map[any]*Clock)}
+}
+
+// Edges reports how many release/acquire events were observed — the count
+// a real implementation would pay instrumentation cost for.
+func (st *SyncTracker) Edges() int { return st.edges }
+
+// Observe implements sim.SyncObserver (method value: tracker.Observe).
+func (st *SyncTracker) Observe(t *sim.Thread, op sim.SyncOp, key any) {
+	h, _ := t.TLS(Key).(*holder)
+	if h == nil {
+		return
+	}
+	st.edges++
+	switch op {
+	case sim.SyncRelease:
+		st.clocks[key] = Join(st.clocks[key], h.clock)
+		h.clock = h.clock.bumpOwn()
+	case sim.SyncAcquire:
+		if obj := st.clocks[key]; obj != nil {
+			h.clock = Join(h.clock, obj).withOwner(h.clock.own)
+		}
+	}
+}
+
+// Join returns the component-wise maximum of two clocks. A nil operand
+// acts as the zero clock. The result's owner comes from the first non-nil
+// operand.
+func Join(a, b *Clock) *Clock {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	vals := make(map[int]int64, len(a.vals)+len(b.vals))
+	for tid, v := range a.vals {
+		vals[tid] = v
+	}
+	for tid, v := range b.vals {
+		if v > vals[tid] {
+			vals[tid] = v
+		}
+	}
+	return &Clock{own: a.own, vals: vals}
+}
+
+// bumpOwn returns a copy with the owner's component incremented — events
+// after a release must not appear ordered before the acquirer's.
+func (c *Clock) bumpOwn() *Clock {
+	vals := make(map[int]int64, len(c.vals))
+	for tid, v := range c.vals {
+		vals[tid] = v
+	}
+	vals[c.own]++
+	return &Clock{own: c.own, vals: vals}
+}
+
+// withOwner returns a copy owned by own (Join keeps the first operand's
+// owner; acquire must keep the thread's).
+func (c *Clock) withOwner(own int) *Clock {
+	if c.own == own {
+		return c
+	}
+	return &Clock{own: own, vals: c.vals}
+}

@@ -1,0 +1,152 @@
+package vclock
+
+import (
+	"testing"
+
+	"waffle/internal/sim"
+)
+
+// fullHBWorld runs main with a root clock and a SyncTracker installed.
+func fullHBWorld(t *testing.T, seed int64, main func(*sim.Thread)) *SyncTracker {
+	t.Helper()
+	st := NewSyncTracker()
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	w.SetSyncObserver(st.Observe)
+	err := w.Run(func(root *sim.Thread) {
+		Attach(root)
+		main(root)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+func TestMutexOrdersCriticalSections(t *testing.T) {
+	var clockInA, clockAfterB *Clock
+	fullHBWorld(t, 1, func(root *sim.Thread) {
+		var m sim.Mutex
+		done := false
+		a := root.Spawn("a", func(th *sim.Thread) {
+			m.Lock(th)
+			clockInA = Of(th)
+			done = true
+			m.Unlock(th)
+		})
+		root.Sleep(2 * sim.Millisecond) // a holds and releases first
+		m.Lock(root)
+		if !done {
+			t.Error("lock ordering broke")
+		}
+		clockAfterB = Of(root)
+		m.Unlock(root)
+		root.Join(a)
+	})
+	if !clockInA.Leq(clockAfterB) {
+		t.Fatalf("critical section A %v not ≤ later section B %v", clockInA, clockAfterB)
+	}
+}
+
+func TestEventOrdersSetBeforeWait(t *testing.T) {
+	var beforeSet, afterWait *Clock
+	fullHBWorld(t, 1, func(root *sim.Thread) {
+		var e sim.Event
+		w := root.Spawn("waiter", func(th *sim.Thread) {
+			e.Wait(th)
+			afterWait = Of(th)
+		})
+		root.Sleep(sim.Millisecond)
+		beforeSet = Of(root)
+		e.Set(root)
+		root.Join(w)
+	})
+	if !beforeSet.Leq(afterWait) {
+		t.Fatalf("pre-Set %v not ≤ post-Wait %v", beforeSet, afterWait)
+	}
+}
+
+func TestQueueOrdersSendBeforeRecv(t *testing.T) {
+	var beforeSend, afterRecv *Clock
+	fullHBWorld(t, 1, func(root *sim.Thread) {
+		var q sim.Queue
+		c := root.Spawn("consumer", func(th *sim.Thread) {
+			if _, ok := q.Recv(th); ok {
+				afterRecv = Of(th)
+			}
+		})
+		root.Sleep(sim.Millisecond)
+		beforeSend = Of(root)
+		q.Send(root, "x")
+		root.Join(c)
+	})
+	if !beforeSend.Leq(afterRecv) {
+		t.Fatalf("pre-Send %v not ≤ post-Recv %v", beforeSend, afterRecv)
+	}
+}
+
+func TestJoinOrdersChildBeforeParent(t *testing.T) {
+	// With full HB (unlike the partial fork-only analysis), Join creates
+	// an edge: child events ≤ parent events after the join.
+	var childClock, afterJoin *Clock
+	fullHBWorld(t, 1, func(root *sim.Thread) {
+		c := root.Spawn("c", func(th *sim.Thread) {
+			th.Sleep(sim.Millisecond)
+			childClock = Of(th)
+		})
+		root.Join(c)
+		afterJoin = Of(root)
+	})
+	if !childClock.Leq(afterJoin) {
+		t.Fatalf("child %v not ≤ post-join parent %v (full HB should order joins)", childClock, afterJoin)
+	}
+}
+
+func TestReleaseBumpKeepsPostReleaseConcurrent(t *testing.T) {
+	// Events after a release are NOT ordered before the acquirer.
+	var afterRelease, afterAcquire *Clock
+	fullHBWorld(t, 1, func(root *sim.Thread) {
+		var e sim.Event
+		w := root.Spawn("waiter", func(th *sim.Thread) {
+			e.Wait(th)
+			afterAcquire = Of(th)
+			th.Sleep(2 * sim.Millisecond)
+		})
+		root.Sleep(sim.Millisecond)
+		e.Set(root)
+		afterRelease = Of(root) // post-release: concurrent with waiter
+		root.Join(w)
+	})
+	if afterRelease.Leq(afterAcquire) {
+		t.Fatalf("post-release %v ordered before acquirer %v", afterRelease, afterAcquire)
+	}
+}
+
+func TestTrackerCountsEdges(t *testing.T) {
+	st := fullHBWorld(t, 1, func(root *sim.Thread) {
+		var m sim.Mutex
+		m.Lock(root)
+		m.Unlock(root)
+	})
+	// Lock acquire + unlock release + root-thread finish release ≥ 3.
+	if st.Edges() < 3 {
+		t.Fatalf("edges = %d", st.Edges())
+	}
+}
+
+func TestJoinFunctionProperties(t *testing.T) {
+	a := FromSnapshot(1, []Entry{{TID: 1, Counter: 3}, {TID: 2, Counter: 1}})
+	b := FromSnapshot(2, []Entry{{TID: 1, Counter: 2}, {TID: 2, Counter: 5}})
+	j := Join(a, b)
+	if j.Get(1) != 3 || j.Get(2) != 5 {
+		t.Fatalf("join = %v", j)
+	}
+	if j.Owner() != 1 {
+		t.Fatalf("join owner = %d", j.Owner())
+	}
+	if !a.Leq(j) || !b.Leq(j) {
+		t.Fatal("join not an upper bound")
+	}
+	if Join(nil, a) != a || Join(a, nil) != a {
+		t.Fatal("nil identity broken")
+	}
+}

@@ -1,0 +1,139 @@
+package vclock
+
+import (
+	"testing"
+
+	"waffle/internal/sim"
+)
+
+// TestSubmitBeforeOrdersTask: events before a task's submission are
+// causally ordered with the task's events, regardless of which worker
+// thread runs it — the §4.1 async-local property.
+func TestSubmitBeforeOrdersTask(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	var preSubmit, inTask *Clock
+	err := w.Run(func(main *sim.Thread) {
+		Attach(main)
+		pool := sim.NewTaskPool(main, 2, "pool")
+		preSubmit = Of(main)
+		h := pool.Submit(main, "task", func(th *sim.Thread) {
+			inTask = Of(th)
+		})
+		h.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if inTask == nil {
+		t.Fatal("no clock inside the task — async-local propagation broken")
+	}
+	if !preSubmit.Leq(inTask) {
+		t.Fatalf("pre-submit %v not ≤ task %v", preSubmit, inTask)
+	}
+}
+
+// TestSubmitAfterConcurrentWithTask: submitter events after the submission
+// are concurrent with the task.
+func TestSubmitAfterConcurrentWithTask(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	var postSubmit, inTask *Clock
+	err := w.Run(func(main *sim.Thread) {
+		Attach(main)
+		pool := sim.NewTaskPool(main, 1, "pool")
+		h := pool.Submit(main, "task", func(th *sim.Thread) { inTask = Of(th) })
+		postSubmit = Of(main)
+		h.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if Ordered(postSubmit, inTask) {
+		t.Fatalf("post-submit %v ordered with task %v", postSubmit, inTask)
+	}
+}
+
+// TestSiblingTasksConcurrent: two tasks submitted by the same thread are
+// concurrent with each other, even when one worker runs both.
+func TestSiblingTasksConcurrent(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	var c1, c2 *Clock
+	err := w.Run(func(main *sim.Thread) {
+		Attach(main)
+		pool := sim.NewTaskPool(main, 1, "pool") // single worker runs both
+		h1 := pool.Submit(main, "t1", func(th *sim.Thread) { c1 = Of(th) })
+		h2 := pool.Submit(main, "t2", func(th *sim.Thread) { c2 = Of(th) })
+		h1.Wait(main)
+		h2.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if Ordered(c1, c2) {
+		t.Fatalf("sibling tasks ordered: %v vs %v", c1, c2)
+	}
+}
+
+// TestNestedTaskInheritsChain: a task submitted from inside a task is
+// ordered after its submitting task's pre-submit events and after the
+// original root's pre-submit events.
+func TestNestedTaskInheritsChain(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	var rootPre, parentPre, childClock *Clock
+	err := w.Run(func(main *sim.Thread) {
+		Attach(main)
+		pool := sim.NewTaskPool(main, 2, "pool")
+		rootPre = Of(main)
+		var childH *sim.TaskHandle
+		parent := pool.Submit(main, "parent", func(th *sim.Thread) {
+			parentPre = Of(th)
+			childH = pool.Submit(th, "child", func(c *sim.Thread) {
+				childClock = Of(c)
+			})
+		})
+		parent.Wait(main)
+		childH.Wait(main)
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rootPre.Leq(childClock) {
+		t.Fatalf("root pre-submit %v not ≤ nested task %v", rootPre, childClock)
+	}
+	if !parentPre.Leq(childClock) {
+		t.Fatalf("parent task %v not ≤ nested task %v", parentPre, childClock)
+	}
+}
+
+// TestWorkerThreadClockUnpolluted: after running a task, the worker
+// thread's own clock is its original spawn-time clock, not the task's.
+func TestWorkerThreadClockUnpolluted(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	err := w.Run(func(main *sim.Thread) {
+		Attach(main)
+		pool := sim.NewTaskPool(main, 1, "pool")
+		worker := pool.Workers()[0]
+		h := pool.Submit(main, "t", func(th *sim.Thread) {})
+		h.Wait(main)
+		main.Sleep(sim.Millisecond) // let the worker finish restoring
+		got := Of(worker)
+		if got == nil {
+			t.Fatal("worker lost its clock")
+		}
+		if got.Owner() != worker.ID() {
+			t.Fatalf("worker clock owned by %d, want %d (task context leaked)", got.Owner(), worker.ID())
+		}
+		pool.Shutdown(main)
+		pool.Join(main)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package vclock implements the fork-propagated vector clocks that Waffle
+// (§4.1) piggybacks on inheritable thread-local storage.
+//
+// The paper's mechanism: each thread stores in its TLS a vector clock — a
+// set of (thread id, counter) tuples. When a thread forks a child, the TLS
+// region is copied to the child; the clock's fork hook then (1) appends a
+// fresh (childTID, 1) tuple to the child's copy and (2) increments the
+// parent's own counter. Only fork edges are tracked — locks, queues, and
+// joins deliberately are not — which is exactly the partial happens-before
+// analysis Table 1 marks "!*": cheap, and sufficient to prune the dominant
+// class of pre-ordered MemOrder candidates (objects allocated in a parent
+// before its workers exist).
+//
+// Clocks are immutable snapshots: a thread's clock value changes only at
+// forks, so every event a thread performs between two forks can share one
+// clock pointer, which keeps traces compact.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"waffle/internal/sim"
+)
+
+// Key is the TLS slot under which a thread's clock lives.
+const Key sim.TLSKey = "waffle.vclock"
+
+// Clock is an immutable vector-clock snapshot. The zero value is unusable;
+// obtain clocks via Attach/Of.
+type Clock struct {
+	own  int           // the thread this clock belongs to
+	vals map[int]int64 // thread id -> counter (includes own)
+}
+
+// holder is the mutable TLS cell; its ForkTLS hook implements the paper's
+// copy-then-append-then-bump protocol.
+type holder struct {
+	clock *Clock
+}
+
+// ForkTLS implements sim.TLSForker. It runs at Spawn: the child receives a
+// copy of the parent's tuples plus its own (childTID, 1) entry, and the
+// parent's own counter is incremented (so parent events after the fork are
+// concurrent with the child).
+func (h *holder) ForkTLS(parent, child *sim.Thread) any {
+	return h.fork(child.ID())
+}
+
+// ForkTask implements sim.TaskForker: the same protocol applies when a
+// task is submitted to a pool — the task's async-local context receives
+// the forked clock keyed by the task's fresh id, so submit-before events
+// order before everything the task does regardless of which worker thread
+// executes it (§4.1's async-local note).
+func (h *holder) ForkTask(submitter *sim.Thread, taskID int) any {
+	return h.fork(taskID)
+}
+
+// fork performs the copy-append-bump protocol shared by thread forks and
+// task submissions.
+func (h *holder) fork(childID int) *holder {
+	p := h.clock
+	childVals := make(map[int]int64, len(p.vals)+1)
+	for tid, c := range p.vals {
+		childVals[tid] = c
+	}
+	childVals[childID] = 1
+
+	parentVals := make(map[int]int64, len(p.vals))
+	for tid, c := range p.vals {
+		parentVals[tid] = c
+	}
+	parentVals[p.own]++
+	h.clock = &Clock{own: p.own, vals: parentVals}
+
+	return &holder{clock: &Clock{own: childID, vals: childVals}}
+}
+
+// Attach installs a root clock on t. Call once on the root thread before
+// any instrumented activity; children inherit automatically via TLS.
+func Attach(t *sim.Thread) {
+	t.SetTLS(Key, &holder{clock: &Clock{own: t.ID(), vals: map[int]int64{t.ID(): 1}}})
+}
+
+// Of returns the current clock snapshot of t, or nil if none was attached
+// anywhere on t's ancestry.
+func Of(t *sim.Thread) *Clock {
+	h, _ := t.TLS(Key).(*holder)
+	if h == nil {
+		return nil
+	}
+	return h.clock
+}
+
+// Owner reports the thread id this clock belongs to.
+func (c *Clock) Owner() int { return c.own }
+
+// Get returns the counter for tid (0 when absent).
+func (c *Clock) Get(tid int) int64 { return c.vals[tid] }
+
+// Len reports the number of tuples in the clock.
+func (c *Clock) Len() int { return len(c.vals) }
+
+// Leq reports whether c happens-before-or-equals other: every component of
+// c is ≤ the corresponding component of other (absent components read 0).
+func (c *Clock) Leq(other *Clock) bool {
+	for tid, v := range c.vals {
+		if v > other.vals[tid] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordered reports whether the two clocks are comparable in either
+// direction — i.e. the events they stamp are causally ordered by fork
+// edges. Waffle's near-miss filter drops candidate pairs whose clocks are
+// Ordered.
+func Ordered(a, b *Clock) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Leq(b) || b.Leq(a)
+}
+
+// Concurrent reports the negation of Ordered for two non-nil clocks.
+func Concurrent(a, b *Clock) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	return !Ordered(a, b)
+}
+
+// Snapshot returns the clock's tuples as a sorted, self-contained slice,
+// suitable for trace encoding.
+func (c *Clock) Snapshot() []Entry {
+	out := make([]Entry, 0, len(c.vals))
+	for tid, v := range c.vals {
+		out = append(out, Entry{TID: tid, Counter: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out
+}
+
+// FromSnapshot rebuilds a clock from encoded tuples.
+func FromSnapshot(own int, entries []Entry) *Clock {
+	vals := make(map[int]int64, len(entries))
+	for _, e := range entries {
+		vals[e.TID] = e.Counter
+	}
+	return &Clock{own: own, vals: vals}
+}
+
+// Entry is one (thread id, counter) tuple of a clock snapshot.
+type Entry struct {
+	TID     int   `json:"tid"`
+	Counter int64 `json:"ctr"`
+}
+
+// String renders the clock as {tid:ctr, ...} in tid order.
+func (c *Clock) String() string {
+	if c == nil {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range c.Snapshot() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%d", e.TID, e.Counter)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"waffle/internal/sim"
+)
+
+// runWorld executes main in a fresh world with a root clock attached and
+// fails the test on any run error.
+func runWorld(t *testing.T, seed int64, main func(*sim.Thread)) {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	err := w.Run(func(root *sim.Thread) {
+		Attach(root)
+		main(root)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestParentBeforeForkOrderedWithChild(t *testing.T) {
+	runWorld(t, 1, func(root *sim.Thread) {
+		before := Of(root) // parent clock before fork
+		var childClock *Clock
+		c := root.Spawn("child", func(c *sim.Thread) {
+			childClock = Of(c)
+		})
+		root.Join(c)
+		if !before.Leq(childClock) {
+			t.Errorf("pre-fork parent %v not ≤ child %v", before, childClock)
+		}
+		if !Ordered(before, childClock) {
+			t.Error("pre-fork parent and child report concurrent")
+		}
+	})
+}
+
+func TestParentAfterForkConcurrentWithChild(t *testing.T) {
+	runWorld(t, 1, func(root *sim.Thread) {
+		var childClock *Clock
+		c := root.Spawn("child", func(c *sim.Thread) {
+			childClock = Of(c)
+		})
+		after := Of(root) // parent clock after fork: own counter bumped
+		root.Join(c)
+		if Ordered(after, childClock) {
+			t.Errorf("post-fork parent %v ordered with child %v", after, childClock)
+		}
+	})
+}
+
+func TestSiblingsConcurrent(t *testing.T) {
+	runWorld(t, 1, func(root *sim.Thread) {
+		var c1Clock, c2Clock *Clock
+		c1 := root.Spawn("c1", func(c *sim.Thread) { c1Clock = Of(c) })
+		c2 := root.Spawn("c2", func(c *sim.Thread) { c2Clock = Of(c) })
+		root.Join(c1)
+		root.Join(c2)
+		if Ordered(c1Clock, c2Clock) {
+			t.Errorf("siblings ordered: %v vs %v", c1Clock, c2Clock)
+		}
+	})
+}
+
+func TestGrandchildInheritsAncestry(t *testing.T) {
+	runWorld(t, 1, func(root *sim.Thread) {
+		rootPre := Of(root)
+		var grandClock *Clock
+		c := root.Spawn("child", func(c *sim.Thread) {
+			childPre := Of(c)
+			g := c.Spawn("grandchild", func(g *sim.Thread) {
+				grandClock = Of(g)
+			})
+			c.Join(g)
+			if !childPre.Leq(grandClock) {
+				t.Errorf("child pre-fork %v not ≤ grandchild %v", childPre, grandClock)
+			}
+		})
+		root.Join(c)
+		if !rootPre.Leq(grandClock) {
+			t.Errorf("root pre-fork %v not ≤ grandchild %v", rootPre, grandClock)
+		}
+	})
+}
+
+func TestJoinDoesNotOrder(t *testing.T) {
+	// Waffle tracks only fork edges; a child's final clock stays concurrent
+	// with parent events after Join. This is the deliberate partial
+	// analysis of Table 1.
+	runWorld(t, 1, func(root *sim.Thread) {
+		var childClock *Clock
+		c := root.Spawn("child", func(c *sim.Thread) { childClock = Of(c) })
+		root.Join(c)
+		after := Of(root)
+		if childClock.Leq(after) {
+			t.Errorf("join created an edge: child %v ≤ parent %v", childClock, after)
+		}
+	})
+}
+
+func TestOfWithoutAttachIsNil(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	err := w.Run(func(root *sim.Thread) {
+		if Of(root) != nil {
+			t.Error("Of on unattached thread != nil")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNilClockComparisons(t *testing.T) {
+	c := FromSnapshot(1, []Entry{{TID: 1, Counter: 1}})
+	if Ordered(nil, c) || Ordered(c, nil) || Ordered(nil, nil) {
+		t.Error("nil clocks must compare unordered")
+	}
+	if !Concurrent(nil, c) {
+		t.Error("Concurrent(nil, c) = false")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	runWorld(t, 1, func(root *sim.Thread) {
+		var clk *Clock
+		c := root.Spawn("c", func(c *sim.Thread) {
+			g := c.Spawn("g", func(*sim.Thread) {})
+			c.Join(g)
+			clk = Of(c)
+		})
+		root.Join(c)
+		snap := clk.Snapshot()
+		back := FromSnapshot(clk.Owner(), snap)
+		if !clk.Leq(back) || !back.Leq(clk) {
+			t.Errorf("round trip changed clock: %v vs %v", clk, back)
+		}
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1].TID >= snap[i].TID {
+				t.Errorf("snapshot not sorted: %v", snap)
+			}
+		}
+	})
+}
+
+func TestStringRendering(t *testing.T) {
+	c := FromSnapshot(2, []Entry{{TID: 2, Counter: 3}, {TID: 1, Counter: 5}})
+	if got, want := c.String(), "{1:5, 2:3}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	var nilClock *Clock
+	if nilClock.String() != "{}" {
+		t.Errorf("nil String = %q", nilClock.String())
+	}
+}
+
+// buildForkTree spawns a deterministic tree of threads (shape driven by
+// spec) and returns every (clock, forkOrderIndex, ancestorSet) triple.
+type clockSample struct {
+	clock     *Clock
+	ancestors map[int]bool // thread ids on the spawn path, self included
+	tid       int
+}
+
+func gatherTree(t *testing.T, seed int64, fanout, depth int) []clockSample {
+	t.Helper()
+	var samples []clockSample
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var build func(th *sim.Thread, anc map[int]bool, d int)
+	build = func(th *sim.Thread, anc map[int]bool, d int) {
+		mine := make(map[int]bool, len(anc)+1)
+		for k := range anc {
+			mine[k] = true
+		}
+		mine[th.ID()] = true
+		samples = append(samples, clockSample{clock: Of(th), ancestors: mine, tid: th.ID()})
+		if d == 0 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			c := th.Spawn("n", func(c *sim.Thread) { build(c, mine, d-1) })
+			th.Join(c)
+		}
+	}
+	err := w.Run(func(root *sim.Thread) {
+		Attach(root)
+		build(root, nil, depth)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return samples
+}
+
+// Property: for thread-creation clocks in a fork tree, sample A is ≤ sample
+// B exactly when A's thread is an ancestor of (or equal to) B's thread.
+// (Creation clocks are taken before any further forks by that thread, so
+// ancestor-creation ≤ descendant-creation must hold, and nothing else.)
+func TestForkTreeOrderMatchesAncestryProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint16, rawFan, rawDepth uint8) bool {
+		fanout := 1 + int(rawFan)%3
+		depth := 1 + int(rawDepth)%3
+		samples := gatherTree(t, int64(rawSeed), fanout, depth)
+		for _, a := range samples {
+			for _, b := range samples {
+				if a.tid == b.tid {
+					continue
+				}
+				ordered := a.clock.Leq(b.clock)
+				isAncestor := b.ancestors[a.tid]
+				if ordered != isAncestor {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Leq is reflexive and antisymmetric on distinct tree clocks.
+func TestLeqPartialOrderProperty(t *testing.T) {
+	samples := gatherTree(t, 7, 2, 3)
+	for _, a := range samples {
+		if !a.clock.Leq(a.clock) {
+			t.Fatalf("Leq not reflexive for %v", a.clock)
+		}
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			if a.tid != b.tid && a.clock.Leq(b.clock) && b.clock.Leq(a.clock) {
+				t.Fatalf("antisymmetry violated: %v and %v", a.clock, b.clock)
+			}
+		}
+	}
+	// Transitivity.
+	for _, a := range samples {
+		for _, b := range samples {
+			for _, c := range samples {
+				if a.clock.Leq(b.clock) && b.clock.Leq(c.clock) && !a.clock.Leq(c.clock) {
+					t.Fatalf("transitivity violated: %v ≤ %v ≤ %v", a.clock, b.clock, c.clock)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package wafflebasic
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// racyInitUse: init naturally 2ms before the racy use; only an injected
+// delay at the init site can expose the use-before-init bug. The init site
+// executes once per run, so WaffleBasic needs one run to identify and a
+// second to inject (§3.3: "too few dynamic instances").
+func racyInitUse() *core.SimProgram {
+	return &core.SimProgram{
+		Label: "racy-init-use",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("listener")
+			user := root.Spawn("event", func(th *sim.Thread) {
+				th.Sleep(3 * sim.Millisecond)
+				r.Use(th, "handler.go:8")
+			})
+			root.Sleep(1 * sim.Millisecond)
+			r.Init(root, "ctor.go:2")
+			root.Join(user)
+		},
+	}
+}
+
+func TestWaffleBasicExposesSimpleBugInTwoRuns(t *testing.T) {
+	s := &core.Session{Prog: racyInitUse(), Tool: New(core.Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug exposed")
+	}
+	if out.Bug.Run != 2 {
+		t.Fatalf("exposed in run %d, want 2 (identify, then inject)", out.Bug.Run)
+	}
+	if out.Bug.Kind() != core.UseBeforeInit {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+}
+
+func TestWaffleBasicUsesFixedDelays(t *testing.T) {
+	tool := New(core.Options{})
+	s := &core.Session{Prog: racyInitUse(), Tool: tool, MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug")
+	}
+	for _, iv := range out.Bug.Delays.Intervals {
+		if iv.Dur() != core.DefaultFixedDelay {
+			t.Fatalf("delay = %v, want fixed %v", iv.Dur(), core.DefaultFixedDelay)
+		}
+	}
+}
+
+// interferingBugs is Figure 4a (ApplicationInsights #1106): a
+// use-before-init candidate and a use-after-free candidate on the same
+// object whose delays cancel each other. WaffleBasic delays both the ctor
+// and the handler in parallel, preserving their order; its happens-before
+// inference then misreads the handler thread's delay-induced stall as
+// synchronization and removes the UBI pair for good. The UAF candidate is
+// a false near-miss (the dispose genuinely waits for the handler), so it
+// only decays. Waffle's interference set serializes the two delays and the
+// UBI bug manifests in its first detection run.
+func interferingBugs() *core.SimProgram {
+	return &core.SimProgram{
+		Label: "interfering-bugs",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			lstnr := h.NewRef("lstnr")
+			buf := h.NewRef("buffer")
+			buf.Init(root, "app.go:1") // pre-fork: fork-ordered with all child uses
+			var done sim.Event
+			root.Spawn("events", func(th *sim.Thread) {
+				th.Sleep(500 * sim.Microsecond)
+				buf.Use(th, "events.go:3") // benign early access
+				th.Sleep(1500 * sim.Microsecond)
+				lstnr.Use(th, "events.go:8") // OnEventWritten: the racy use
+				done.Set(th)
+			})
+			root.Sleep(1 * sim.Millisecond)
+			lstnr.Init(root, "ctor.go:2") // naturally 1ms before the use
+			done.Wait(root)
+			root.Sleep(3 * sim.Millisecond)
+			lstnr.Dispose(root, "dispose.go:5") // always after the use
+		},
+	}
+}
+
+// interferingInstances is Figure 4b (NetMQ #814): the same static site
+// ("chk") executes in the disposing thread right before the dispose and in
+// the worker thread as the racy use. WaffleBasic delays both dynamic
+// instances in parallel and cancels itself with significant probability;
+// Waffle's self-interference edge serializes them.
+func interferingInstances() *core.SimProgram {
+	return &core.SimProgram{
+		Label: "interfering-instances",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			poller := h.NewRef("m_poller")
+			poller.Init(root, "runtime.go:2")
+			worker := root.Spawn("worker", func(th *sim.Thread) {
+				th.Sleep(3 * sim.Millisecond)
+				poller.Use(th, "poller.go:11") // TryExecTaskInline's check
+			})
+			root.Sleep(4 * sim.Millisecond)
+			if poller.UseIfLive(root, "poller.go:11") { // Cleanup's check: same site
+				root.Sleep(500 * sim.Microsecond)
+				poller.Dispose(root, "cleanup.go:8")
+			}
+			root.Join(worker)
+		},
+	}
+}
+
+// exposeRuns runs one session and reports the exposing run (0 = missed).
+func exposeRuns(prog func() *core.SimProgram, tool core.Tool, maxRuns int, seed int64) int {
+	s := &core.Session{Prog: prog(), Tool: tool, MaxRuns: maxRuns, BaseSeed: seed}
+	out := s.Expose()
+	return out.RunsToExpose()
+}
+
+func TestInterferingBugsWaffleBasicMissesWaffleCatches(t *testing.T) {
+	const attempts = 15
+	basicMisses, waffleTwoRuns := 0, 0
+	for i := 0; i < attempts; i++ {
+		seed := int64(100 + i*1000)
+		if exposeRuns(interferingBugs, New(core.Options{}), 20, seed) == 0 {
+			basicMisses++
+		}
+		if r := exposeRuns(interferingBugs, core.NewWaffle(core.Options{}), 20, seed); r == 2 {
+			waffleTwoRuns++
+		}
+	}
+	// The paper reports WaffleBasic cannot trigger Figure 4a's bug in 50
+	// runs; our reproduction requires it to miss in (at least) the vast
+	// majority of attempts, and Waffle to need exactly two runs in the
+	// majority of attempts (§6.2's 10-of-15 criterion).
+	if basicMisses < attempts-1 {
+		t.Errorf("WaffleBasic missed only %d/%d attempts", basicMisses, attempts)
+	}
+	if waffleTwoRuns < 10 {
+		t.Errorf("Waffle exposed in 2 runs only %d/%d attempts", waffleTwoRuns, attempts)
+	}
+}
+
+func TestInterferingInstancesWaffleFasterThanBasic(t *testing.T) {
+	const attempts = 15
+	var basicRuns, waffleRuns []int
+	basicFound, waffleTwoRuns := 0, 0
+	for i := 0; i < attempts; i++ {
+		seed := int64(7_000 + i*911)
+		if r := exposeRuns(interferingInstances, New(core.Options{}), 50, seed); r > 0 {
+			basicFound++
+			basicRuns = append(basicRuns, r)
+		}
+		if r := exposeRuns(interferingInstances, core.NewWaffle(core.Options{}), 50, seed); r == 2 {
+			waffleTwoRuns++
+		}
+		waffleRuns = append(waffleRuns, 2)
+	}
+	if waffleTwoRuns < 10 {
+		t.Errorf("Waffle needed >2 runs too often: 2-run rate %d/%d", waffleTwoRuns, attempts)
+	}
+	// WaffleBasic eventually finds this one (Bug-11 took it 5 runs), but
+	// slower than Waffle on average.
+	if basicFound == 0 {
+		t.Fatal("WaffleBasic never exposed the Figure 4b bug")
+	}
+	sum := 0
+	for _, r := range basicRuns {
+		sum += r
+	}
+	if avg := float64(sum) / float64(len(basicRuns)); avg <= 2.0 {
+		t.Errorf("WaffleBasic average runs = %.1f, expected clearly more than Waffle's 2", avg)
+	}
+}
+
+func TestWaffleBasicCandidatesAndSiteCount(t *testing.T) {
+	tool := New(core.Options{})
+	s := &core.Session{Prog: interferingInstances(), Tool: tool, MaxRuns: 3, BaseSeed: 42}
+	s.Expose()
+	if tool.InjectionSiteCount() == 0 {
+		t.Fatal("no injection sites admitted")
+	}
+	if got := tool.Candidates("poller.go:11"); len(got) == 0 {
+		t.Fatal("no candidates recorded at the racy site")
+	}
+}
+
+func TestWaffleBasicNoFalsePositives(t *testing.T) {
+	clean := &core.SimProgram{
+		Label: "clean",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("r")
+			r.Init(root, "init")
+			var done sim.Event
+			w := root.Spawn("w", func(th *sim.Thread) {
+				done.Wait(th)
+				r.Use(th, "use")
+			})
+			root.Sleep(time2ms)
+			done.Set(root)
+			root.Join(w)
+			r.Dispose(root, "disp")
+		},
+	}
+	s := &core.Session{Prog: clean, Tool: New(core.Options{}), MaxRuns: 10, BaseSeed: 5}
+	if out := s.Expose(); out.Bug != nil {
+		t.Fatalf("false positive: %v", out.Bug)
+	}
+}
+
+const time2ms = 2 * sim.Millisecond

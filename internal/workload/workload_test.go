@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/trace"
+)
+
+// record runs the spec once under a recording hook and returns the trace.
+func record(t *testing.T, spec Spec, seed int64) *trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder(spec.Prefix, seed)
+	prog := &core.SimProgram{Label: spec.Prefix, Jitter: 0.05, Body: spec.Body()}
+	res := prog.Execute(seed, core.NewPrepHook(rec, core.Options{}))
+	if res.Fault != nil {
+		t.Fatalf("generated workload faulted: %v", res.Fault)
+	}
+	if res.Err != nil {
+		t.Fatalf("generated workload failed: %v", res.Err)
+	}
+	return rec.Finish(res.End)
+}
+
+func TestGeneratedWorkloadIsFaultFreeAcrossSeeds(t *testing.T) {
+	spec := Spec{
+		Prefix: "app", Threads: 3, LocalObjs: 4, LocalOps: 3,
+		SharedObjs: 3, SharedUses: 2, PreForkObjs: 2, SiteFanout: 2,
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		record(t, spec, seed)
+	}
+}
+
+func TestSiteDensityScalesWithSpec(t *testing.T) {
+	small := record(t, Spec{Prefix: "s", Threads: 2, LocalObjs: 2, LocalOps: 2, SharedObjs: 1, SharedUses: 1}, 1)
+	big := record(t, Spec{Prefix: "b", Threads: 4, LocalObjs: 10, LocalOps: 4, SharedObjs: 6, SharedUses: 3, SiteFanout: 3}, 1)
+	ss, bs := small.ComputeStats(), big.ComputeStats()
+	if bs.MemSites <= ss.MemSites {
+		t.Fatalf("big spec sites %d ≤ small spec sites %d", bs.MemSites, ss.MemSites)
+	}
+}
+
+func TestSharedObjectsCreateInjectionCandidates(t *testing.T) {
+	tr := record(t, Spec{
+		Prefix: "x", Threads: 3, SharedObjs: 4, SharedUses: 3,
+		LocalObjs: 2, LocalOps: 2,
+	}, 7)
+	plan := core.Analyze(tr, core.Options{})
+	if len(plan.Pairs) == 0 {
+		t.Fatal("no near-miss candidates from shared objects")
+	}
+	if len(plan.InjectionSites()) == 0 {
+		t.Fatal("no injection sites")
+	}
+}
+
+func TestPreForkPairsPrunedByWaffleKeptByAblation(t *testing.T) {
+	spec := Spec{Prefix: "pf", Threads: 2, PreForkObjs: 5, LocalObjs: 1, LocalOps: 1}
+	tr := record(t, spec, 3)
+	pruned := core.Analyze(tr, core.Options{})
+	kept := core.Analyze(tr, core.Options{DisableParentChild: true})
+	prunedUBI, keptUBI := 0, 0
+	for _, p := range pruned.Pairs {
+		if p.Kind == core.UseBeforeInit {
+			prunedUBI++
+		}
+	}
+	for _, p := range kept.Pairs {
+		if p.Kind == core.UseBeforeInit {
+			keptUBI++
+		}
+	}
+	if prunedUBI != 0 {
+		t.Fatalf("fork-ordered init/use pairs survived pruning: %d", prunedUBI)
+	}
+	if keptUBI == 0 {
+		t.Fatal("ablation found no fork-ordered pairs to keep")
+	}
+}
+
+func TestAPITrafficVisibleToTSVDOnly(t *testing.T) {
+	tr := record(t, Spec{
+		Prefix: "api", Threads: 2, APIObjs: 2, APICalls: 6, APISites: 3,
+	}, 5)
+	st := tr.ComputeStats()
+	if st.APISites == 0 || st.APIEvents == 0 {
+		t.Fatalf("no API traffic recorded: %+v", st)
+	}
+	plan := core.Analyze(tr, core.Options{})
+	for _, p := range plan.Pairs {
+		t.Fatalf("API traffic leaked into MemOrder candidates: %+v", p)
+	}
+}
+
+func TestGeneratedWorkloadSurvivesWaffleDetection(t *testing.T) {
+	// A pure-noise workload must stay fault-free under full Waffle
+	// detection — delays at its candidate sites hit guarded uses only.
+	spec := Spec{
+		Prefix: "noise", Threads: 3, LocalObjs: 3, LocalOps: 2,
+		SharedObjs: 4, SharedUses: 3, PreForkObjs: 2,
+	}
+	prog := &core.SimProgram{Label: "noise", Jitter: 0.05, Body: spec.Body()}
+	s := &core.Session{Prog: prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 6, BaseSeed: 11}
+	out := s.Expose()
+	if out.Bug != nil {
+		t.Fatalf("noise workload produced a bug: %v", out.Bug)
+	}
+	injected := 0
+	for _, r := range out.Runs {
+		injected += r.Stats.Count
+	}
+	if injected == 0 {
+		t.Fatal("detection runs injected nothing — the workload generates no candidates")
+	}
+}
+
+func TestBaseTimeScalesWithSpacing(t *testing.T) {
+	slow := record(t, Spec{Prefix: "slow", Threads: 2, LocalObjs: 3, LocalOps: 5, Spacing: 2000}, 1)
+	fast := record(t, Spec{Prefix: "fast", Threads: 2, LocalObjs: 3, LocalOps: 5, Spacing: 500}, 1)
+	if slow.End <= fast.End {
+		t.Fatalf("spacing did not scale time: slow %v ≤ fast %v", slow.End, fast.End)
+	}
+}
+
+func TestTaskWorkloadFaultFree(t *testing.T) {
+	spec := TaskSpec{
+		Prefix: "taskapp", Workers: 3, PreSubmitObjs: 2,
+		SharedObjs: 4, UsesPerObj: 2,
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		prog := &core.SimProgram{Label: "taskapp", Jitter: 0.05, Body: spec.Body()}
+		res := prog.Execute(seed, nil)
+		if res.Fault != nil || res.Err != nil {
+			t.Fatalf("task workload failed (seed %d): fault=%v err=%v", seed, res.Fault, res.Err)
+		}
+	}
+}
+
+func TestTaskWorkloadPreSubmitPairsPruned(t *testing.T) {
+	spec := TaskSpec{
+		Prefix: "taskpfx", Workers: 2, PreSubmitObjs: 3,
+		SharedObjs: 2, UsesPerObj: 2,
+	}
+	rec := trace.NewRecorder("taskpfx", 1)
+	prog := &core.SimProgram{Label: "taskpfx", Jitter: 0.05, Body: spec.Body()}
+	res := prog.Execute(1, core.NewPrepHook(rec, core.Options{}))
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	tr := rec.Finish(res.End)
+	pruned := core.Analyze(tr, core.Options{})
+	for _, p := range pruned.Pairs {
+		if p.Kind == core.UseBeforeInit && p.Target == "taskpfx/pre/0/use" {
+			t.Fatalf("pre-submit pair survived async-local pruning: %+v", p)
+		}
+	}
+	unpruned := core.Analyze(tr, core.Options{DisableParentChild: true})
+	if len(unpruned.Pairs) <= len(pruned.Pairs) {
+		t.Fatalf("pruning removed nothing: %d vs %d", len(unpruned.Pairs), len(pruned.Pairs))
+	}
+}
+
+func TestTaskWorkloadSurvivesWaffleDetection(t *testing.T) {
+	spec := TaskSpec{
+		Prefix: "tasknoise", Workers: 2, PreSubmitObjs: 1,
+		SharedObjs: 3, UsesPerObj: 2,
+	}
+	prog := &core.SimProgram{Label: "tasknoise", Jitter: 0.05, Body: spec.Body()}
+	s := &core.Session{Prog: prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 5, BaseSeed: 3}
+	if out := s.Expose(); out.Bug != nil {
+		t.Fatalf("task noise workload produced a bug: %v", out.Bug)
+	}
+}

@@ -1,0 +1,130 @@
+package waffle_test
+
+import (
+	"testing"
+
+	"waffle"
+)
+
+// quickUAF is a minimal use-after-free scenario for facade tests.
+func quickUAF() waffle.Scenario {
+	return waffle.Scenario{
+		Name: "facade-uaf",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			obj := h.NewRef("conn")
+			obj.Init(t, "main.go:10")
+			worker := t.Spawn("worker", func(w *waffle.Thread) {
+				w.Sleep(1 * waffle.Millisecond)
+				obj.Use(w, "worker.go:7")
+			})
+			t.Sleep(3 * waffle.Millisecond)
+			obj.Dispose(t, "main.go:20")
+			t.Join(worker)
+		},
+	}
+}
+
+func TestDetectorExposesScenario(t *testing.T) {
+	out := waffle.New(waffle.Options{}).Expose(quickUAF(), 10, 1)
+	if out.Bug == nil {
+		t.Fatal("no bug exposed")
+	}
+	if out.Bug.Kind() != waffle.UseAfterFree {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+	if out.RunsToExpose() != 2 {
+		t.Fatalf("runs = %d, want 2", out.RunsToExpose())
+	}
+	if out.Bug.NullRef.Site != "worker.go:7" {
+		t.Fatalf("site = %s", out.Bug.NullRef.Site)
+	}
+}
+
+func TestBasicDetectorAlsoWorks(t *testing.T) {
+	out := waffle.NewBasic(waffle.Options{}).Expose(quickUAF(), 10, 1)
+	if out.Bug == nil {
+		t.Fatal("WaffleBasic found nothing")
+	}
+	if out.Tool != "wafflebasic" {
+		t.Fatalf("tool = %s", out.Tool)
+	}
+}
+
+func TestCleanScenarioNoFalsePositive(t *testing.T) {
+	clean := waffle.Scenario{
+		Name: "clean",
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			obj := h.NewRef("obj")
+			obj.Init(t, "a")
+			var done waffle.Event
+			w := t.Spawn("w", func(w *waffle.Thread) {
+				done.Wait(w)
+				obj.Use(w, "b")
+			})
+			t.Sleep(2 * waffle.Millisecond)
+			done.Set(t)
+			t.Join(w)
+			obj.Dispose(t, "c")
+		},
+	}
+	if out := waffle.New(waffle.Options{}).Expose(clean, 6, 9); out.Bug != nil {
+		t.Fatalf("false positive: %v", out.Bug)
+	}
+}
+
+func TestBenchmarksRegistry(t *testing.T) {
+	benchApps := waffle.Benchmarks()
+	if len(benchApps) != 11 {
+		t.Fatalf("apps = %d, want 11", len(benchApps))
+	}
+	if waffle.Benchmark("NetMQ") == nil {
+		t.Fatal("NetMQ missing")
+	}
+	if waffle.Benchmark("NoSuchApp") != nil {
+		t.Fatal("phantom app")
+	}
+	bugs := waffle.Bugs()
+	if len(bugs) != 18 {
+		t.Fatalf("bugs = %d, want 18", len(bugs))
+	}
+}
+
+func TestExposeTestOnBenchmarkBug(t *testing.T) {
+	var target *waffle.Test
+	for _, b := range waffle.Bugs() {
+		if b.Bug.ID == "Bug-2" {
+			target = b
+		}
+	}
+	if target == nil {
+		t.Fatal("Bug-2 not found")
+	}
+	out := waffle.New(waffle.Options{}).ExposeTest(target, 10, 1)
+	if out.Bug == nil {
+		t.Fatal("Bug-2 not exposed")
+	}
+	if out.Bug.Kind() != waffle.UseBeforeInit {
+		t.Fatalf("kind = %v", out.Bug.Kind())
+	}
+}
+
+func TestScenarioTimeout(t *testing.T) {
+	hang := waffle.Scenario{
+		Name:    "hang",
+		Timeout: 10 * waffle.Millisecond,
+		Body: func(t *waffle.Thread, h *waffle.Heap) {
+			for {
+				t.Sleep(5 * waffle.Millisecond)
+			}
+		},
+	}
+	out := waffle.New(waffle.Options{}).Expose(hang, 2, 1)
+	if out.Bug != nil {
+		t.Fatal("timeout produced a bug")
+	}
+	for _, r := range out.Runs {
+		if !r.TimedOut {
+			t.Fatalf("run %d not timed out", r.Run)
+		}
+	}
+}
