@@ -31,6 +31,7 @@ func main() {
 		reps     = flag.Int("reps", 15, "repetitions for probabilistic experiments")
 		maxRuns  = flag.Int("max-runs", 50, "search bound for bug exposure")
 		seed     = flag.Int64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent sessions (0 = GOMAXPROCS; numbers unchanged)")
 		appName  = flag.String("app", "", "restrict suite tables to one app")
 		sweep    = flag.String("sweep", "", "sensitivity sweep: window | alpha")
 		compare  = flag.Bool("compare", false, "empirical tool comparison across Table 1's design points")
@@ -56,11 +57,11 @@ func main() {
 			if a.Name == "LiteDB" {
 				continue // excluded from Tables 2/5/6 (§6.4)
 			}
-			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests}))
+			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests, Parallelism: *parallel}))
 		}
 		return rows
 	}
-	bugOpt := eval.BugOptions{Seed: *seed, Repetitions: *reps, MaxRuns: *maxRuns}
+	bugOpt := eval.BugOptions{Seed: *seed, Repetitions: *reps, MaxRuns: *maxRuns, Parallelism: *parallel}
 
 	var suiteRows []eval.SuiteRow
 	getSuite := func() []eval.SuiteRow {

@@ -30,6 +30,7 @@ func main() {
 		maxRuns  = flag.Int("max-runs", 50, "run budget (preparation included)")
 		seed     = flag.Int64("seed", 1, "base seed; run i uses seed+i-1")
 		replay   = flag.Bool("replay", false, "after exposing a bug, validate it with a minimal deterministic replay")
+		parallel = flag.Int("parallel", 1, "worker goroutines for detection runs (result identical to sequential)")
 		jsonOut  = flag.String("report", "", "write the bug report as JSON to this path")
 		planOut  = flag.String("plan", "", "write the analyzed plan (candidate set S, interference set I, delay lengths) as JSON")
 		traceOut = flag.String("trace", "", "write the preparation-run trace (binary)")
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 	if *suite != "" {
-		runSuite(*suite, *toolName, *maxRuns, *seed)
+		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel)
 		return
 	}
 	if *testName == "" {
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	session := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: *maxRuns, BaseSeed: *seed}
-	out := session.Expose()
+	out := session.ExposeParallel(*parallel)
 
 	fmt.Printf("program:  %s\n", out.Program)
 	fmt.Printf("tool:     %s\n", out.Tool)
@@ -84,6 +85,8 @@ func main() {
 		}
 		status := "clean"
 		switch {
+		case r.Err != nil:
+			status = "ERROR"
 		case r.Fault != nil:
 			status = "FAULT"
 		case r.TimedOut:
@@ -91,6 +94,12 @@ func main() {
 		}
 		fmt.Printf("run %2d (%s, seed %d): end=%v delays=%d (%v total, %d skipped) %s\n",
 			r.Run, kind, r.Seed, r.End, r.Stats.Count, r.Stats.Total, r.Stats.Skipped, status)
+	}
+	if errs := out.RunErrs(); len(errs) > 0 {
+		fmt.Printf("%d run(s) failed without a verdict:\n", len(errs))
+		for _, e := range errs {
+			fmt.Printf("  %v\n", e)
+		}
 	}
 
 	if out.Bug == nil {
@@ -154,7 +163,7 @@ func main() {
 // runSuite exposes bugs across one application's whole test suite — the
 // evaluation's usage mode: "we ran both tools using every multi-threaded
 // test case in the test suites of each application" (§6.1).
-func runSuite(appName, toolName string, maxRuns int, seed int64) {
+func runSuite(appName, toolName string, maxRuns int, seed int64, parallel int) {
 	app := apps.ByName(appName)
 	if app == nil {
 		fmt.Fprintf(os.Stderr, "waffle: unknown application %q (try -list)\n", appName)
@@ -182,7 +191,7 @@ func runSuite(appName, toolName string, maxRuns int, seed int64) {
 			Prog: test.Prog, Tool: mkTool(),
 			MaxRuns: maxRuns, BaseSeed: seed + int64(i)*101,
 		}
-		out := session.Expose()
+		out := session.ExposeParallel(parallel)
 		if out.Bug != nil {
 			bugsFound++
 			fmt.Printf("  %-32s %v at %s (run %d, slowdown %.1fx)\n",

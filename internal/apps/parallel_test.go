@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"waffle/internal/core"
+)
+
+// TestParallelDetectionMatchesSequentialAcrossRegistry: for every planted
+// bug, the parallel orchestrator must report exactly the sequential
+// search's result — same exposing run, seed, fault site, and bug kind —
+// for both small and large worker counts. This is the reproducibility
+// contract that lets EXPERIMENTS.md numbers be collected with -parallel
+// without changing any reported metric.
+func TestParallelDetectionMatchesSequentialAcrossRegistry(t *testing.T) {
+	for _, b := range AllBugs() {
+		b := b
+		t.Run(b.Bug.ID, func(t *testing.T) {
+			t.Parallel()
+			seq := (&core.Session{Prog: b.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 25, BaseSeed: 11}).Expose()
+			for _, workers := range []int{2, 8} {
+				par := (&core.Session{Prog: b.Prog, Tool: core.NewWaffle(core.Options{}), MaxRuns: 25, BaseSeed: 11}).ExposeParallel(workers)
+				if err := sameSearchResult(seq, par); err != nil {
+					t.Errorf("workers=%d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+func sameSearchResult(seq, par *core.Outcome) error {
+	if len(seq.Runs) != len(par.Runs) {
+		return fmt.Errorf("run counts differ: %d vs %d", len(seq.Runs), len(par.Runs))
+	}
+	for i := range seq.Runs {
+		a, b := seq.Runs[i], par.Runs[i]
+		if a.Run != b.Run || a.Seed != b.Seed || a.End != b.End ||
+			a.Stats.Count != b.Stats.Count || a.Stats.Total != b.Stats.Total {
+			return fmt.Errorf("run %d differs: {run %d seed %d end %v delays %d/%v} vs {run %d seed %d end %v delays %d/%v}",
+				i+1, a.Run, a.Seed, a.End, a.Stats.Count, a.Stats.Total,
+				b.Run, b.Seed, b.End, b.Stats.Count, b.Stats.Total)
+		}
+	}
+	switch {
+	case seq.Bug == nil && par.Bug == nil:
+		return nil
+	case seq.Bug == nil || par.Bug == nil:
+		return fmt.Errorf("bug presence differs: %v vs %v", seq.Bug, par.Bug)
+	case seq.Bug.Run != par.Bug.Run || seq.Bug.Seed != par.Bug.Seed ||
+		seq.Bug.NullRef.Site != par.Bug.NullRef.Site || seq.Bug.Kind() != par.Bug.Kind():
+		return fmt.Errorf("bugs differ:\n  sequential: %v\n  parallel:   %v", seq.Bug, par.Bug)
+	}
+	return nil
+}

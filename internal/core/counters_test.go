@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// faultMidDelay runs a scenario in which the hook delays the Init at
+// ctor.go:2 long enough for a second thread's Use to fault while that
+// delay is still in flight — the exposing schedule, which tears the
+// delayed thread down mid-Sleep.
+func faultMidDelay(t *testing.T, hook memmodel.Hook) {
+	t.Helper()
+	h := memmodel.NewHeap()
+	h.SetHook(hook)
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	err := w.Run(func(root *sim.Thread) {
+		r := h.NewRef("listener")
+		user := root.Spawn("event", func(th *sim.Thread) {
+			th.Sleep(1 * sim.Millisecond)
+			r.Use(th, "handler.go:8")
+		})
+		r.Init(root, "ctor.go:2")
+		root.Join(user)
+	})
+	if err == nil {
+		t.Fatal("scenario did not fault: the delay never exposed the bug")
+	}
+}
+
+func TestInjectorReleasesCountersOnMidDelayFault(t *testing.T) {
+	plan := planWith("ctor.go:2", 10*sim.Millisecond)
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	faultMidDelay(t, inj)
+	if inj.activeTotal != 0 {
+		t.Fatalf("activeTotal = %d after the world drained, want 0", inj.activeTotal)
+	}
+	for site, n := range inj.active {
+		if n != 0 {
+			t.Fatalf("active[%s] = %d after the world drained, want 0", site, n)
+		}
+	}
+	if got := inj.Stats().Count; got != 1 {
+		t.Fatalf("delays recorded = %d, want 1 (the exposing delay)", got)
+	}
+}
+
+func TestOnlineReleasesCountersOnMidDelayFault(t *testing.T) {
+	o := NewOnline(WaffleBasicConfig(Options{InstrCost: -1}))
+	p := &Pair{Delay: "ctor.go:2", Target: "handler.go:8", Kind: UseBeforeInit, Gap: 5 * sim.Millisecond}
+	o.pairs[p.key()] = p
+	o.bySite[p.Delay] = []*Pair{p}
+	o.lens[p.Delay] = p.Gap
+	o.probs[p.Delay] = 1.0
+	o.BeginRun()
+	faultMidDelay(t, o)
+	if o.activeTot != 0 {
+		t.Fatalf("activeTot = %d after the world drained, want 0", o.activeTot)
+	}
+	for site, n := range o.active {
+		if n != 0 {
+			t.Fatalf("active[%s] = %d after the world drained, want 0", site, n)
+		}
+	}
+}
+
+// TestInterferenceNotSpuriouslyLiveAfterFault drives a full Waffle session
+// twice over an input whose first detection run faults mid-delay, then
+// checks the injector the exposing run used reports no in-flight delay —
+// the precondition for interference control in any later consumer of the
+// same injector state.
+func TestInterferenceControlSeesNoLeakedDelayAcrossRuns(t *testing.T) {
+	site := trace.SiteID("ctor.go:2")
+	plan := planWith(site, 10*sim.Millisecond)
+	plan.Interfere = map[trace.SiteID][]trace.SiteID{
+		"other": {site}, site: {"other"},
+	}
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	faultMidDelay(t, inj)
+	if inj.interferenceLive("other") {
+		t.Fatal("leaked counter: faulted site's delay still reads as live")
+	}
+}

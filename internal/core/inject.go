@@ -88,13 +88,19 @@ func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, 
 	d := in.opts.delayFor(gapLen)
 	in.active[site]++
 	in.activeTotal++
+	// Release via defer: a bug-exposing delay tears this thread down
+	// mid-Sleep (the teardown unwinds through this frame), and a counter
+	// that stays live would make every other thread treat the faulted
+	// site's delay as ongoing, spuriously skipping injections.
+	defer func() {
+		in.active[site]--
+		in.activeTotal--
+	}()
 	start := t.Now()
-	// Record up front: if the delay exposes a bug, the world tears this
-	// thread down mid-sleep and code after Sleep never runs.
+	// Record up front: if the delay exposes a bug, code after Sleep never
+	// runs.
 	in.stats.add(Interval{Site: site, Start: start, End: start.Add(d)})
 	t.Sleep(d)
-	in.active[site]--
-	in.activeTotal--
 
 	// The delay completed without the world faulting (a fault would have
 	// torn this thread down mid-sleep): this attempt failed to expose a

@@ -201,14 +201,19 @@ func (o *Online) maybeDelay(t *sim.Thread, site trace.SiteID) {
 	}
 	o.active[site]++
 	o.activeTot++
+	// Release via defer: a bug-exposing delay tears this thread down
+	// mid-Sleep, and a leaked counter would keep interference control
+	// skipping injections at partner sites until the run state resets.
+	defer func() {
+		o.active[site]--
+		o.activeTot--
+	}()
 	start := t.Now()
 	end := start.Add(d)
 	// Record up front: a bug-exposing delay tears this thread down
 	// mid-sleep and code after Sleep never runs.
 	o.stats.add(Interval{Site: site, Start: start, End: end})
 	t.Sleep(d)
-	o.active[site]--
-	o.activeTot--
 	o.lastDelay[site] = delayRec{start: start, end: end, tid: t.ID(), valid: true}
 
 	np := p - o.cfg.Decay

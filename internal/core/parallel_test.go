@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// equalOutcomes compares everything a sequential-equivalence claim covers:
+// run numbers, seeds, end times, timeout/error flags, per-run delay stats
+// interval-for-interval, and the winning bug's identity.
+func equalOutcomes(t *testing.T, seq, par *Outcome) {
+	t.Helper()
+	if len(seq.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: sequential %d, parallel %d", len(seq.Runs), len(par.Runs))
+	}
+	for i := range seq.Runs {
+		a, b := seq.Runs[i], par.Runs[i]
+		if a.Run != b.Run || a.Seed != b.Seed || a.End != b.End || a.TimedOut != b.TimedOut {
+			t.Fatalf("run %d differs: %+v vs %+v", i+1, a, b)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("run %d err differs: %v vs %v", i+1, a.Err, b.Err)
+		}
+		if (a.Fault == nil) != (b.Fault == nil) {
+			t.Fatalf("run %d fault differs: %v vs %v", i+1, a.Fault, b.Fault)
+		}
+		if a.Stats.Count != b.Stats.Count || a.Stats.Total != b.Stats.Total || a.Stats.Skipped != b.Stats.Skipped {
+			t.Fatalf("run %d stats differ: %+v vs %+v", i+1, a.Stats, b.Stats)
+		}
+		if !reflect.DeepEqual(a.Stats.Intervals, b.Stats.Intervals) {
+			t.Fatalf("run %d intervals differ: %v vs %v", i+1, a.Stats.Intervals, b.Stats.Intervals)
+		}
+	}
+	if seq.TotalTime != par.TotalTime {
+		t.Fatalf("total time differs: %v vs %v", seq.TotalTime, par.TotalTime)
+	}
+	switch {
+	case seq.Bug == nil && par.Bug == nil:
+	case seq.Bug == nil || par.Bug == nil:
+		t.Fatalf("bug presence differs: %v vs %v", seq.Bug, par.Bug)
+	case seq.Bug.Run != par.Bug.Run || seq.Bug.Seed != par.Bug.Seed ||
+		seq.Bug.NullRef.Site != par.Bug.NullRef.Site || seq.Bug.Kind() != par.Bug.Kind():
+		t.Fatalf("bugs differ:\n  sequential: %v\n  parallel:   %v", seq.Bug, par.Bug)
+	}
+}
+
+func TestExposeParallelMatchesSequential(t *testing.T) {
+	progs := []func() *SimProgram{racyInitUse, racyUseDispose, deadlocker}
+	for _, mk := range progs {
+		for _, workers := range []int{2, 8} {
+			prog := mk()
+			t.Run(fmt.Sprintf("%s/w%d", prog.Label, workers), func(t *testing.T) {
+				seq := (&Session{Prog: mk(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}).Expose()
+				par := (&Session{Prog: mk(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}).ExposeParallel(workers)
+				equalOutcomes(t, seq, par)
+			})
+		}
+	}
+}
+
+func TestExposeParallelMatchesSequentialWithPlanBootstrap(t *testing.T) {
+	// NewWaffleWithPlan skips preparation: every run is a detection run, so
+	// the whole search parallelizes. The plan must end in the same decayed
+	// state either way.
+	// Build the plan once from a prep-only session, then clone it per mode.
+	prepTool := NewWaffle(Options{})
+	prep := (&Session{Prog: racyInitUse(), Tool: prepTool, MaxRuns: 1, BaseSeed: 1}).Expose()
+	base := prepTool.DetectionPlan(&prep.Runs[0])
+	seqTool := NewWaffleWithPlan(base.Clone(), Options{})
+	parTool := NewWaffleWithPlan(base.Clone(), Options{})
+	seq := (&Session{Prog: racyInitUse(), Tool: seqTool, MaxRuns: 8, BaseSeed: 21}).Expose()
+	par := (&Session{Prog: racyInitUse(), Tool: parTool, MaxRuns: 8, BaseSeed: 21}).ExposeParallel(4)
+	equalOutcomes(t, seq, par)
+	if !probsEqual(seqTool.Plan().Probs, parTool.Plan().Probs) {
+		t.Fatalf("plan probabilities diverged: %v vs %v", seqTool.Plan().Probs, parTool.Plan().Probs)
+	}
+}
+
+func TestExposeParallelFallsBackWithoutPlanDrivenTool(t *testing.T) {
+	// The online ablation is not plan-driven: ExposeParallel must still
+	// work by running sequentially.
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{DisablePrepRun: true}), MaxRuns: 20, BaseSeed: 1}
+	out := s.ExposeParallel(8)
+	if out.Bug == nil {
+		t.Fatal("fallback search found nothing")
+	}
+}
+
+// panicOnSeed wraps a program to panic on one specific seed's execution —
+// a stand-in for a harness bug inside the simulated world.
+type panicOnSeed struct {
+	Program
+	seed int64
+}
+
+func (p *panicOnSeed) Execute(seed int64, hook memmodel.Hook) ExecResult {
+	if seed == p.seed {
+		panic("injected harness failure")
+	}
+	return p.Program.Execute(seed, hook)
+}
+
+func TestExposeParallelRecoversRunPanics(t *testing.T) {
+	// Seed 11 is run 2 (BaseSeed 10): the first detection run, which would
+	// otherwise expose the bug. Its panic must land in that run's report,
+	// and a later run must still expose the bug.
+	prog := &panicOnSeed{Program: racyInitUse(), seed: 11}
+	s := &Session{Prog: prog, Tool: NewWaffle(Options{}), MaxRuns: 6, BaseSeed: 10}
+	out := s.ExposeParallel(4)
+	if out.Bug == nil {
+		t.Fatal("search stopped instead of surviving the panicked run")
+	}
+	var panicked *RunReport
+	for i := range out.Runs {
+		if out.Runs[i].Seed == 11 {
+			panicked = &out.Runs[i]
+		}
+	}
+	if panicked == nil {
+		t.Fatal("panicked run missing from the outcome")
+	}
+	if panicked.Err == nil || !strings.Contains(panicked.Err.Error(), "panicked") {
+		t.Fatalf("panicked run err = %v", panicked.Err)
+	}
+	if len(out.RunErrs()) != 1 {
+		t.Fatalf("RunErrs = %v, want exactly the panicked run", out.RunErrs())
+	}
+}
+
+// stuckProgram never finishes a detection run unless canceled. The clean
+// Execute path (used for the baseline and preparation) completes normally.
+type stuckProgram struct {
+	inner *SimProgram
+}
+
+func (p *stuckProgram) Name() string { return p.inner.Label }
+
+func (p *stuckProgram) Execute(seed int64, hook memmodel.Hook) ExecResult {
+	return p.inner.Execute(seed, hook)
+}
+
+func (p *stuckProgram) ExecuteCtx(ctx context.Context, seed int64, hook memmodel.Hook) ExecResult {
+	<-ctx.Done()
+	return ExecResult{Err: fmt.Errorf("run budget: %w", sim.ErrCanceled)}
+}
+
+func TestExposeParallelHonorsRunBudget(t *testing.T) {
+	s := &Session{
+		Prog:      &stuckProgram{inner: racyInitUse()},
+		Tool:      NewWaffle(Options{}),
+		MaxRuns:   3,
+		BaseSeed:  1,
+		RunBudget: 5 * time.Millisecond,
+	}
+	done := make(chan *Outcome, 1)
+	go func() { done <- s.ExposeParallel(2) }()
+	select {
+	case out := <-done:
+		// Runs 2 and 3 are stuck detection runs freed by the budget.
+		if errs := out.RunErrs(); len(errs) != 2 {
+			t.Fatalf("RunErrs = %v, want 2 budget cancellations", errs)
+		}
+		for _, e := range out.RunErrs() {
+			if !errors.Is(e, sim.ErrCanceled) {
+				t.Fatalf("budget error %v does not wrap ErrCanceled", e)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ExposeParallel hung: run budget not enforced")
+	}
+}

@@ -112,6 +112,79 @@ func (p *Plan) InterferesWith(a, b trace.SiteID) bool {
 	return false
 }
 
+// Clone returns a deep copy of the plan. Detection workers running
+// concurrently each inject from their own snapshot, so probability decay
+// in one run never races with another run reading the shared plan.
+func (p *Plan) Clone() *Plan {
+	c := &Plan{
+		Label:     p.Label,
+		Window:    p.Window,
+		Pairs:     append([]Pair(nil), p.Pairs...),
+		DelayLen:  make(map[trace.SiteID]sim.Duration, len(p.DelayLen)),
+		Interfere: make(map[trace.SiteID][]trace.SiteID, len(p.Interfere)),
+		Probs:     make(map[trace.SiteID]float64, len(p.Probs)),
+	}
+	for k, v := range p.DelayLen {
+		c.DelayLen[k] = v
+	}
+	for k, v := range p.Interfere {
+		c.Interfere[k] = append([]trace.SiteID(nil), v...)
+	}
+	for k, v := range p.Probs {
+		c.Probs[k] = v
+	}
+	return c
+}
+
+// MergeFrom folds the state of a clone back into p after its runs
+// completed. Probabilities only ever decay (§5), so min-merge recovers the
+// furthest-decayed value per site; delay lengths only ever widen, so
+// max-merge keeps the widest. Pairs and interference edges are unioned.
+// The merge is idempotent and commutative, which lets concurrent workers'
+// clones fold back in any order with the same result.
+func (p *Plan) MergeFrom(o *Plan) {
+	seen := make(map[pairKey]bool, len(p.Pairs))
+	for _, pr := range p.Pairs {
+		seen[pr.key()] = true
+	}
+	for _, pr := range o.Pairs {
+		if !seen[pr.key()] {
+			seen[pr.key()] = true
+			p.Pairs = append(p.Pairs, pr)
+		}
+	}
+	for k, v := range o.DelayLen {
+		if cur, ok := p.DelayLen[k]; !ok || v > cur {
+			if p.DelayLen == nil {
+				p.DelayLen = make(map[trace.SiteID]sim.Duration)
+			}
+			p.DelayLen[k] = v
+		}
+	}
+	for k, others := range o.Interfere {
+		have := make(map[trace.SiteID]bool, len(p.Interfere[k]))
+		for _, s := range p.Interfere[k] {
+			have[s] = true
+		}
+		for _, s := range others {
+			if !have[s] {
+				if p.Interfere == nil {
+					p.Interfere = make(map[trace.SiteID][]trace.SiteID)
+				}
+				p.Interfere[k] = append(p.Interfere[k], s)
+			}
+		}
+	}
+	for k, v := range o.Probs {
+		if cur, ok := p.Probs[k]; !ok || v < cur {
+			if p.Probs == nil {
+				p.Probs = make(map[trace.SiteID]float64)
+			}
+			p.Probs[k] = v
+		}
+	}
+}
+
 // planJSON is the wire form of Plan.
 type planJSON struct {
 	Label     string              `json:"label"`

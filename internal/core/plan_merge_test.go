@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// mergePlan builds a plan from compact literals for the merge tables.
+func mergePlan(pairs []Pair, probs map[trace.SiteID]float64, lens map[trace.SiteID]sim.Duration, interfere map[trace.SiteID][]trace.SiteID) *Plan {
+	return &Plan{
+		Label: "merge/test", Window: sim.Millisecond,
+		Pairs: pairs, Probs: probs, DelayLen: lens, Interfere: interfere,
+	}
+}
+
+func TestPlanCloneIsDeepAndIndependent(t *testing.T) {
+	p := mergePlan(
+		[]Pair{{Delay: "a", Target: "b", Kind: UseBeforeInit, Gap: 5, Count: 2}},
+		map[trace.SiteID]float64{"a": 1.0},
+		map[trace.SiteID]sim.Duration{"a": 5},
+		map[trace.SiteID][]trace.SiteID{"a": {"c"}},
+	)
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatalf("clone differs: %+v vs %+v", p, c)
+	}
+	// Mutating the clone must not leak into the original.
+	c.Probs["a"] = 0.3
+	c.DelayLen["a"] = 9
+	c.Interfere["a"][0] = "z"
+	c.Pairs[0].Count = 99
+	if p.Probs["a"] != 1.0 || p.DelayLen["a"] != 5 || p.Interfere["a"][0] != "c" || p.Pairs[0].Count != 2 {
+		t.Fatalf("clone shares state with original: %+v", p)
+	}
+}
+
+func TestPlanMergeFromTable(t *testing.T) {
+	base := func() *Plan {
+		return mergePlan(
+			[]Pair{{Delay: "a", Target: "b", Kind: UseBeforeInit, Gap: 5}},
+			map[trace.SiteID]float64{"a": 0.8, "b": 0.5},
+			map[trace.SiteID]sim.Duration{"a": 5},
+			map[trace.SiteID][]trace.SiteID{"a": {"b"}},
+		)
+	}
+	cases := []struct {
+		name      string
+		other     *Plan
+		wantProbs map[trace.SiteID]float64
+		wantLens  map[trace.SiteID]sim.Duration
+		wantPairs int
+		wantIntf  map[trace.SiteID][]trace.SiteID
+	}{
+		{
+			name: "min-merge probs, keep unmentioned sites",
+			other: mergePlan(nil,
+				map[trace.SiteID]float64{"a": 0.3}, nil, nil),
+			wantProbs: map[trace.SiteID]float64{"a": 0.3, "b": 0.5},
+			wantLens:  map[trace.SiteID]sim.Duration{"a": 5},
+			wantPairs: 1,
+			wantIntf:  map[trace.SiteID][]trace.SiteID{"a": {"b"}},
+		},
+		{
+			name: "higher prob in other loses",
+			other: mergePlan(nil,
+				map[trace.SiteID]float64{"a": 0.9}, nil, nil),
+			wantProbs: map[trace.SiteID]float64{"a": 0.8, "b": 0.5},
+			wantLens:  map[trace.SiteID]sim.Duration{"a": 5},
+			wantPairs: 1,
+			wantIntf:  map[trace.SiteID][]trace.SiteID{"a": {"b"}},
+		},
+		{
+			name: "max-merge delay lens, union pairs and interference",
+			other: mergePlan(
+				[]Pair{
+					{Delay: "a", Target: "b", Kind: UseBeforeInit, Gap: 5}, // dup: dropped
+					{Delay: "c", Target: "d", Kind: UseAfterFree, Gap: 7},  // new
+				},
+				map[trace.SiteID]float64{"c": 1.0},
+				map[trace.SiteID]sim.Duration{"a": 9, "c": 7},
+				map[trace.SiteID][]trace.SiteID{"a": {"b", "c"}, "c": {"a"}},
+			),
+			wantProbs: map[trace.SiteID]float64{"a": 0.8, "b": 0.5, "c": 1.0},
+			wantLens:  map[trace.SiteID]sim.Duration{"a": 9, "c": 7},
+			wantPairs: 2,
+			wantIntf:  map[trace.SiteID][]trace.SiteID{"a": {"b", "c"}, "c": {"a"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			p.MergeFrom(tc.other)
+			if !reflect.DeepEqual(p.Probs, tc.wantProbs) {
+				t.Errorf("probs = %v, want %v", p.Probs, tc.wantProbs)
+			}
+			if !reflect.DeepEqual(p.DelayLen, tc.wantLens) {
+				t.Errorf("lens = %v, want %v", p.DelayLen, tc.wantLens)
+			}
+			if len(p.Pairs) != tc.wantPairs {
+				t.Errorf("pairs = %d, want %d", len(p.Pairs), tc.wantPairs)
+			}
+			if !reflect.DeepEqual(p.Interfere, tc.wantIntf) {
+				t.Errorf("interfere = %v, want %v", p.Interfere, tc.wantIntf)
+			}
+
+			// Idempotence: merging the same clone twice changes nothing.
+			before := p.Clone()
+			p.MergeFrom(tc.other)
+			if !reflect.DeepEqual(p.Probs, before.Probs) || !reflect.DeepEqual(p.DelayLen, before.DelayLen) ||
+				len(p.Pairs) != len(before.Pairs) || !reflect.DeepEqual(p.Interfere, before.Interfere) {
+				t.Errorf("merge not idempotent: %+v vs %+v", p, before)
+			}
+		})
+	}
+}
+
+func TestPlanMergeFromCommutative(t *testing.T) {
+	// Two workers' decayed clones must fold back in either order with the
+	// same resulting probabilities and delay lengths.
+	a := mergePlan(
+		[]Pair{{Delay: "a", Target: "b", Kind: UseBeforeInit, Gap: 5}},
+		map[trace.SiteID]float64{"a": 0.6, "b": 0.5},
+		map[trace.SiteID]sim.Duration{"a": 5},
+		map[trace.SiteID][]trace.SiteID{"a": {"b"}},
+	)
+	b := mergePlan(
+		[]Pair{{Delay: "c", Target: "d", Kind: UseAfterFree, Gap: 3}},
+		map[trace.SiteID]float64{"a": 0.4, "c": 0.9},
+		map[trace.SiteID]sim.Duration{"a": 8, "c": 3},
+		map[trace.SiteID][]trace.SiteID{"c": {"d"}},
+	)
+	ab := a.Clone()
+	ab.MergeFrom(b)
+	ba := b.Clone()
+	ba.MergeFrom(a)
+	if !reflect.DeepEqual(ab.Probs, ba.Probs) {
+		t.Errorf("probs not commutative: %v vs %v", ab.Probs, ba.Probs)
+	}
+	if !reflect.DeepEqual(ab.DelayLen, ba.DelayLen) {
+		t.Errorf("lens not commutative: %v vs %v", ab.DelayLen, ba.DelayLen)
+	}
+	if len(ab.Pairs) != 2 || len(ba.Pairs) != 2 {
+		t.Errorf("pair union sizes: %d and %d, want 2", len(ab.Pairs), len(ba.Pairs))
+	}
+}

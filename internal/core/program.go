@@ -1,12 +1,23 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"waffle/internal/memmodel"
 	"waffle/internal/sim"
 	"waffle/internal/vclock"
 )
+
+// ContextProgram is an optional Program capability: executions that honor
+// a wall-clock cancellation context. The parallel orchestrator uses it to
+// enforce per-run budgets; programs without it simply run to completion.
+type ContextProgram interface {
+	Program
+	// ExecuteCtx runs the program once, aborting with an ErrCanceled-style
+	// Err when ctx is done before the run finishes.
+	ExecuteCtx(ctx context.Context, seed int64, hook memmodel.Hook) ExecResult
+}
 
 // SimProgram adapts a scenario body to the Program interface: each Execute
 // builds a fresh world and heap, attaches a root vector clock (the TLS
@@ -44,7 +55,21 @@ func (p *SimProgram) Name() string { return p.Label }
 
 // Execute implements Program.
 func (p *SimProgram) Execute(seed int64, hook memmodel.Hook) ExecResult {
-	w := sim.NewWorld(sim.Config{Seed: seed, Jitter: p.Jitter, MaxTime: p.MaxTime})
+	return p.execute(nil, seed, hook)
+}
+
+// ExecuteCtx implements ContextProgram: the world aborts with ErrCanceled
+// at the next scheduler event after ctx is done.
+func (p *SimProgram) ExecuteCtx(ctx context.Context, seed int64, hook memmodel.Hook) ExecResult {
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	return p.execute(cancel, seed, hook)
+}
+
+func (p *SimProgram) execute(cancel <-chan struct{}, seed int64, hook memmodel.Hook) ExecResult {
+	w := sim.NewWorld(sim.Config{Seed: seed, Jitter: p.Jitter, MaxTime: p.MaxTime, Cancel: cancel})
 	switch {
 	case p.FullHB:
 		tracker := vclock.NewSyncTracker()

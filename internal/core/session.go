@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"waffle/internal/memmodel"
 	"waffle/internal/sim"
@@ -53,6 +54,7 @@ type RunReport struct {
 	End      sim.Time   // virtual end time
 	TimedOut bool       // run hit its virtual-time budget
 	Fault    *sim.Fault // fault that ended the run, if any
+	Err      error      // abnormal termination without a fault: deadlock, limits, cancellation
 	Stats    DelayStats // delay activity during the run
 }
 
@@ -94,6 +96,21 @@ type Outcome struct {
 	BaseTime  sim.Duration // uninstrumented single-run time
 }
 
+// RunErrs aggregates the abnormal terminations across the outcome's runs:
+// one error per run whose world ended in a deadlock, a limit kill, or a
+// cancellation rather than a clean finish or a fault. A search that
+// silently loses these records a deadlocked run as a normal one, which
+// understates both the bug surface and the time spent.
+func (o *Outcome) RunErrs() []error {
+	var errs []error
+	for _, r := range o.Runs {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("run %d (seed %d): %w", r.Run, r.Seed, r.Err))
+		}
+	}
+	return errs
+}
+
 // RunsToExpose reports the number of runs used to expose the bug
 // (preparation run included), or 0 if no bug was exposed. This is the
 // "# of detection runs" metric of Table 4.
@@ -120,6 +137,13 @@ type Session struct {
 	Tool     Tool
 	MaxRuns  int   // total run budget, preparation included
 	BaseSeed int64 // run i uses seed BaseSeed+i-1
+
+	// RunBudget, when positive, bounds each detection run's wall-clock
+	// time in ExposeParallel: a run still going when the budget lapses is
+	// canceled and recorded with an ErrCanceled run error. Virtual-time
+	// limits (SimProgram.MaxTime) cannot catch a run stuck without
+	// advancing virtual time; this can. Zero means no budget.
+	RunBudget time.Duration
 }
 
 // Expose performs up to MaxRuns runs, returning the outcome. A run that
@@ -138,33 +162,51 @@ func (s *Session) Expose() *Outcome {
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
 		res := s.Prog.Execute(seed, hook)
-		rep := RunReport{
-			Run: run, Seed: seed, End: res.End,
-			TimedOut: res.TimedOut, Fault: res.Fault,
-			Stats: s.Tool.RunStats(),
-		}
-		out.Runs = append(out.Runs, rep)
-		out.TotalTime += sim.Duration(res.End)
-		prev = &out.Runs[len(out.Runs)-1]
-
-		if res.Fault != nil {
-			var nre *memmodel.NullRefError
-			if errors.As(res.Fault.Err, &nre) {
-				out.Bug = &BugReport{
-					Program:    s.Prog.Name(),
-					Tool:       s.Tool.Name(),
-					Run:        run,
-					Seed:       seed,
-					Fault:      res.Fault,
-					NullRef:    nre,
-					Candidates: s.Tool.Candidates(nre.Site),
-					Delays:     rep.Stats,
-				}
-			}
+		rep, faulted := s.appendRun(out, run, seed, res, s.Tool.RunStats())
+		prev = rep
+		if faulted {
 			return out
 		}
 	}
 	return out
+}
+
+// appendRun folds one execution into the outcome: it records the run
+// report — including abnormal terminations, which must not be silently
+// dropped — and assembles the BugReport when the run manifested a NULL
+// reference fault. It reports whether the fault ends the search.
+func (s *Session) appendRun(out *Outcome, run int, seed int64, res ExecResult, stats DelayStats) (rep *RunReport, faulted bool) {
+	r := RunReport{
+		Run: run, Seed: seed, End: res.End,
+		TimedOut: res.TimedOut, Fault: res.Fault,
+		Stats: stats,
+	}
+	if res.Fault == nil && !res.TimedOut {
+		// Deadlocks, event-limit kills, and cancellations have no Fault and
+		// no dedicated field: without this the run would read as normal.
+		r.Err = res.Err
+	}
+	out.Runs = append(out.Runs, r)
+	out.TotalTime += sim.Duration(res.End)
+	rep = &out.Runs[len(out.Runs)-1]
+
+	if res.Fault != nil {
+		var nre *memmodel.NullRefError
+		if errors.As(res.Fault.Err, &nre) {
+			out.Bug = &BugReport{
+				Program:    s.Prog.Name(),
+				Tool:       s.Tool.Name(),
+				Run:        run,
+				Seed:       seed,
+				Fault:      res.Fault,
+				NullRef:    nre,
+				Candidates: s.Tool.Candidates(nre.Site),
+				Delays:     rep.Stats,
+			}
+		}
+		return rep, true
+	}
+	return rep, false
 }
 
 // Baseline measures the program's uninstrumented single-run time at the

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// deadlocker is a program whose every run deadlocks: the worker blocks on
+// a mutex the root holds while the root joins the worker.
+func deadlocker() *SimProgram {
+	return &SimProgram{
+		Label: "deadlocker",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("conn")
+			r.Init(root, "ctor.go:1")
+			var mu sim.Mutex
+			mu.Lock(root)
+			worker := root.Spawn("worker", func(th *sim.Thread) {
+				r.Use(th, "worker.go:3")
+				mu.Lock(th) // root never unlocks: both block forever
+			})
+			root.Join(worker)
+		},
+	}
+}
+
+func TestExposeRecordsDeadlockErrors(t *testing.T) {
+	s := &Session{Prog: deadlocker(), Tool: NewWaffle(Options{}), MaxRuns: 3, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug != nil {
+		t.Fatalf("unexpected bug: %v", out.Bug)
+	}
+	if len(out.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(out.Runs))
+	}
+	for _, r := range out.Runs {
+		if r.Err == nil {
+			t.Fatalf("run %d: deadlock lost — Err is nil", r.Run)
+		}
+		if !errors.Is(r.Err, sim.ErrDeadlock) {
+			t.Fatalf("run %d: Err = %v, want ErrDeadlock", r.Run, r.Err)
+		}
+	}
+	errs := out.RunErrs()
+	if len(errs) != 3 {
+		t.Fatalf("RunErrs = %d entries, want 3", len(errs))
+	}
+	for _, e := range errs {
+		if !errors.Is(e, sim.ErrDeadlock) {
+			t.Fatalf("aggregate error %v does not wrap ErrDeadlock", e)
+		}
+	}
+}
+
+func TestExposeKeepsFaultAndTimeoutOutOfErr(t *testing.T) {
+	// A faulting run must report through Fault, not Err.
+	s := &Session{Prog: racyInitUse(), Tool: NewWaffle(Options{}), MaxRuns: 10, BaseSeed: 1}
+	out := s.Expose()
+	if out.Bug == nil {
+		t.Fatal("no bug exposed")
+	}
+	last := out.Runs[len(out.Runs)-1]
+	if last.Fault == nil || last.Err != nil {
+		t.Fatalf("faulting run: Fault=%v Err=%v, want fault only", last.Fault, last.Err)
+	}
+	if errs := out.RunErrs(); len(errs) != 0 {
+		t.Fatalf("RunErrs = %v, want none", errs)
+	}
+}

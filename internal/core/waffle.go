@@ -73,15 +73,50 @@ func (w *Waffle) HookForRun(run int, prev *RunReport) memmodel.Hook {
 		return NewPrepHook(w.rec, w.opts)
 	}
 	if w.plan == nil {
-		var end sim.Time
-		if prev != nil {
-			end = prev.End
-		}
-		w.prepTr = w.rec.Finish(end)
-		w.plan = Analyze(w.prepTr, w.opts)
+		w.FinishPreparation(prev)
 	}
 	w.inj = NewInjector(w.plan, w.opts)
 	return w.inj
+}
+
+// FinishPreparation turns the recorded preparation trace into the plan.
+// prev is the preparation run's report (its End stamps the trace). Called
+// lazily by HookForRun before the first detection run; exposed so the
+// parallel orchestrator can finalize the plan without building a hook.
+func (w *Waffle) FinishPreparation(prev *RunReport) {
+	var end sim.Time
+	if prev != nil {
+		end = prev.End
+	}
+	w.prepTr = w.rec.Finish(end)
+	w.plan = Analyze(w.prepTr, w.opts)
+}
+
+// PrepRunCount implements PlanDriven: -1 in online mode (detection is not
+// plan-driven there), 0 when bootstrapped from a plan, 1 when run 1 must
+// record the preparation trace.
+func (w *Waffle) PrepRunCount() int {
+	switch {
+	case w.opts.DisablePrepRun:
+		return -1
+	case w.plan != nil:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// DetectionPlan implements PlanDriven.
+func (w *Waffle) DetectionPlan(prev *RunReport) *Plan {
+	if w.plan == nil {
+		w.FinishPreparation(prev)
+	}
+	return w.plan
+}
+
+// NewDetectionInjector implements PlanDriven.
+func (w *Waffle) NewDetectionInjector(plan *Plan) *Injector {
+	return NewInjector(plan, w.opts)
 }
 
 // RunStats implements Tool.

@@ -1,8 +1,11 @@
 package eval
 
 import (
+	"context"
+
 	"waffle/internal/apps"
 	"waffle/internal/core"
+	"waffle/internal/sched"
 	"waffle/internal/stats"
 	"waffle/internal/wafflebasic"
 )
@@ -34,6 +37,10 @@ type BugOptions struct {
 	MaxRuns     int // 0 = 50, the paper's search bound
 	Majority    int // majority threshold, 0 = 10 (the paper's 10-of-15)
 	MaxTests    int // cap per-app tests for Table 7's suite slowdown (0 = all)
+	// Parallelism fans independent bug evaluations over that many workers
+	// (results stay in Table 4 order; every reported number is unchanged —
+	// detection runs are deterministic per seed). 0 = GOMAXPROCS.
+	Parallelism int
 }
 
 func (o BugOptions) withDefaults() BugOptions {
@@ -61,7 +68,7 @@ func EvalBug(test *apps.Test, opt BugOptions) BugRow {
 	base := test.Prog.Execute(opt.Seed, nil)
 	row.BaseMS = float64(base.End) / 1000.0
 
-	basic := stats.RepeatExpose(opt.Repetitions, opt.MaxRuns, opt.Seed,
+	basic := stats.RepeatExposeParallel(opt.Repetitions, opt.MaxRuns, opt.Seed, opt.Parallelism,
 		func() core.Program { return test.Prog },
 		func() core.Tool { return wafflebasic.New(core.Options{}) })
 	bsum := stats.Summarize(basic, opt.Majority)
@@ -74,7 +81,7 @@ func EvalBug(test *apps.Test, opt BugOptions) BugRow {
 		row.BasicSlowdown = bsum.MedianSlowdown
 	}
 
-	waffle := stats.RepeatExpose(opt.Repetitions, opt.MaxRuns, opt.Seed,
+	waffle := stats.RepeatExposeParallel(opt.Repetitions, opt.MaxRuns, opt.Seed, opt.Parallelism,
 		func() core.Program { return test.Prog },
 		func() core.Tool { return core.NewWaffle(core.Options{}) })
 	wsum := stats.Summarize(waffle, opt.Majority)
@@ -86,12 +93,25 @@ func EvalBug(test *apps.Test, opt BugOptions) BugRow {
 	return row
 }
 
-// EvalTable4 measures all 18 planted bugs.
+// EvalTable4 measures all 18 planted bugs, fanning the per-bug sessions
+// over BugOptions.Parallelism workers. Rows come back in Table 4 order
+// with numbers identical to a sequential evaluation.
 func EvalTable4(opt BugOptions) []BugRow {
-	var rows []BugRow
-	for _, test := range apps.AllBugs() {
-		rows = append(rows, EvalBug(test, opt))
-	}
+	bugs := apps.AllBugs()
+	rows := make([]BugRow, len(bugs))
+	// The bug-level fan-out saturates the workers; per-session detection
+	// runs stay sequential so the pool isn't oversubscribed quadratically.
+	inner := opt
+	inner.Parallelism = 1
+	sched.Run(sched.Pool{Workers: opt.Parallelism},
+		0, len(bugs)-1,
+		func(_ context.Context, i int) (BugRow, error) {
+			return EvalBug(bugs[i], inner), nil
+		},
+		func(r sched.Result[BugRow]) bool {
+			rows[r.Index] = r.Value
+			return true
+		})
 	return rows
 }
 

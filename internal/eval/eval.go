@@ -6,11 +6,11 @@
 package eval
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"waffle/internal/apps"
 	"waffle/internal/core"
+	"waffle/internal/sched"
 	"waffle/internal/sim"
 	"waffle/internal/stats"
 	"waffle/internal/trace"
@@ -89,23 +89,20 @@ func EvalSuite(app *apps.App, opt SuiteOptions) SuiteRow {
 	}
 	row.Tests = len(tests)
 
+	// Fan the per-test measurements over the shared run orchestrator: each
+	// test's worlds are fully independent, and the ordered commit keeps the
+	// result slice (and thus every float accumulation below) in the same
+	// order as a sequential loop.
 	results := make([]testResult, len(tests))
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, test := range tests {
-		i, test := i, test
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			results[i] = evalOneTest(test, opt.Seed+int64(i)*101)
-		}()
-	}
-	wg.Wait()
+	sched.Run(sched.Pool{Workers: opt.Parallelism},
+		0, len(tests)-1,
+		func(_ context.Context, i int) (testResult, error) {
+			return evalOneTest(tests[i], opt.Seed+int64(i)*101), nil
+		},
+		func(r sched.Result[testResult]) bool {
+			results[r.Index] = r.Value
+			return true
+		})
 
 	var (
 		sumTSVInstr, sumTSVInj  float64

@@ -1,0 +1,140 @@
+// Package sched is a small deterministic fan-out engine for detection
+// runs: it executes a contiguous range of independent jobs over a bounded
+// worker pool in fixed-size waves, then commits each wave's results in
+// ascending index order.
+//
+// The wave/commit split is what makes parallel detection reproducible:
+// jobs may finish in any order on any worker, but observable effects
+// (plan mutation, first-bug-wins selection) happen only inside commit,
+// which sees results exactly as a sequential loop would. A commit
+// returning false stops the engine before the next wave — the parallel
+// analog of `break`.
+//
+// The package is generic and self-contained (no core imports), so core
+// can depend on it without an import cycle.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool configures a Run.
+type Pool struct {
+	// Workers bounds concurrently executing jobs. Zero or negative means
+	// GOMAXPROCS(0).
+	Workers int
+	// Wave is the number of jobs launched between commit barriers. Zero or
+	// negative means Workers. Larger waves increase speculative work per
+	// barrier; smaller waves tighten how far results can run ahead of the
+	// committed state.
+	Wave int
+	// Budget is the per-job wall-clock budget, enforced via the context
+	// passed to each job. Zero means no budget.
+	Budget time.Duration
+}
+
+// Result carries one job's outcome to commit.
+type Result[R any] struct {
+	Index int
+	Value R
+	Err   error // job error, budget cancellation, or recovered panic
+}
+
+// PanicError wraps a panic recovered from a job so one crashing run is
+// reported like any other failed run instead of tearing down the whole
+// search.
+type PanicError struct {
+	Index int    // job index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack at the point of the panic
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %d panicked: %v", e.Index, e.Value)
+}
+
+func (p Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p Pool) wave() int {
+	if p.Wave > 0 {
+		return p.Wave
+	}
+	return p.workers()
+}
+
+// Run executes job for every index in [first, last] and feeds the results
+// to commit in ascending index order. Jobs run concurrently (at most
+// Pool.Workers at a time) within waves of Pool.Wave indices; commits
+// happen between waves, single-threaded, in order. When commit returns
+// false no further wave starts and Run returns the number of results
+// committed (the current wave's remaining results are discarded — they
+// come after the stopping index, exactly like iterations after a
+// sequential break). An empty range commits nothing.
+func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int) (R, error), commit func(Result[R]) bool) int {
+	committed := 0
+	waveLen := p.wave()
+	for lo := first; lo <= last; lo += waveLen {
+		hi := lo + waveLen - 1
+		if hi > last {
+			hi = last
+		}
+		results := runWave(p, lo, hi, job)
+		for _, r := range results {
+			committed++
+			if !commit(r) {
+				return committed
+			}
+		}
+	}
+	return committed
+}
+
+// runWave executes jobs lo..hi concurrently and returns their results in
+// index order.
+func runWave[R any](p Pool, lo, hi int, job func(ctx context.Context, index int) (R, error)) []Result[R] {
+	n := hi - lo + 1
+	results := make([]Result[R], n)
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[off] = runJob(p, lo+off, job)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job under its budget, converting panics into
+// PanicError results.
+func runJob[R any](p Pool, index int, job func(ctx context.Context, index int) (R, error)) (res Result[R]) {
+	res.Index = index
+	ctx := context.Background()
+	if p.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Budget)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			res.Err = &PanicError{Index: index, Value: r, Stack: stack}
+		}
+	}()
+	res.Value, res.Err = job(ctx, index)
+	return res
+}

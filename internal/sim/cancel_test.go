@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunStopsWhenCancelFires(t *testing.T) {
+	cancel := make(chan struct{})
+	w := NewWorld(Config{Seed: 1, Cancel: cancel})
+	var progressed int
+	err := w.Run(func(root *Thread) {
+		for i := 0; i < 1000; i++ {
+			root.Sleep(Millisecond)
+			progressed++
+			if i == 3 {
+				close(cancel)
+			}
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if progressed >= 1000 {
+		t.Fatal("run completed despite cancellation")
+	}
+	// Teardown must have unwound every thread.
+	for _, ti := range w.Threads() {
+		if !ti.Done {
+			t.Fatalf("thread %d (%s) still live after cancel", ti.ID, ti.Name)
+		}
+	}
+}
+
+func TestRunPreCanceledDoesNoWork(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	w := NewWorld(Config{Seed: 1, Cancel: cancel})
+	var ran bool
+	err := w.Run(func(root *Thread) {
+		root.Sleep(Millisecond) // first park: the loop checks cancel before resuming
+		ran = true
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("body progressed past first park despite pre-canceled world")
+	}
+}
+
+func TestRunNilCancelCompletes(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	if err := w.Run(func(root *Thread) { root.Sleep(Millisecond) }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

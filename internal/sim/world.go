@@ -26,6 +26,13 @@ type Config struct {
 	// MaxEvents aborts the run with ErrEventLimit after that many scheduler
 	// events (a runaway-loop backstop). Zero means a generous default.
 	MaxEvents int
+
+	// Cancel, when non-nil, aborts the run with ErrCanceled once the
+	// channel is closed. The check happens between scheduler events, so a
+	// cancelled world stops at the next event boundary and unwinds its
+	// threads cleanly — this is how wall-clock run budgets cut short a
+	// detection run that virtual-time limits cannot bound.
+	Cancel <-chan struct{}
 }
 
 // DefaultMaxEvents bounds scheduler events when Config.MaxEvents is zero.
@@ -39,6 +46,8 @@ var (
 	ErrDeadlock = errors.New("sim: deadlock: all live threads blocked")
 	// ErrEventLimit reports that the scheduler event budget was exhausted.
 	ErrEventLimit = errors.New("sim: event limit exceeded")
+	// ErrCanceled reports that Config.Cancel fired before the run finished.
+	ErrCanceled = errors.New("sim: run canceled")
 )
 
 // Fault describes an unhandled failure raised by a thread — the analog of
@@ -137,6 +146,10 @@ func (w *World) Run(main func(*Thread)) error {
 			err = ErrEventLimit
 			break
 		}
+		if w.canceled() {
+			err = ErrCanceled
+			break
+		}
 		if w.queue.Len() == 0 {
 			if w.alive > 0 {
 				err = ErrDeadlock
@@ -162,6 +175,19 @@ func (w *World) Run(main func(*Thread)) error {
 	}
 	w.killAll()
 	return err
+}
+
+// canceled reports whether Config.Cancel has fired.
+func (w *World) canceled() bool {
+	if w.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-w.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // resume hands the baton to t and waits until it parks again.

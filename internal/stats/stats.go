@@ -116,6 +116,15 @@ type ExposeResult struct {
 // per-repetition results. Builders return fresh instances so no state
 // leaks between repetitions.
 func RepeatExpose(n int, maxRuns int, seed0 int64, pb func() core.Program, tb func() core.Tool) []ExposeResult {
+	return RepeatExposeParallel(n, maxRuns, seed0, 1, pb, tb)
+}
+
+// RepeatExposeParallel is RepeatExpose with each session's detection runs
+// fanned over workers goroutines (core.Session.ExposeParallel). The
+// orchestrator's determinism guarantee makes the results identical to the
+// sequential search — only wall-clock time changes. workers <= 1 runs
+// sequentially.
+func RepeatExposeParallel(n int, maxRuns int, seed0 int64, workers int, pb func() core.Program, tb func() core.Tool) []ExposeResult {
 	out := make([]ExposeResult, 0, n)
 	for i := 0; i < n; i++ {
 		s := &core.Session{
@@ -124,7 +133,7 @@ func RepeatExpose(n int, maxRuns int, seed0 int64, pb func() core.Program, tb fu
 			MaxRuns:  maxRuns,
 			BaseSeed: seed0 + int64(i)*10_007,
 		}
-		o := s.Expose()
+		o := s.ExposeParallel(workers)
 		out = append(out, ExposeResult{Runs: o.RunsToExpose(), Slowdown: o.Slowdown()})
 	}
 	return out

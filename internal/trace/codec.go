@@ -90,8 +90,16 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 // Integers use binary varint encoding; strings are uvarint length + bytes.
 
 const (
-	binaryMagic   = "WFTR"
-	binaryVersion = 1
+	binaryMagic = "WFTR"
+	// binaryVersion 2 changed the clock encoding: version 1 wrote
+	// "uvarint n, entries, owner" for every non-nil clock but readers
+	// skipped the owner when n == 0, so an empty-but-non-nil snapshot
+	// desynced the stream and every later record decoded as garbage.
+	// Version 2 writes 0 for a nil clock and n+1 for a clock with n
+	// entries (owner always follows), which is self-delimiting for every
+	// clock shape. Readers still accept version 1.
+	binaryVersion       = 2
+	binaryVersionLegacy = 1
 )
 
 // ErrBadFormat reports a corrupt or foreign binary trace stream.
@@ -120,6 +128,62 @@ func (bw *binWriter) str(s string) error {
 	}
 	_, err := bw.w.WriteString(s)
 	return err
+}
+
+// clock encodes clk with the version-2 scheme: 0 for nil, count+1 then
+// the entries then the owner otherwise. Empty-but-non-nil snapshots stay
+// representable and self-delimiting.
+func (bw *binWriter) clock(clk *vclock.Clock) error {
+	if clk == nil {
+		return bw.uvarint(0)
+	}
+	snap := clk.Snapshot()
+	if err := bw.uvarint(uint64(len(snap)) + 1); err != nil {
+		return err
+	}
+	for _, entry := range snap {
+		if err := bw.varint(int64(entry.TID)); err != nil {
+			return err
+		}
+		if err := bw.varint(entry.Counter); err != nil {
+			return err
+		}
+	}
+	return bw.varint(int64(clk.Owner()))
+}
+
+// readClock decodes a clock field written by the given format version.
+// Version 1 streams cannot represent empty-but-non-nil clocks (that was
+// the desync bug this scheme replaced); their 0 means nil.
+func readClock(br *bufio.Reader, version uint64) (*vclock.Clock, error) {
+	nClock, err := binary.ReadUvarint(br)
+	if err != nil || nClock > math.MaxInt16 {
+		return nil, fmt.Errorf("%w: clock size", ErrBadFormat)
+	}
+	if nClock == 0 {
+		return nil, nil
+	}
+	n := int(nClock)
+	if version >= 2 {
+		n-- // version 2 stores count+1 so that 0 is unambiguously "no clock"
+	}
+	entries := make([]vclock.Entry, n)
+	for j := range entries {
+		etid, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: clock tid", ErrBadFormat)
+		}
+		ctr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: clock ctr", ErrBadFormat)
+		}
+		entries[j] = vclock.Entry{TID: int(etid), Counter: ctr}
+	}
+	owner, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: clock owner", ErrBadFormat)
+	}
+	return vclock.FromSnapshot(int(owner), entries), nil
 }
 
 // WriteBinary encodes the trace in the compact binary format.
@@ -181,26 +245,8 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 		if err := bw.varint(int64(e.Dur)); err != nil {
 			return err
 		}
-		if e.Clock == nil {
-			if err := bw.uvarint(0); err != nil {
-				return err
-			}
-		} else {
-			snap := e.Clock.Snapshot()
-			if err := bw.uvarint(uint64(len(snap))); err != nil {
-				return err
-			}
-			for _, entry := range snap {
-				if err := bw.varint(int64(entry.TID)); err != nil {
-					return err
-				}
-				if err := bw.varint(entry.Counter); err != nil {
-					return err
-				}
-			}
-			if err := bw.varint(int64(e.Clock.Owner())); err != nil {
-				return err
-			}
+		if err := bw.clock(e.Clock); err != nil {
+			return err
 		}
 	}
 	return bw.w.Flush()
@@ -217,7 +263,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
 	}
 	version, err := binary.ReadUvarint(br)
-	if err != nil || version != binaryVersion {
+	if err != nil || (version != binaryVersion && version != binaryVersionLegacy) {
 		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, version)
 	}
 	label, err := readStr(br)
@@ -281,29 +327,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: event %d dur", ErrBadFormat, i)
 		}
-		nClock, err := binary.ReadUvarint(br)
-		if err != nil || nClock > math.MaxInt16 {
-			return nil, fmt.Errorf("%w: event %d clock", ErrBadFormat, i)
-		}
-		var clk *vclock.Clock
-		if nClock > 0 {
-			entries := make([]vclock.Entry, nClock)
-			for j := range entries {
-				etid, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("%w: event %d clock tid", ErrBadFormat, i)
-				}
-				ctr, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("%w: event %d clock ctr", ErrBadFormat, i)
-				}
-				entries[j] = vclock.Entry{TID: int(etid), Counter: ctr}
-			}
-			owner, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d clock owner", ErrBadFormat, i)
-			}
-			clk = vclock.FromSnapshot(int(owner), entries)
+		clk, err := readClock(br, version)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
 		}
 		tr.Events = append(tr.Events, Event{
 			Seq: i, T: sim.Time(tv), TID: int(tid), Site: sites[siteIdx],

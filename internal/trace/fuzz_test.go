@@ -29,6 +29,13 @@ func FuzzReadBinary(f *testing.F) {
 		_ = tr.WriteBinary(&buf)
 		f.Add(buf.Bytes())
 	}
+	// Empty-but-non-nil clock snapshots once desynced the decoder (the
+	// version-1 owner-skip bug); keep the shape in the corpus.
+	{
+		var buf bytes.Buffer
+		_ = emptyClockTrace().WriteBinary(&buf)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte("WFTR"))
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is definitely not a trace"))
@@ -56,6 +63,7 @@ func FuzzReadStream(f *testing.F) {
 	f.Add([]byte("WFTS"))
 	f.Add([]byte{})
 	f.Add([]byte("WFTS\x01\x00\x00Z\x00"))
+	f.Add(emptyClockStreamBytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadStream(bytes.NewReader(data))
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"waffle/internal/sim"
 	"waffle/internal/vclock"
@@ -25,8 +24,15 @@ import (
 // second pass and the reader needs no seeking.
 
 const (
-	streamMagic   = "WFTS"
-	streamVersion = 1
+	streamMagic = "WFTS"
+	// streamVersion 2 adopted the self-delimiting clock encoding (see
+	// binaryVersion): version 1 wrote the clock owner after the entry
+	// list even when a non-nil clock snapshot was empty, while the reader
+	// skipped the owner for zero-entry clocks — the frame boundary slid
+	// by one varint and every subsequent frame decoded as garbage.
+	// Readers still accept version 1.
+	streamVersion       = 2
+	streamVersionLegacy = 1
 
 	frameSite  = 'S'
 	frameEvent = 'E'
@@ -132,23 +138,7 @@ func (r *StreamRecorder) writeEventFrame(t *sim.Thread, siteIdx uint64, obj ObjI
 	if err := r.bw.varint(int64(dur)); err != nil {
 		return err
 	}
-	clk := vclock.Of(t)
-	if clk == nil {
-		return r.bw.uvarint(0)
-	}
-	snap := clk.Snapshot()
-	if err := r.bw.uvarint(uint64(len(snap))); err != nil {
-		return err
-	}
-	for _, e := range snap {
-		if err := r.bw.varint(int64(e.TID)); err != nil {
-			return err
-		}
-		if err := r.bw.varint(e.Counter); err != nil {
-			return err
-		}
-	}
-	return r.bw.varint(int64(clk.Owner()))
+	return r.bw.clock(vclock.Of(t))
 }
 
 // ReadStream loads a trace written by StreamRecorder. A stream without a
@@ -163,7 +153,7 @@ func ReadStream(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: bad stream magic %q", ErrBadFormat, magic)
 	}
 	version, err := binary.ReadUvarint(br)
-	if err != nil || version != streamVersion {
+	if err != nil || (version != streamVersion && version != streamVersionLegacy) {
 		return nil, fmt.Errorf("%w: stream version %d", ErrBadFormat, version)
 	}
 	label, err := readStr(br)
@@ -194,7 +184,7 @@ func ReadStream(r io.Reader) (*Trace, error) {
 			}
 			sites = append(sites, SiteID(s))
 		case frameEvent:
-			ev, err := readStreamEvent(br, sites)
+			ev, err := readStreamEvent(br, sites, version)
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +203,7 @@ func ReadStream(r io.Reader) (*Trace, error) {
 	}
 }
 
-func readStreamEvent(br *bufio.Reader, sites []SiteID) (Event, error) {
+func readStreamEvent(br *bufio.Reader, sites []SiteID, version uint64) (Event, error) {
 	var ev Event
 	siteIdx, err := binary.ReadUvarint(br)
 	if err != nil || siteIdx >= uint64(len(sites)) {
@@ -245,28 +235,10 @@ func readStreamEvent(br *bufio.Reader, sites []SiteID) (Event, error) {
 		return ev, fmt.Errorf("%w: event dur", ErrBadFormat)
 	}
 	ev.Dur = sim.Duration(dur)
-	nClock, err := binary.ReadUvarint(br)
-	if err != nil || nClock > math.MaxInt16 {
-		return ev, fmt.Errorf("%w: event clock size", ErrBadFormat)
+	clk, err := readClock(br, version)
+	if err != nil {
+		return ev, err
 	}
-	if nClock > 0 {
-		entries := make([]vclock.Entry, nClock)
-		for j := range entries {
-			etid, err := binary.ReadVarint(br)
-			if err != nil {
-				return ev, fmt.Errorf("%w: clock tid", ErrBadFormat)
-			}
-			ctr, err := binary.ReadVarint(br)
-			if err != nil {
-				return ev, fmt.Errorf("%w: clock ctr", ErrBadFormat)
-			}
-			entries[j] = vclock.Entry{TID: int(etid), Counter: ctr}
-		}
-		owner, err := binary.ReadVarint(br)
-		if err != nil {
-			return ev, fmt.Errorf("%w: clock owner", ErrBadFormat)
-		}
-		ev.Clock = vclock.FromSnapshot(int(owner), entries)
-	}
+	ev.Clock = clk
 	return ev, nil
 }
