@@ -1,0 +1,109 @@
+// Benchmarks for the trace analyzer: sequential, sharded (-parallel-analyze),
+// and streaming, all over the suite's largest preparation trace. Run with
+//
+//	go test -bench Analyze -benchtime 1x .
+//
+// The speedup benchmark reports the measured sequential/parallel wall-clock
+// ratio as a metric rather than asserting it: on a single-core host
+// (GOMAXPROCS=1) the sharded analyzer cannot beat the sequential one — the
+// shard/merge structure is pure overhead without parallel execution — so the
+// ratio is only meaningful alongside the reported gomaxprocs value.
+package waffle_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/trace"
+)
+
+// bigTrace caches the largest preparation trace in the benchmark suite
+// (currently NpgSQL/test-018, ~1.3k events); the scan over every test runs
+// once per `go test` process.
+var bigTrace struct {
+	once sync.Once
+	tr   *trace.Trace
+	name string
+}
+
+func largestPrepTrace(tb testing.TB) *trace.Trace {
+	tb.Helper()
+	bigTrace.once.Do(func() {
+		for _, app := range apps.Registry() {
+			for _, test := range app.Tests {
+				tr := prepTraceOf(tb, test, 11)
+				if bigTrace.tr == nil || len(tr.Events) > len(bigTrace.tr.Events) {
+					bigTrace.tr, bigTrace.name = tr, test.Name
+				}
+			}
+		}
+	})
+	if bigTrace.tr == nil {
+		tb.Fatal("no preparation trace found")
+	}
+	return bigTrace.tr
+}
+
+func BenchmarkAnalyzeSequential(b *testing.B) {
+	tr := largestPrepTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(tr, core.Options{})
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	tr := largestPrepTrace(b)
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.AnalyzeParallel(tr, core.Options{}, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkAnalyzeStream(b *testing.B) {
+	tr := largestPrepTrace(b)
+	var buf bytes.Buffer
+	if err := tr.WriteStream(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeStream(bytes.NewReader(data), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeSpeedupAt4Workers times the sequential and the 4-worker
+// sharded analyzer back to back on the same trace and reports their ratio.
+// Read speedup-x together with gomaxprocs: ≥2 is the target on a 4-core
+// host, while gomaxprocs=1 pins the ratio below 1 by construction.
+func BenchmarkAnalyzeSpeedupAt4Workers(b *testing.B) {
+	tr := largestPrepTrace(b)
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		core.Analyze(tr, core.Options{})
+		seq += time.Since(t0)
+		t1 := time.Now()
+		core.AnalyzeParallel(tr, core.Options{}, 4)
+		par += time.Since(t1)
+	}
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

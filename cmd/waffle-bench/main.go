@@ -32,6 +32,7 @@ func main() {
 		maxRuns  = flag.Int("max-runs", 50, "search bound for bug exposure")
 		seed     = flag.Int64("seed", 1, "base seed")
 		parallel = flag.Int("parallel", 0, "worker goroutines for independent sessions (0 = GOMAXPROCS; numbers unchanged)")
+		panalyze = flag.Int("parallel-analyze", 0, "worker goroutines for each trace analysis (plans bit-identical to sequential)")
 		appName  = flag.String("app", "", "restrict suite tables to one app")
 		sweep    = flag.String("sweep", "", "sensitivity sweep: window | alpha")
 		compare  = flag.Bool("compare", false, "empirical tool comparison across Table 1's design points")
@@ -57,7 +58,7 @@ func main() {
 			if a.Name == "LiteDB" {
 				continue // excluded from Tables 2/5/6 (§6.4)
 			}
-			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests, Parallelism: *parallel}))
+			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests, Parallelism: *parallel, AnalyzeWorkers: *panalyze}))
 		}
 		return rows
 	}

@@ -6,7 +6,10 @@
 //	waffle-trace -stats prep.trace          # event/site/thread statistics
 //	waffle-trace -dump prep.trace | head    # event-per-line listing
 //	waffle-trace -analyze prep.trace        # run the trace analyzer, print S and I
+//	waffle-trace -analyze prep.trace -parallel-analyze 4   # sharded, same plan
 //	waffle-trace -json prep.trace > t.json  # binary → JSON conversion
+//	waffle-trace -to-stream prep.trace > prep.wfts         # WFTR → WFTS stream
+//	waffle-trace -analyze-stream prep.wfts  # streaming analyzer, bounded memory
 package main
 
 import (
@@ -30,6 +33,9 @@ func main() {
 		width       = flag.Int("width", 100, "timeline width in columns")
 		jsonPath    = flag.String("json", "", "convert a binary trace to JSON on stdout")
 		window      = flag.Int("window-ms", 100, "near-miss window δ for -analyze")
+		panalyze    = flag.Int("parallel-analyze", 0, "worker goroutines for -analyze (plan bit-identical to sequential)")
+		streamOut   = flag.String("to-stream", "", "convert a binary trace to a WFTS event stream on stdout")
+		streamPath  = flag.String("analyze-stream", "", "run the streaming analyzer on a WFTS stream file")
 	)
 	flag.Parse()
 
@@ -52,8 +58,27 @@ func main() {
 		fmt.Print(report.Timeline(tr, *width))
 	case *analyzePath != "":
 		tr := load(*analyzePath)
-		plan := core.Analyze(tr, core.Options{Window: sim.Duration(*window) * sim.Millisecond})
+		plan := core.Analyze(tr, core.Options{
+			Window:         sim.Duration(*window) * sim.Millisecond,
+			AnalyzeWorkers: *panalyze,
+		})
 		printPlan(plan)
+	case *streamPath != "":
+		f, err := os.Open(*streamPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		plan, err := core.AnalyzeStream(f, core.Options{Window: sim.Duration(*window) * sim.Millisecond})
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(plan)
+	case *streamOut != "":
+		tr := load(*streamOut)
+		if err := tr.WriteStream(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case *jsonPath != "":
 		tr := load(*jsonPath)
 		if err := tr.WriteJSON(os.Stdout); err != nil {
@@ -116,8 +141,15 @@ func printPlan(plan *core.Plan) {
 		edges += len(list)
 	}
 	fmt.Printf("interference set I: %d sites, %d directed edges\n", len(plan.Interfere), edges)
-	for a, list := range plan.Interfere {
-		fmt.Printf("  %s ~ %v\n", a, list)
+	// Iterate in sorted site order: ranging over the map directly would make
+	// the output diff-unstable from run to run.
+	froms := make([]trace.SiteID, 0, len(plan.Interfere))
+	for a := range plan.Interfere {
+		froms = append(froms, a)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, a := range froms {
+		fmt.Printf("  %s ~ %v\n", a, plan.Interfere[a])
 	}
 }
 

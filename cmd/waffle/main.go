@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; run i uses seed+i-1")
 		replay   = flag.Bool("replay", false, "after exposing a bug, validate it with a minimal deterministic replay")
 		parallel = flag.Int("parallel", 1, "worker goroutines for detection runs (result identical to sequential)")
+		panalyze = flag.Int("parallel-analyze", 0, "worker goroutines for trace analysis (plan bit-identical to sequential; 0 or 1 = sequential)")
 		jsonOut  = flag.String("report", "", "write the bug report as JSON to this path")
 		planOut  = flag.String("plan", "", "write the analyzed plan (candidate set S, interference set I, delay lengths) as JSON")
 		traceOut = flag.String("trace", "", "write the preparation-run trace (binary)")
@@ -42,7 +43,7 @@ func main() {
 		return
 	}
 	if *suite != "" {
-		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel)
+		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze)
 		return
 	}
 	if *testName == "" {
@@ -60,11 +61,11 @@ func main() {
 	var wtool *core.Waffle
 	switch *toolName {
 	case "waffle":
-		wtool = core.NewWaffle(core.Options{})
+		wtool = core.NewWaffle(core.Options{AnalyzeWorkers: *panalyze})
 		wtool.SetLabel(test.Name)
 		tool = wtool
 	case "waffle-noprep":
-		tool = core.NewWaffle(core.Options{DisablePrepRun: true})
+		tool = core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: *panalyze})
 	case "basic":
 		tool = wafflebasic.New(core.Options{})
 	default:
@@ -163,7 +164,7 @@ func main() {
 // runSuite exposes bugs across one application's whole test suite — the
 // evaluation's usage mode: "we ran both tools using every multi-threaded
 // test case in the test suites of each application" (§6.1).
-func runSuite(appName, toolName string, maxRuns int, seed int64, parallel int) {
+func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panalyze int) {
 	app := apps.ByName(appName)
 	if app == nil {
 		fmt.Fprintf(os.Stderr, "waffle: unknown application %q (try -list)\n", appName)
@@ -172,9 +173,9 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel int) {
 	mkTool := func() core.Tool {
 		switch toolName {
 		case "waffle":
-			return core.NewWaffle(core.Options{})
+			return core.NewWaffle(core.Options{AnalyzeWorkers: panalyze})
 		case "waffle-noprep":
-			return core.NewWaffle(core.Options{DisablePrepRun: true})
+			return core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: panalyze})
 		case "basic":
 			return wafflebasic.New(core.Options{})
 		default:

@@ -128,6 +128,8 @@ func bug10() *Test {
 // Bug-11 — NetMQ issue 814: Figure 4b verbatim — ChkDisposed executes in
 // both the cleanup thread and the worker; parallel delays at the same
 // static site cancel with high probability, costing WaffleBasic ~5 runs.
+// Waffle keeps both instances delayable concurrently (no self edge) and
+// breaks the symmetry through probability decay over a handful of runs.
 func bug11() *Test {
 	return mkBug("NetMQ", "Bug-11", "814", true, 18503, 5, 2, 5.1, 2.2,
 		120*sim.Second, lightNoise(2, 3, 3, 60*ms), 0.05,

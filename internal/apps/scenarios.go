@@ -149,7 +149,9 @@ func interferingBugs(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
 // interferingInstances is Figure 4b (NetMQ #814): the same static site
 // executes in the disposing thread right before the dispose and in the
 // worker as the racy use. Parallel delays at both dynamic instances cancel
-// each other; a self-interference edge serializes them.
+// each other; probability decay at the shared site eventually delays only
+// one instance per run, breaking the symmetry (no self-interference edge —
+// the site must stay delayable in both threads at once).
 func interferingInstances(c raceCfg) func(*sim.Thread, *memmodel.Heap) {
 	return func(root *sim.Thread, h *memmodel.Heap) {
 		poller := h.NewRef(c.prefix + "/m_poller")

@@ -12,76 +12,146 @@ import (
 // unperturbed preparation-run trace it constructs the candidate set S
 // (near-miss pairs surviving parent-child pruning), the per-site delay
 // lengths, and the interference set I.
+//
+// With Options.AnalyzeWorkers > 1 the analysis is sharded across a worker
+// pool (see AnalyzeParallel); the result is bit-identical to the
+// sequential analyzer either way.
 func Analyze(tr *trace.Trace, opts Options) *Plan {
 	opts = opts.WithDefaults()
+	if opts.AnalyzeWorkers > 1 {
+		return AnalyzeParallel(tr, opts, opts.AnalyzeWorkers)
+	}
+	return analyzeSequential(tr, opts)
+}
+
+// instance is one dynamic occurrence of a candidate pair: the pair it
+// instantiates plus the Seq positions of its two events. Instances drive
+// pass 3, which inspects the trace around each occurrence.
+type instance struct {
+	key    pairKey
+	e1, e2 int // event indexes into the trace
+}
+
+// nearMiss applies the §3.1/§4.1 candidate rules to an ordered event pair
+// (e1 precedes e2 in the trace): a use within δ after another thread's
+// initialization is a use-before-init candidate, a disposal within δ after
+// another thread's use is a use-after-free candidate, and pairs ordered by
+// fork-propagated vector clocks are pruned unless the parent-child
+// ablation is active.
+func nearMiss(e1, e2 *trace.Event, opts Options) (BugKind, bool) {
+	var kind BugKind
+	switch {
+	case e1.Kind == trace.KindInit && e2.Kind == trace.KindUse:
+		kind = UseBeforeInit
+	case e1.Kind == trace.KindUse && e2.Kind == trace.KindDispose:
+		kind = UseAfterFree
+	default:
+		return 0, false
+	}
+	if e1.TID == e2.TID {
+		return 0, false
+	}
+	if !opts.DisableParentChild && vclock.Ordered(e1.Clock, e2.Clock) {
+		return 0, false
+	}
+	gap := e2.T.Sub(e1.T)
+	if gap < 0 || gap >= opts.Window {
+		return 0, false
+	}
+	return kind, true
+}
+
+// pairAccum accumulates pass-1 output: the candidate pairs (keyed for
+// merging across shards) and the dynamic instances feeding pass 3. The
+// sequential, sharded, and streaming analyzers all funnel through it so
+// their candidate sets are identical.
+type pairAccum struct {
+	opts  Options
+	pairs map[pairKey]*Pair
+	// noInstances drops instance bookkeeping — the streaming analyzer's
+	// first pass only needs the pairs and re-derives instances on its
+	// second pass, so buffering every occurrence would defeat the point.
+	noInstances bool
+	instances   []instance
+}
+
+func newPairAccum(opts Options) *pairAccum {
+	return &pairAccum{opts: opts, pairs: make(map[pairKey]*Pair)}
+}
+
+// observe feeds one ordered event pair through the near-miss rules.
+func (pa *pairAccum) observe(e1, e2 *trace.Event) {
+	kind, ok := nearMiss(e1, e2, pa.opts)
+	if !ok {
+		return
+	}
+	k := pairKey{delay: e1.Site, target: e2.Site, kind: kind}
+	p, ok := pa.pairs[k]
+	if !ok {
+		p = &Pair{Delay: e1.Site, Target: e2.Site, Kind: kind}
+		pa.pairs[k] = p
+	}
+	p.Count++
+	if gap := e2.T.Sub(e1.T); gap > p.Gap {
+		p.Gap = gap
+	}
+	if !pa.noInstances {
+		pa.instances = append(pa.instances, instance{key: k, e1: e1.Seq, e2: e2.Seq})
+	}
+}
+
+// scanObject runs pass 1 over one object's event-index list. The list must
+// be time-sorted (Recorder output is, by construction): the inner loop
+// breaks out at the first event past the window, so an out-of-order list
+// would hide later in-window pairs behind an early far-future event.
+func (pa *pairAccum) scanObject(events []trace.Event, idxs []int) {
+	for i, i1 := range idxs {
+		e1 := &events[i1]
+		if !e1.Kind.IsMemOrder() {
+			continue
+		}
+		for _, i2 := range idxs[i+1:] {
+			e2 := &events[i2]
+			if e2.T.Sub(e1.T) >= pa.opts.Window {
+				break
+			}
+			pa.observe(e1, e2)
+		}
+	}
+}
+
+// mergeFrom folds another shard's accumulator in: counts sum, gaps
+// max-merge, instances concatenate. (Plan.MergeFrom cannot serve here —
+// it unions pairs keeping the first copy, the right semantics for
+// detection-run clones that share one plan but wrong for shards that each
+// saw a disjoint slice of the same pair's occurrences.)
+func (pa *pairAccum) mergeFrom(o *pairAccum) {
+	for k, op := range o.pairs {
+		p, ok := pa.pairs[k]
+		if !ok {
+			cp := *op
+			pa.pairs[k] = &cp
+			continue
+		}
+		p.Count += op.Count
+		if op.Gap > p.Gap {
+			p.Gap = op.Gap
+		}
+	}
+	pa.instances = append(pa.instances, o.instances...)
+}
+
+// assemblePlan builds the plan skeleton shared by every analyzer variant:
+// the sorted candidate set S, then pass 2's per-site delay lengths and
+// initial injection probabilities.
+func assemblePlan(label string, opts Options, pairs map[pairKey]*Pair) *Plan {
 	plan := &Plan{
-		Label:     tr.Label,
+		Label:     label,
 		Window:    opts.Window,
 		DelayLen:  make(map[trace.SiteID]sim.Duration),
 		Interfere: make(map[trace.SiteID][]trace.SiteID),
 		Probs:     make(map[trace.SiteID]float64),
 	}
-
-	// Pass 1: near-miss candidate pairs per object (§3.1, §4.1).
-	//
-	// A use at ℓ2 within δ after an initialization at ℓ1, from a different
-	// thread, is a use-before-init candidate (delay the init). A disposal
-	// at ℓ2 within δ after a use at ℓ1, from a different thread, is a
-	// use-after-free candidate (delay the use). Pairs whose two events are
-	// ordered by fork-propagated vector clocks are pruned unless the
-	// parent-child ablation is active.
-	pairs := make(map[pairKey]*Pair)
-	type instance struct {
-		key    pairKey
-		e1, e2 int // event indexes into tr.Events
-	}
-	var instances []instance
-
-	addPair := func(e1, e2 *trace.Event, kind BugKind) {
-		if e1.TID == e2.TID {
-			return
-		}
-		if !opts.DisableParentChild && vclock.Ordered(e1.Clock, e2.Clock) {
-			return
-		}
-		gap := e2.T.Sub(e1.T)
-		if gap < 0 || gap >= opts.Window {
-			return
-		}
-		k := pairKey{delay: e1.Site, target: e2.Site, kind: kind}
-		p, ok := pairs[k]
-		if !ok {
-			p = &Pair{Delay: e1.Site, Target: e2.Site, Kind: kind}
-			pairs[k] = p
-		}
-		p.Count++
-		if gap > p.Gap {
-			p.Gap = gap
-		}
-		instances = append(instances, instance{key: k, e1: e1.Seq, e2: e2.Seq})
-	}
-
-	for _, idxs := range tr.ByObject() {
-		for i, i1 := range idxs {
-			e1 := &tr.Events[i1]
-			if !e1.Kind.IsMemOrder() {
-				continue
-			}
-			for _, i2 := range idxs[i+1:] {
-				e2 := &tr.Events[i2]
-				if e2.T.Sub(e1.T) >= opts.Window {
-					break
-				}
-				switch {
-				case e1.Kind == trace.KindInit && e2.Kind == trace.KindUse:
-					addPair(e1, e2, UseBeforeInit)
-				case e1.Kind == trace.KindUse && e2.Kind == trace.KindDispose:
-					addPair(e1, e2, UseAfterFree)
-				}
-			}
-		}
-	}
-
 	for _, p := range pairs {
 		plan.Pairs = append(plan.Pairs, *p)
 	}
@@ -98,55 +168,55 @@ func Analyze(tr *trace.Trace, opts Options) *Plan {
 
 	// Pass 2: per-site delay lengths — len(ℓ1) is the largest gap among
 	// pairs delaying at ℓ1 (§4.3) — and initial injection probabilities.
+	// The DelayLen entry is created even when the largest gap is zero
+	// (simultaneous timestamps): the injector treats map membership as
+	// "is a candidate", and delayFor floors the injected delay at
+	// MinDelay, so a zero-gap candidate still receives a delay long
+	// enough to flip the order instead of silently never being injected.
 	for _, p := range plan.Pairs {
-		if p.Gap > plan.DelayLen[p.Delay] {
+		if cur, ok := plan.DelayLen[p.Delay]; !ok || p.Gap > cur {
 			plan.DelayLen[p.Delay] = p.Gap
 		}
 		plan.Probs[p.Delay] = 1.0
 	}
+	return plan
+}
 
-	// Pass 3: the interference set I (§4.4). For every dynamic candidate
-	// instance (ℓ1 at τ1, ℓ2 at τ2): any injection site ℓ* exercised by
-	// ℓ2's thread in [τ1−δ, τ2] would, if delayed, block that thread and
-	// cancel a delay at ℓ1 — record (ℓ1, ℓ*) symmetrically.
+// injectionSet returns the plan's delay sites as a membership set.
+func injectionSet(plan *Plan) map[trace.SiteID]bool {
 	injection := make(map[trace.SiteID]bool, len(plan.Probs))
 	for s := range plan.Probs {
 		injection[s] = true
 	}
+	return injection
+}
+
+// buildByThread groups event indexes by thread, preserving trace order.
+func buildByThread(tr *trace.Trace) map[int][]int {
 	byThread := make(map[int][]int)
 	for i, e := range tr.Events {
 		byThread[e.TID] = append(byThread[e.TID], i)
 	}
-	interfere := make(map[trace.SiteID]map[trace.SiteID]bool)
-	addEdge := func(a, b trace.SiteID) {
-		if interfere[a] == nil {
-			interfere[a] = make(map[trace.SiteID]bool)
-		}
-		if interfere[b] == nil {
-			interfere[b] = make(map[trace.SiteID]bool)
-		}
-		interfere[a][b] = true
-		interfere[b][a] = true
+	return byThread
+}
+
+// edgeSet accumulates the symmetric interference relation I.
+type edgeSet map[trace.SiteID]map[trace.SiteID]bool
+
+func (es edgeSet) add(a, b trace.SiteID) {
+	if es[a] == nil {
+		es[a] = make(map[trace.SiteID]bool)
 	}
-	for _, inst := range instances {
-		e1, e2 := &tr.Events[inst.e1], &tr.Events[inst.e2]
-		lo := e1.T.Add(-opts.Window)
-		tidEvents := byThread[e2.TID]
-		// Binary search the first event of ℓ2's thread at or after lo.
-		start := sort.Search(len(tidEvents), func(i int) bool {
-			return tr.Events[tidEvents[i]].T >= lo
-		})
-		for _, ei := range tidEvents[start:] {
-			es := &tr.Events[ei]
-			if es.Seq >= e2.Seq {
-				break
-			}
-			if injection[es.Site] {
-				addEdge(inst.key.delay, es.Site)
-			}
-		}
+	if es[b] == nil {
+		es[b] = make(map[trace.SiteID]bool)
 	}
-	for a, set := range interfere {
+	es[a][b] = true
+	es[b][a] = true
+}
+
+// fill converts the edge set into the plan's sorted-list form.
+func (es edgeSet) fill(plan *Plan) {
+	for a, set := range es {
 		out := make([]trace.SiteID, 0, len(set))
 		for b := range set {
 			out = append(out, b)
@@ -154,5 +224,52 @@ func Analyze(tr *trace.Trace, opts Options) *Plan {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		plan.Interfere[a] = out
 	}
+}
+
+// instanceEdges runs pass 3 (§4.4) for one dynamic candidate instance
+// (ℓ1 at τ1, ℓ2 at τ2): any injection site ℓ* exercised by ℓ2's thread in
+// [τ1−δ, τ2] would, if delayed, block that thread and cancel a delay at
+// ℓ1 — record (ℓ1, ℓ*) symmetrically. ℓ* == ℓ1 is excluded: another
+// thread reaching the same site is the concurrency being provoked, not a
+// cancellation, and a self-edge would make interferenceLive forbid
+// concurrent delays at one site across threads — a restriction the
+// paper's Fig. 5 window does not call for.
+func instanceEdges(tr *trace.Trace, byThread map[int][]int, injection map[trace.SiteID]bool, inst instance, window sim.Duration, add func(a, b trace.SiteID)) {
+	e1, e2 := &tr.Events[inst.e1], &tr.Events[inst.e2]
+	lo := e1.T.Add(-window)
+	tidEvents := byThread[e2.TID]
+	// Binary search the first event of ℓ2's thread at or after lo.
+	start := sort.Search(len(tidEvents), func(i int) bool {
+		return tr.Events[tidEvents[i]].T >= lo
+	})
+	for _, ei := range tidEvents[start:] {
+		es := &tr.Events[ei]
+		if es.Seq >= e2.Seq {
+			break
+		}
+		if es.Site != inst.key.delay && injection[es.Site] {
+			add(inst.key.delay, es.Site)
+		}
+	}
+}
+
+// analyzeSequential is the single-threaded analyzer all sharded variants
+// are checked against.
+func analyzeSequential(tr *trace.Trace, opts Options) *Plan {
+	// Pass 1: near-miss candidate pairs per object (§3.1, §4.1).
+	acc := newPairAccum(opts)
+	for _, idxs := range tr.ByObject() {
+		acc.scanObject(tr.Events, idxs)
+	}
+	plan := assemblePlan(tr.Label, opts, acc.pairs)
+
+	// Pass 3: the interference set I (§4.4).
+	injection := injectionSet(plan)
+	byThread := buildByThread(tr)
+	es := make(edgeSet)
+	for _, inst := range acc.instances {
+		instanceEdges(tr, byThread, injection, inst, opts.Window, es.add)
+	}
+	es.fill(plan)
 	return plan
 }

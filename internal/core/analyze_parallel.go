@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"waffle/internal/sched"
+	"waffle/internal/trace"
+)
+
+// analyzeShardFactor oversubscribes shards relative to workers so uneven
+// per-object and per-instance work rebalances across the pool instead of
+// serializing behind the densest shard.
+const analyzeShardFactor = 4
+
+// AnalyzeParallel is the sharded trace analyzer: pass 1 is sharded by
+// object (near-miss scanning is independent per object) and pass 3 by
+// dynamic candidate instance, both executed on the internal/sched wave
+// pool. Pass-1 shards merge through pairAccum.mergeFrom (counts sum, gaps
+// max); pass-3 shards each produce a partial Plan carrying only
+// interference edges, folded in with Plan.MergeFrom. The result is
+// bit-identical to analyzeSequential: same pair order, same delay
+// lengths, same sorted interference lists.
+func AnalyzeParallel(tr *trace.Trace, opts Options, workers int) *Plan {
+	opts = opts.WithDefaults()
+	if workers <= 1 {
+		return analyzeSequential(tr, opts)
+	}
+
+	// Pass 1: per-object shards.
+	byObject := tr.ByObject()
+	shards := shardObjects(byObject, workers*analyzeShardFactor)
+	acc := newPairAccum(opts)
+	ok := true
+	if len(shards) > 0 {
+		sched.Run(sched.Pool{Workers: workers}, 0, len(shards)-1,
+			func(ctx context.Context, i int) (*pairAccum, error) {
+				sacc := newPairAccum(opts)
+				for _, obj := range shards[i] {
+					sacc.scanObject(tr.Events, byObject[obj])
+				}
+				return sacc, nil
+			},
+			func(r sched.Result[*pairAccum]) bool {
+				if r.Err != nil {
+					ok = false
+					return false
+				}
+				acc.mergeFrom(r.Value)
+				return true
+			})
+	}
+	if !ok {
+		// A shard panicked (sched converts panics to errors). Analysis is
+		// pure, so the sequential path is a safe, identical fallback.
+		return analyzeSequential(tr, opts)
+	}
+	plan := assemblePlan(tr.Label, opts, acc.pairs)
+
+	// Pass 3: contiguous instance chunks. Each job returns a partial Plan
+	// holding only its interference edges; MergeFrom unions them (its
+	// keep-first pair semantics are moot — the partials carry no pairs).
+	injection := injectionSet(plan)
+	byThread := buildByThread(tr)
+	n := len(acc.instances)
+	if n > 0 {
+		chunk := (n + workers*analyzeShardFactor - 1) / (workers * analyzeShardFactor)
+		nChunks := (n + chunk - 1) / chunk
+		sched.Run(sched.Pool{Workers: workers}, 0, nChunks-1,
+			func(ctx context.Context, i int) (*Plan, error) {
+				lo, hi := i*chunk, (i+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				es := make(edgeSet)
+				for _, inst := range acc.instances[lo:hi] {
+					instanceEdges(tr, byThread, injection, inst, opts.Window, es.add)
+				}
+				partial := &Plan{Interfere: make(map[trace.SiteID][]trace.SiteID, len(es))}
+				for a, set := range es {
+					out := make([]trace.SiteID, 0, len(set))
+					for b := range set {
+						out = append(out, b)
+					}
+					partial.Interfere[a] = out
+				}
+				return partial, nil
+			},
+			func(r sched.Result[*Plan]) bool {
+				if r.Err != nil {
+					ok = false
+					return false
+				}
+				plan.MergeFrom(r.Value)
+				return true
+			})
+	}
+	if !ok {
+		return analyzeSequential(tr, opts)
+	}
+	// MergeFrom unions edge lists in arrival order; canonicalize to the
+	// sequential analyzer's sorted form.
+	for _, lst := range plan.Interfere {
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+	return plan
+}
+
+// shardObjects partitions object ids into at most nShards groups balanced
+// by event count (greedy longest-first), deterministically: object order
+// never affects the merged result, but a stable partition keeps run-to-run
+// scheduling comparable.
+func shardObjects(byObject map[trace.ObjID][]int, nShards int) [][]trace.ObjID {
+	objs := make([]trace.ObjID, 0, len(byObject))
+	for obj := range byObject {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		li, lj := len(byObject[objs[i]]), len(byObject[objs[j]])
+		if li != lj {
+			return li > lj
+		}
+		return objs[i] < objs[j]
+	})
+	if nShards > len(objs) {
+		nShards = len(objs)
+	}
+	if nShards == 0 {
+		return nil
+	}
+	shards := make([][]trace.ObjID, nShards)
+	load := make([]int, nShards)
+	for _, obj := range objs {
+		best := 0
+		for s := 1; s < nShards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shards[best] = append(shards[best], obj)
+		load[best] += len(byObject[obj])
+	}
+	return shards
+}

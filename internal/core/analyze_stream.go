@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// ErrUnsortedStream reports a streamed trace whose events are not in
+// nondecreasing timestamp order. The streaming analyzer's sliding-window
+// buffers (like the materialized analyzer's early break) assume time
+// order; streamed traces can arrive out of order, so the violation is
+// checked explicitly instead of silently dropping pairs.
+var ErrUnsortedStream = errors.New("core: streamed trace events out of time order")
+
+// AnalyzeStream runs the trace analyzer over a WFTS event stream without
+// ever materializing the trace, producing a plan bit-identical to
+// Analyze on the same events. It reads the stream twice (hence the
+// io.ReadSeeker): pass A discovers the candidate pairs with per-object
+// sliding buffers, pass B replays the stream against the pass-A injection
+// sites to build the interference set with per-thread sliding buffers.
+//
+// Memory is bounded by the plan plus the events in flight inside the
+// analysis windows — per-object buffers hold at most δ of MemOrder events
+// and per-thread buffers at most 2δ of events (an interference scan for a
+// pair (τ1, τ2) reaches back to τ1−δ > τ2−2δ) — never the whole trace.
+func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
+	opts = opts.WithDefaults()
+
+	// Pass A: near-miss candidate pairs per object (§3.1, §4.1). Each
+	// arriving event is paired against the object's buffered earlier
+	// events, which eviction keeps strictly inside the δ window.
+	sr, err := trace.NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	acc := newPairAccum(opts)
+	acc.noInstances = true
+	objBuf := make(map[trace.ObjID][]trace.Event)
+	var prevT sim.Time
+	first := true
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !first && ev.T < prevT {
+			return nil, fmt.Errorf("%w: event %d at %v after %v", ErrUnsortedStream, ev.Seq, ev.T, prevT)
+		}
+		prevT, first = ev.T, false
+		buf := evictBefore(objBuf[ev.Obj], ev.T.Add(-opts.Window))
+		if ev.Kind.IsMemOrder() {
+			for i := range buf {
+				acc.observe(&buf[i], &ev)
+			}
+			buf = append(buf, ev)
+		}
+		objBuf[ev.Obj] = buf
+	}
+	plan := assemblePlan(sr.Label(), opts, acc.pairs)
+
+	// Pass 2 happened inside assemblePlan; pass B below is pass 3. With no
+	// candidates there is nothing to interfere.
+	if len(acc.pairs) == 0 {
+		return plan, nil
+	}
+
+	// Pass B: the interference set I (§4.4). Replay the stream; every
+	// arriving event that completes a candidate instance scans its own
+	// thread's buffered history over [τ1−δ, τ2). The thread buffers retain
+	// 2δ of events, which covers every reachable scan window.
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("core: rewind stream for interference pass: %w", err)
+	}
+	sr2, err := trace.NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	injection := injectionSet(plan)
+	es := make(edgeSet)
+	objBuf = make(map[trace.ObjID][]trace.Event)
+	thrBuf := make(map[int][]trace.Event)
+	for {
+		ev, err := sr2.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		obuf := evictBefore(objBuf[ev.Obj], ev.T.Add(-opts.Window))
+		tbuf := evictBefore(thrBuf[ev.TID], ev.T.Add(-2*opts.Window))
+		if ev.Kind.IsMemOrder() {
+			for i := range obuf {
+				e1 := &obuf[i]
+				if _, ok := nearMiss(e1, &ev, opts); !ok {
+					continue
+				}
+				// One dynamic instance (ℓ1 = e1.Site at τ1, ℓ2 at τ2 = now).
+				// The thread buffer holds exactly the events with Seq < ev.Seq
+				// still inside 2δ, so scanning from the first event ≥ τ1−δ
+				// mirrors the materialized pass 3, self-edges excluded.
+				lo := e1.T.Add(-opts.Window)
+				start := sort.Search(len(tbuf), func(j int) bool { return tbuf[j].T >= lo })
+				for j := start; j < len(tbuf); j++ {
+					if s := tbuf[j].Site; s != e1.Site && injection[s] {
+						es.add(e1.Site, s)
+					}
+				}
+			}
+			obuf = append(obuf, ev)
+		}
+		objBuf[ev.Obj] = obuf
+		thrBuf[ev.TID] = append(tbuf, ev)
+	}
+	es.fill(plan)
+	return plan, nil
+}
+
+// evictBefore drops the buffer prefix whose timestamps are at or before
+// cutoff. The survivors are copied down so the backing array is reused at
+// its windowed size instead of growing with the stream.
+func evictBefore(buf []trace.Event, cutoff sim.Time) []trace.Event {
+	i := 0
+	for i < len(buf) && buf[i].T <= cutoff {
+		i++
+	}
+	if i == 0 {
+		return buf
+	}
+	n := copy(buf, buf[i:])
+	return buf[:n]
+}

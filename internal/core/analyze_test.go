@@ -193,9 +193,13 @@ func TestAnalyzeInterferenceSet(t *testing.T) {
 	}
 }
 
-func TestAnalyzeSelfInterference(t *testing.T) {
-	// Figure 4b: the same static site executes in both threads — the
-	// interference relation must contain the self edge.
+func TestAnalyzeExcludesSelfInterference(t *testing.T) {
+	// Figure 4b: the same static site executes in both threads. The
+	// interference relation must NOT contain the self edge — another
+	// thread reaching the delay site is exactly the concurrency being
+	// provoked, not a delay cancellation, and a self edge would make the
+	// injector forbid concurrent delays at one site across threads.
+	// Cross-site edges in the same window must survive.
 	tr := mkTrace(
 		ev(0, 0, 1, "ctor", 1, trace.KindInit),
 		ev(1, 3, 2, "chk", 1, trace.KindUse), // thd2's use: pair {chk, disp}
@@ -203,8 +207,36 @@ func TestAnalyzeSelfInterference(t *testing.T) {
 		ev(3, 4.5, 1, "disp", 1, trace.KindDispose),
 	)
 	plan := Analyze(tr, Options{})
-	if !plan.InterferesWith("chk", "chk") {
-		t.Fatalf("self-interference missing: %v", plan.Interfere)
+	if plan.InterferesWith("chk", "chk") {
+		t.Fatalf("self-interference edge present: %v", plan.Interfere)
+	}
+	if !plan.InterferesWith("chk", "ctor") || !plan.InterferesWith("ctor", "chk") {
+		t.Fatalf("cross-site interference lost: %v", plan.Interfere)
+	}
+}
+
+func TestAnalyzeZeroGapPairIsCandidate(t *testing.T) {
+	// Simultaneous timestamps are a legal near miss (gap 0 < δ). The
+	// injector treats DelayLen membership as "is a candidate", so the
+	// entry must exist even though the recorded gap is zero; delayFor
+	// floors the injected delay at MinDelay.
+	tr := mkTrace(
+		ev(0, 1, 1, "ctor", 1, trace.KindInit),
+		ev(1, 1, 2, "use", 1, trace.KindUse), // same instant, other thread
+	)
+	plan := Analyze(tr, Options{})
+	if len(plan.Pairs) != 1 || plan.Pairs[0].Gap != 0 {
+		t.Fatalf("pairs = %+v, want one zero-gap pair", plan.Pairs)
+	}
+	gap, ok := plan.DelayLen["ctor"]
+	if !ok {
+		t.Fatalf("zero-gap pair has no DelayLen entry: %v (site silently never injected)", plan.DelayLen)
+	}
+	if gap != 0 {
+		t.Fatalf("DelayLen[ctor] = %v, want 0", gap)
+	}
+	if plan.Probs["ctor"] != 1.0 {
+		t.Fatalf("probs = %v, want ctor at 1.0", plan.Probs)
 	}
 }
 

@@ -84,3 +84,43 @@ func TestInterferenceControlSeesNoLeakedDelayAcrossRuns(t *testing.T) {
 		t.Fatal("leaked counter: faulted site's delay still reads as live")
 	}
 }
+
+func TestInjectorClampsTruncatedDelayInterval(t *testing.T) {
+	// The exposing fault lands 1ms into an 11.5ms delay. The recorded
+	// interval must cover only the virtual time actually slept — recording
+	// [start, start+d] up front would overcount Table 6's cumulative delay
+	// and the §3.3 overlap metric by the truncated 10.5ms remainder.
+	plan := planWith("ctor.go:2", 10*sim.Millisecond)
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	faultMidDelay(t, inj)
+	st := inj.Stats()
+	if len(st.Intervals) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(st.Intervals))
+	}
+	iv := st.Intervals[0]
+	// 1ms of user-thread sleep plus memmodel's 1µs intrinsic op cost.
+	if want := 1001 * sim.Microsecond; iv.Dur() != want {
+		t.Fatalf("interval length = %v, want %v (virtual time until the fault)", iv.Dur(), want)
+	}
+	if st.Total != iv.Dur() {
+		t.Fatalf("Total = %v, want %v", st.Total, iv.Dur())
+	}
+}
+
+func TestOnlineClampsTruncatedDelayInterval(t *testing.T) {
+	o := NewOnline(WaffleBasicConfig(Options{InstrCost: -1}))
+	p := &Pair{Delay: "ctor.go:2", Target: "handler.go:8", Kind: UseBeforeInit, Gap: 5 * sim.Millisecond}
+	o.pairs[p.key()] = p
+	o.bySite[p.Delay] = []*Pair{p}
+	o.lens[p.Delay] = p.Gap
+	o.probs[p.Delay] = 1.0
+	o.BeginRun()
+	faultMidDelay(t, o)
+	st := o.Stats()
+	if len(st.Intervals) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(st.Intervals))
+	}
+	if want := 1001 * sim.Microsecond; st.Intervals[0].Dur() != want {
+		t.Fatalf("interval length = %v, want %v (the fixed 100ms delay was cut short)", st.Intervals[0].Dur(), want)
+	}
+}

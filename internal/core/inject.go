@@ -86,20 +86,30 @@ func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, 
 	}
 
 	d := in.opts.delayFor(gapLen)
+	start := t.Now()
 	in.active[site]++
 	in.activeTotal++
-	// Release via defer: a bug-exposing delay tears this thread down
-	// mid-Sleep (the teardown unwinds through this frame), and a counter
+	// Release and record via defer: a bug-exposing delay tears this thread
+	// down mid-Sleep (the teardown unwinds through this frame). A counter
 	// that stays live would make every other thread treat the faulted
-	// site's delay as ongoing, spuriously skipping injections.
+	// site's delay as ongoing, spuriously skipping injections — and an
+	// interval recorded up front as [start, start+d] would overcount
+	// Table 6's cumulative delay and the §3.3 overlap metric when the
+	// sleep is truncated by a fault or a RunBudget cancel. During the
+	// unwind t.Now() reflects the teardown point, so clamping to
+	// [start, start+d] charges exactly the virtual time actually slept.
 	defer func() {
 		in.active[site]--
 		in.activeTotal--
+		end := t.Now()
+		if lim := start.Add(d); end > lim {
+			end = lim
+		}
+		if end < start {
+			end = start
+		}
+		in.stats.add(Interval{Site: site, Start: start, End: end})
 	}()
-	start := t.Now()
-	// Record up front: if the delay exposes a bug, code after Sleep never
-	// runs.
-	in.stats.add(Interval{Site: site, Start: start, End: start.Add(d)})
 	t.Sleep(d)
 
 	// The delay completed without the world faulting (a fault would have

@@ -209,3 +209,80 @@ func TestIntervalDur(t *testing.T) {
 		t.Fatalf("Dur = %v", iv.Dur())
 	}
 }
+
+func TestSameSiteDelaysRunConcurrently(t *testing.T) {
+	// Figure 4b regression: two threads reaching one candidate site while
+	// a delay is in flight there must BOTH be delayed. The analyzer emits
+	// no self-interference edge, so neither injection is skipped — a self
+	// edge would serialize them and the racing schedule could never form.
+	tr := mkTrace(
+		ev(0, 0, 1, "ctor", 1, trace.KindInit),
+		ev(1, 3, 2, "chk", 1, trace.KindUse),
+		ev(2, 4, 1, "chk", 1, trace.KindUse),
+		ev(3, 4.5, 1, "disp", 1, trace.KindDispose),
+	)
+	plan := Analyze(tr, Options{})
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	hookRun(t, inj, func(root *sim.Thread, h *memmodel.Heap) {
+		r := h.NewRef("r")
+		r.Init(root, "boot") // not a candidate site
+		a := root.Spawn("a", func(th *sim.Thread) { r.Use(th, "chk") })
+		b := root.Spawn("b", func(th *sim.Thread) {
+			th.Sleep(500 * sim.Microsecond) // arrives while a's delay is live
+			r.Use(th, "chk")
+		})
+		root.Join(a)
+		root.Join(b)
+	})
+	st := inj.Stats()
+	if st.Count != 2 || st.Skipped != 0 {
+		t.Fatalf("count=%d skipped=%d, want both same-site delays injected (0 skips)", st.Count, st.Skipped)
+	}
+	if len(st.Intervals) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(st.Intervals))
+	}
+	a, b := st.Intervals[0], st.Intervals[1]
+	if !(a.Start < b.End && b.Start < a.End) {
+		t.Fatalf("delays did not overlap: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroGapCandidateStillExposesBug(t *testing.T) {
+	// A near miss whose two events share one virtual instant (gap 0) must
+	// still be delayable: the DelayLen entry is materialized with gap 0
+	// and delayFor floors the injected delay at MinDelay, which is enough
+	// to flip the order and expose the bug.
+	tr := mkTrace(
+		ev(0, 1, 1, "ctor.go:1", 1, trace.KindInit),
+		ev(1, 1, 2, "use.go:1", 1, trace.KindUse),
+	)
+	plan := Analyze(tr, Options{})
+	if len(plan.Pairs) != 1 || plan.Pairs[0].Gap != 0 {
+		t.Fatalf("pairs = %+v, want exactly the zero-gap candidate", plan.Pairs)
+	}
+
+	// Detection: the user's access trails the init by 50µs in the benign
+	// schedule, so only the MinDelay-floored (100µs) delay at the init lets
+	// the user run first against the uninitialized reference. A zero-length
+	// delay — the old behavior, where the gap-0 pair never materialized a
+	// DelayLen entry — would leave the run fault-free.
+	inj := NewInjector(plan, Options{InstrCost: -1})
+	h := memmodel.NewHeap()
+	h.SetHook(inj)
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	err := w.Run(func(root *sim.Thread) {
+		r := h.NewRef("r")
+		user := root.Spawn("user", func(th *sim.Thread) {
+			th.Sleep(50 * sim.Microsecond)
+			r.Use(th, "use.go:1")
+		})
+		r.Init(root, "ctor.go:1")
+		root.Join(user)
+	})
+	if err == nil {
+		t.Fatal("zero-gap candidate never exposed its bug: the site was not delayed")
+	}
+	if got := inj.Stats().Count; got != 1 {
+		t.Fatalf("delays = %d, want 1 (the MinDelay-floored injection)", got)
+	}
+}

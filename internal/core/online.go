@@ -199,22 +199,30 @@ func (o *Online) maybeDelay(t *sim.Thread, site trace.SiteID) {
 	} else {
 		d = o.cfg.FixedDelay
 	}
+	start := t.Now()
 	o.active[site]++
 	o.activeTot++
-	// Release via defer: a bug-exposing delay tears this thread down
-	// mid-Sleep, and a leaked counter would keep interference control
-	// skipping injections at partner sites until the run state resets.
+	// Release and record via defer: a bug-exposing delay tears this thread
+	// down mid-Sleep, and a leaked counter would keep interference control
+	// skipping injections at partner sites until the run state resets. The
+	// interval is recorded here too, with the end clamped to the virtual
+	// time actually slept — recording [start, start+d] up front overcounts
+	// Table 6's cumulative delay when a fault or cancel truncates the
+	// sleep (t.Now() during the unwind reflects the teardown point).
 	defer func() {
 		o.active[site]--
 		o.activeTot--
+		end := t.Now()
+		if lim := start.Add(d); end > lim {
+			end = lim
+		}
+		if end < start {
+			end = start
+		}
+		o.stats.add(Interval{Site: site, Start: start, End: end})
 	}()
-	start := t.Now()
-	end := start.Add(d)
-	// Record up front: a bug-exposing delay tears this thread down
-	// mid-sleep and code after Sleep never runs.
-	o.stats.add(Interval{Site: site, Start: start, End: end})
 	t.Sleep(d)
-	o.lastDelay[site] = delayRec{start: start, end: end, tid: t.ID(), valid: true}
+	o.lastDelay[site] = delayRec{start: start, end: start.Add(d), tid: t.ID(), valid: true}
 
 	np := p - o.cfg.Decay
 	if np < 0 {

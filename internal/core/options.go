@@ -59,6 +59,12 @@ type Options struct {
 	// search at 50 runs (§6.2).
 	MaxDetectionRuns int
 
+	// AnalyzeWorkers shards trace analysis across this many workers (the
+	// per-object pass-1 shards and per-instance pass-3 shards of
+	// AnalyzeParallel). Zero or one means sequential analysis; the sharded
+	// result is bit-identical either way.
+	AnalyzeWorkers int
+
 	// Ablations (Table 7). Each disables exactly one §4 design point.
 
 	// DisableParentChild skips the fork-clock pruning of §4.1, keeping
@@ -119,6 +125,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.MaxDetectionRuns <= 0 {
 		o.MaxDetectionRuns = DefaultMaxRuns
+	}
+	if o.AnalyzeWorkers < 0 {
+		o.AnalyzeWorkers = 0
 	}
 	return o
 }

@@ -61,6 +61,9 @@ type SuiteOptions struct {
 	// Parallelism runs that many tests concurrently (each test's worlds
 	// are fully independent). 0 = GOMAXPROCS.
 	Parallelism int
+	// AnalyzeWorkers shards each test's trace analysis across this many
+	// workers; the plans are bit-identical to sequential analysis.
+	AnalyzeWorkers int
 }
 
 // testResult carries one test's measurements out of the worker pool.
@@ -97,7 +100,7 @@ func EvalSuite(app *apps.App, opt SuiteOptions) SuiteRow {
 	sched.Run(sched.Pool{Workers: opt.Parallelism},
 		0, len(tests)-1,
 		func(_ context.Context, i int) (testResult, error) {
-			return evalOneTest(tests[i], opt.Seed+int64(i)*101), nil
+			return evalOneTest(tests[i], opt.Seed+int64(i)*101, opt.AnalyzeWorkers), nil
 		},
 		func(r sched.Result[testResult]) bool {
 			results[r.Index] = r.Value
@@ -170,7 +173,7 @@ func EvalSuite(app *apps.App, opt SuiteOptions) SuiteRow {
 
 // evalOneTest performs every per-test measurement: base runs, one TSVD
 // run, two WaffleBasic runs, and Waffle's preparation + first detection.
-func evalOneTest(test *apps.Test, seed int64) testResult {
+func evalOneTest(test *apps.Test, seed int64, analyzeWorkers int) testResult {
 	var r testResult
 	base := test.Prog.Execute(seed, nil)
 	r.base = sim.Duration(base.End)
@@ -219,7 +222,7 @@ func evalOneTest(test *apps.Test, seed int64) testResult {
 	}
 
 	// Waffle: preparation run then first detection run.
-	wf := core.NewWaffle(core.Options{})
+	wf := core.NewWaffle(core.Options{AnalyzeWorkers: analyzeWorkers})
 	wf.SetLabel(test.Name)
 	p1 := runTool(test.Prog, wf, 1, nil, seed)
 	r.wr1 = pct(p1.End, r.base)
@@ -235,7 +238,7 @@ func evalOneTest(test *apps.Test, seed int64) testResult {
 		// delays (§4.2), so the unperturbed count is the meaningful
 		// density measure.
 		r.moInstr = float64(len(moSitesOf(wf)))
-		unpruned := core.Analyze(tr, core.Options{DisableParentChild: true})
+		unpruned := core.Analyze(tr, core.Options{DisableParentChild: true, AnalyzeWorkers: analyzeWorkers})
 		r.moInj = float64(len(unpruned.InjectionSites()))
 	}
 	return r

@@ -107,43 +107,115 @@ func (r *StreamRecorder) Close(end sim.Time) error {
 }
 
 func (r *StreamRecorder) writeSiteFrame(idx uint64, site SiteID) error {
-	if err := r.bw.w.WriteByte(frameSite); err != nil {
-		return err
-	}
-	if err := r.bw.uvarint(idx); err != nil {
-		return err
-	}
-	return r.bw.str(string(site))
+	return writeStreamSite(r.bw, idx, site)
 }
 
 func (r *StreamRecorder) writeEventFrame(t *sim.Thread, siteIdx uint64, obj ObjID, kind Kind, dur sim.Duration) error {
-	if err := r.bw.w.WriteByte(frameEvent); err != nil {
-		return err
-	}
-	if err := r.bw.uvarint(siteIdx); err != nil {
-		return err
-	}
-	if err := r.bw.varint(int64(t.Now())); err != nil {
-		return err
-	}
-	if err := r.bw.varint(int64(t.ID())); err != nil {
-		return err
-	}
-	if err := r.bw.varint(int64(obj)); err != nil {
-		return err
-	}
-	if err := r.bw.w.WriteByte(byte(kind)); err != nil {
-		return err
-	}
-	if err := r.bw.varint(int64(dur)); err != nil {
-		return err
-	}
-	return r.bw.clock(vclock.Of(t))
+	return writeStreamEvent(r.bw, siteIdx, t.Now(), t.ID(), obj, kind, dur, vclock.Of(t))
 }
 
-// ReadStream loads a trace written by StreamRecorder. A stream without a
-// trailer (e.g. the run crashed) is rejected as truncated.
-func ReadStream(r io.Reader) (*Trace, error) {
+// writeStreamHeader emits the WFTS magic, version, and run metadata.
+func writeStreamHeader(bw *binWriter, label string, seed int64) error {
+	if _, err := bw.w.WriteString(streamMagic); err != nil {
+		return err
+	}
+	if err := bw.uvarint(streamVersion); err != nil {
+		return err
+	}
+	if err := bw.str(label); err != nil {
+		return err
+	}
+	return bw.varint(seed)
+}
+
+// writeStreamSite emits one site-table frame.
+func writeStreamSite(bw *binWriter, idx uint64, site SiteID) error {
+	if err := bw.w.WriteByte(frameSite); err != nil {
+		return err
+	}
+	if err := bw.uvarint(idx); err != nil {
+		return err
+	}
+	return bw.str(string(site))
+}
+
+// writeStreamEvent emits one event frame.
+func writeStreamEvent(bw *binWriter, siteIdx uint64, tm sim.Time, tid int, obj ObjID, kind Kind, dur sim.Duration, clk *vclock.Clock) error {
+	if err := bw.w.WriteByte(frameEvent); err != nil {
+		return err
+	}
+	if err := bw.uvarint(siteIdx); err != nil {
+		return err
+	}
+	if err := bw.varint(int64(tm)); err != nil {
+		return err
+	}
+	if err := bw.varint(int64(tid)); err != nil {
+		return err
+	}
+	if err := bw.varint(int64(obj)); err != nil {
+		return err
+	}
+	if err := bw.w.WriteByte(byte(kind)); err != nil {
+		return err
+	}
+	if err := bw.varint(int64(dur)); err != nil {
+		return err
+	}
+	return bw.clock(clk)
+}
+
+// WriteStream encodes an already-materialized trace in the streaming WFTS
+// format, so stream-based consumers (incremental analysis, conversion
+// tooling) can be fed from any trace source. Site-table frames are
+// interleaved on first use, exactly as StreamRecorder writes them.
+func (t *Trace) WriteStream(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	if err := writeStreamHeader(bw, t.Label, t.Seed); err != nil {
+		return err
+	}
+	sites := make(map[SiteID]uint64)
+	for i := range t.Events {
+		e := &t.Events[i]
+		idx, ok := sites[e.Site]
+		if !ok {
+			idx = uint64(len(sites))
+			sites[e.Site] = idx
+			if err := writeStreamSite(bw, idx, e.Site); err != nil {
+				return err
+			}
+		}
+		if err := writeStreamEvent(bw, idx, e.T, e.TID, e.Obj, e.Kind, e.Dur, e.Clock); err != nil {
+			return err
+		}
+	}
+	if err := bw.w.WriteByte(frameEnd); err != nil {
+		return err
+	}
+	if err := bw.varint(int64(t.End)); err != nil {
+		return err
+	}
+	return bw.w.Flush()
+}
+
+// StreamReader decodes a WFTS stream incrementally: Next returns one event
+// at a time, so a consumer's memory is bounded by its own working set
+// instead of the trace size. A stream without a trailer (e.g. the run
+// crashed) is reported as truncated when Next reaches the end.
+type StreamReader struct {
+	br      *bufio.Reader
+	version uint64
+	label   string
+	seed    int64
+	sites   []SiteID
+	n       int // events decoded so far; assigns Seq
+	end     sim.Time
+	done    bool
+}
+
+// NewStreamReader parses the stream header and returns a reader positioned
+// at the first frame.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(streamMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -164,42 +236,82 @@ func ReadStream(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: seed", ErrBadFormat)
 	}
+	return &StreamReader{br: br, version: version, label: label, seed: seed}, nil
+}
 
-	tr := &Trace{Label: label, Seed: seed}
-	var sites []SiteID
+// Label returns the stream's run label.
+func (sr *StreamReader) Label() string { return sr.label }
+
+// Seed returns the stream's world seed.
+func (sr *StreamReader) Seed() int64 { return sr.seed }
+
+// End returns the run's virtual end time; it is meaningful only after Next
+// has returned io.EOF (the trailer carries it).
+func (sr *StreamReader) End() sim.Time { return sr.end }
+
+// Next returns the next event, transparently consuming interleaved
+// site-table frames. io.EOF signals the trailer was reached; any other
+// error means the stream is corrupt or truncated.
+func (sr *StreamReader) Next() (Event, error) {
 	for {
-		tag, err := br.ReadByte()
+		if sr.done {
+			return Event{}, io.EOF
+		}
+		tag, err := sr.br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated stream (no trailer)", ErrBadFormat)
+			return Event{}, fmt.Errorf("%w: truncated stream (no trailer)", ErrBadFormat)
 		}
 		switch tag {
 		case frameSite:
-			idx, err := binary.ReadUvarint(br)
-			if err != nil || idx != uint64(len(sites)) {
-				return nil, fmt.Errorf("%w: site frame index", ErrBadFormat)
+			idx, err := binary.ReadUvarint(sr.br)
+			if err != nil || idx != uint64(len(sr.sites)) {
+				return Event{}, fmt.Errorf("%w: site frame index", ErrBadFormat)
 			}
-			s, err := readStr(br)
+			s, err := readStr(sr.br)
 			if err != nil {
-				return nil, err
+				return Event{}, err
 			}
-			sites = append(sites, SiteID(s))
+			sr.sites = append(sr.sites, SiteID(s))
 		case frameEvent:
-			ev, err := readStreamEvent(br, sites, version)
+			ev, err := readStreamEvent(sr.br, sr.sites, sr.version)
 			if err != nil {
-				return nil, err
+				return Event{}, err
 			}
-			ev.Seq = len(tr.Events)
-			tr.Events = append(tr.Events, ev)
+			ev.Seq = sr.n
+			sr.n++
+			return ev, nil
 		case frameEnd:
-			end, err := binary.ReadVarint(br)
+			end, err := binary.ReadVarint(sr.br)
 			if err != nil {
-				return nil, fmt.Errorf("%w: trailer", ErrBadFormat)
+				return Event{}, fmt.Errorf("%w: trailer", ErrBadFormat)
 			}
-			tr.End = sim.Time(end)
-			return tr, nil
+			sr.end = sim.Time(end)
+			sr.done = true
+			return Event{}, io.EOF
 		default:
-			return nil, fmt.Errorf("%w: unknown frame %q", ErrBadFormat, tag)
+			return Event{}, fmt.Errorf("%w: unknown frame %q", ErrBadFormat, tag)
 		}
+	}
+}
+
+// ReadStream loads a whole trace written by StreamRecorder (or
+// WriteStream). A stream without a trailer is rejected as truncated.
+func ReadStream(r io.Reader) (*Trace, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Label: sr.Label(), Seed: sr.Seed()}
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			tr.End = sr.End()
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Events = append(tr.Events, ev)
 	}
 }
 

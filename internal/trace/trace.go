@@ -189,6 +189,19 @@ func (t *Trace) ComputeStats() Stats {
 	return s
 }
 
+// TimeSorted reports whether the events appear in nondecreasing timestamp
+// order. Recorder output is sorted by construction; externally loaded or
+// streamed traces may not be, and the analyzer's windowed scans rely on
+// sortedness to stop early.
+func (t *Trace) TimeSorted() bool {
+	for i := 1; i < len(t.Events); i++ {
+		if t.Events[i].T < t.Events[i-1].T {
+			return false
+		}
+	}
+	return true
+}
+
 // ByObject groups event indexes by object id, preserving trace order.
 func (t *Trace) ByObject() map[ObjID][]int {
 	out := make(map[ObjID][]int)

@@ -42,17 +42,62 @@ func TestWaffleBasicExposesSimpleBugInTwoRuns(t *testing.T) {
 	}
 }
 
+// guardedInitUse is racyInitUse with the racy access behind an IsDisposed
+// check: the schedule and candidate pair are identical, but no schedule
+// faults, so every injected delay runs to completion.
+func guardedInitUse() *core.SimProgram {
+	return &core.SimProgram{
+		Label: "guarded-init-use",
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			r := h.NewRef("listener")
+			user := root.Spawn("event", func(th *sim.Thread) {
+				th.Sleep(3 * sim.Millisecond)
+				r.UseIfLive(th, "handler.go:8")
+			})
+			root.Sleep(1 * sim.Millisecond)
+			r.Init(root, "ctor.go:2")
+			root.Join(user)
+		},
+	}
+}
+
 func TestWaffleBasicUsesFixedDelays(t *testing.T) {
-	tool := New(core.Options{})
-	s := &core.Session{Prog: racyInitUse(), Tool: tool, MaxRuns: 10, BaseSeed: 1}
+	// Completed delays are exactly the fixed 100ms length (TSVD's default,
+	// no per-site variable lengths). The guarded program never faults, so
+	// every delay completes.
+	s := &core.Session{Prog: guardedInitUse(), Tool: New(core.Options{}), MaxRuns: 4, BaseSeed: 1}
 	out := s.Expose()
-	if out.Bug == nil {
+	if out.Bug != nil {
+		t.Fatalf("guarded program faulted: %v", out.Bug)
+	}
+	completed := 0
+	for _, run := range out.Runs {
+		for _, iv := range run.Stats.Intervals {
+			completed++
+			if iv.Dur() != core.DefaultFixedDelay {
+				t.Fatalf("delay = %v, want fixed %v", iv.Dur(), core.DefaultFixedDelay)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no delays were injected")
+	}
+
+	// An exposing delay is torn down by the fault mid-sleep; its interval
+	// records only the virtual time actually slept, never the planned
+	// 100ms. Here the init is delayed at 1ms and the racy use faults at
+	// 3ms (plus memmodel's 1µs op cost).
+	s2 := &core.Session{Prog: racyInitUse(), Tool: New(core.Options{}), MaxRuns: 10, BaseSeed: 1}
+	out2 := s2.Expose()
+	if out2.Bug == nil {
 		t.Fatal("no bug")
 	}
-	for _, iv := range out.Bug.Delays.Intervals {
-		if iv.Dur() != core.DefaultFixedDelay {
-			t.Fatalf("delay = %v, want fixed %v", iv.Dur(), core.DefaultFixedDelay)
-		}
+	ivs := out2.Bug.Delays.Intervals
+	if len(ivs) != 1 {
+		t.Fatalf("intervals in exposing run = %d, want 1", len(ivs))
+	}
+	if want := 2001 * sim.Microsecond; ivs[0].Dur() != want {
+		t.Fatalf("exposing delay interval = %v, want the %v actually slept", ivs[0].Dur(), want)
 	}
 }
 
@@ -91,9 +136,12 @@ func interferingBugs() *core.SimProgram {
 
 // interferingInstances is Figure 4b (NetMQ #814): the same static site
 // ("chk") executes in the disposing thread right before the dispose and in
-// the worker thread as the racy use. WaffleBasic delays both dynamic
-// instances in parallel and cancels itself with significant probability;
-// Waffle's self-interference edge serializes them.
+// the worker thread as the racy use. Delaying both dynamic instances in
+// parallel preserves their relative order, so symmetric injection cancels
+// itself. Waffle keeps both instances delayable concurrently (no self
+// edge) and relies on probability decay to break the symmetry: once the
+// shared site's probability drops below 1, a run eventually delays only
+// one instance and the racing schedule forms.
 func interferingInstances() *core.SimProgram {
 	return &core.SimProgram{
 		Label: "interfering-instances",
@@ -145,35 +193,41 @@ func TestInterferingBugsWaffleBasicMissesWaffleCatches(t *testing.T) {
 	}
 }
 
-func TestInterferingInstancesWaffleFasterThanBasic(t *testing.T) {
+func TestInterferingInstancesSameSiteDelaysConcurrently(t *testing.T) {
+	// Two regressions guarded here. First, Waffle must never emit a
+	// self-interference edge: both dynamic instances of "poller.go:11" are
+	// delayed in the same run (interference control would otherwise skip
+	// the second and the site could never race against itself across
+	// threads). Second, Waffle must still expose Figure 4b's bug reliably
+	// — decay-driven symmetry breaking takes a handful of runs per seed.
 	const attempts = 15
-	var basicRuns, waffleRuns []int
-	basicFound, waffleTwoRuns := 0, 0
+	basicFound := 0
 	for i := 0; i < attempts; i++ {
 		seed := int64(7_000 + i*911)
-		if r := exposeRuns(interferingInstances, New(core.Options{}), 50, seed); r > 0 {
+
+		s := &core.Session{Prog: interferingInstances(), Tool: core.NewWaffle(core.Options{}), MaxRuns: 50, BaseSeed: seed}
+		out := s.Expose()
+		if out.Bug == nil {
+			t.Errorf("seed %d: Waffle missed the Figure 4b bug in 50 runs", seed)
+			continue
+		}
+		// Run 2 is the first detection run: both instances arrive at full
+		// probability and must both be delayed, neither skipped.
+		r2 := out.Runs[1]
+		if r2.Stats.Count != 2 || r2.Stats.Skipped != 0 {
+			t.Errorf("seed %d run 2: count=%d skipped=%d, want both same-site delays injected",
+				seed, r2.Stats.Count, r2.Stats.Skipped)
+		}
+
+		if exposeRuns(interferingInstances, New(core.Options{}), 50, seed) > 0 {
 			basicFound++
-			basicRuns = append(basicRuns, r)
 		}
-		if r := exposeRuns(interferingInstances, core.NewWaffle(core.Options{}), 50, seed); r == 2 {
-			waffleTwoRuns++
-		}
-		waffleRuns = append(waffleRuns, 2)
 	}
-	if waffleTwoRuns < 10 {
-		t.Errorf("Waffle needed >2 runs too often: 2-run rate %d/%d", waffleTwoRuns, attempts)
-	}
-	// WaffleBasic eventually finds this one (Bug-11 took it 5 runs), but
-	// slower than Waffle on average.
-	if basicFound == 0 {
-		t.Fatal("WaffleBasic never exposed the Figure 4b bug")
-	}
-	sum := 0
-	for _, r := range basicRuns {
-		sum += r
-	}
-	if avg := float64(sum) / float64(len(basicRuns)); avg <= 2.0 {
-		t.Errorf("WaffleBasic average runs = %.1f, expected clearly more than Waffle's 2", avg)
+	// WaffleBasic eventually finds this one too (Bug-11 took it 5 runs in
+	// the paper) — the Figure 4b contrast is about interference-bound
+	// cancellation, not a hard miss.
+	if basicFound < 10 {
+		t.Errorf("WaffleBasic found the bug only %d/%d attempts", basicFound, attempts)
 	}
 }
 
