@@ -9,6 +9,14 @@
 //	waffle -test SSH.Net/Bug-1           # expose a known bug
 //	waffle -test SSH.Net/Bug-1 -tool basic
 //	waffle -test NpgSQL/Bug-12 -plan plan.json -trace prep.trace
+//
+// Live mode runs the detector against real goroutines on the wall clock
+// (see package live); scheduling is physical, so sim-only flags such as
+// -seed and -parallel are rejected:
+//
+//	waffle -live-list                    # enumerate live demos
+//	waffle -live disposer                # expose a planted use-after-free
+//	waffle -live disposer -live-bench BENCH_live.json
 package main
 
 import (
@@ -35,12 +43,29 @@ func main() {
 		jsonOut  = flag.String("report", "", "write the bug report as JSON to this path")
 		planOut  = flag.String("plan", "", "write the analyzed plan (candidate set S, interference set I, delay lengths) as JSON")
 		traceOut = flag.String("trace", "", "write the preparation-run trace (binary)")
+
+		liveName  = flag.String("live", "", "run the live (wall-clock, real-goroutine) detector against a built-in demo; see -live-list")
+		liveList  = flag.Bool("live-list", false, "list the live demos")
+		liveBench = flag.String("live-bench", "", "with -live: write per-phase wall-time JSON (BENCH_live.json) to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		listTests()
 		return
+	}
+	if *liveList {
+		listDemos()
+		return
+	}
+	if *liveName != "" {
+		rejectSimOnlyFlags()
+		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench)
+		return
+	}
+	if *liveBench != "" {
+		fmt.Fprintln(os.Stderr, "waffle: -live-bench requires -live")
+		os.Exit(2)
 	}
 	if *suite != "" {
 		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze)

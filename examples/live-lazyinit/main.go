@@ -1,0 +1,59 @@
+// Live lazyinit: plant a use-before-init between REAL goroutines and
+// expose it with the live (wall-clock) detector.
+//
+//	go run ./examples/live-lazyinit
+//
+// The main goroutine lazily loads a config ~5ms into the run; a reader
+// goroutine consumes it at ~40ms after unrelated warm-up work. Naturally
+// the load always wins. The analyzer records the init→use near miss
+// (fork-concurrent, inside the 100ms window) and a detection run delays
+// the LOAD — pushing initialization past the read, which then faults on
+// the still-nil reference.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"waffle/live"
+)
+
+// scenario is exported for the example's test, which asserts the bug is
+// exposed within 10 detection runs under -race.
+var scenario = live.Scenario{
+	Name: "live-lazyinit",
+	Body: func(t *live.Thread, h *live.Heap) {
+		cfg := h.NewRef("config")
+
+		reader := t.Spawn("reader", func(w *live.Thread) {
+			w.Sleep(40 * time.Millisecond) // warm caches, open sockets ...
+			cfg.Use(w, "reader.Get")
+		})
+
+		t.Sleep(5 * time.Millisecond) // fetch the config file
+		cfg.Init(t, "main.LoadConfig")
+		t.Join(reader)
+	},
+}
+
+func main() {
+	fmt.Println("searching on the wall clock (real goroutines, real sleeps)...")
+	outcome := live.New(live.Options{}).Expose(scenario, 11, 1)
+
+	for _, r := range outcome.Runs {
+		phase := "detection "
+		if r.Run == 1 {
+			phase = "preparation"
+		}
+		fmt.Printf("  run %d (%s): wall %v, %d delays injected\n",
+			r.Run, phase, r.WallDur.Round(time.Millisecond), r.Stats.Count)
+	}
+
+	if outcome.Bug == nil {
+		fmt.Println("no bug found — rerun; wall-clock detection is probabilistic")
+		os.Exit(1)
+	}
+	fmt.Printf("\nexposed %v at %s in run %d:\n  %v\n",
+		outcome.Bug.Kind(), outcome.Bug.NullRef.Site, outcome.Bug.Run, outcome.Bug.NullRef)
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"waffle/live"
+)
+
+// TestExposedWithinTenDetectionRuns is the live smoke gate CI runs under
+// -race -count=3: the planted use-before-init must manifest within 10
+// detection runs with real injected sleeps.
+func TestExposedWithinTenDetectionRuns(t *testing.T) {
+	out := live.New(live.Options{}).Expose(scenario, 11, 1)
+	if out.Bug == nil {
+		t.Fatalf("no bug exposed in %d runs", len(out.Runs))
+	}
+	if got := out.Bug.NullRef.Site; got != "reader.Get" {
+		t.Fatalf("bug at %s, want reader.Get", got)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/vclock"
+)
+
+// Exec abstracts the executing thread from the injection engines' point of
+// view: a clock to read, a sleeper to park on, a per-run random stream, and
+// a thread identity. The simulator's *sim.Thread implements it on virtual
+// time; internal/live implements it on the monotonic wall clock with real
+// time.Sleep delays. Everything the Injector and Online engines do is
+// phrased against this interface, so "what time means" is a property of the
+// program under test, not of the detection algorithm.
+//
+// Timestamps and durations keep the sim.Time/sim.Duration types — they are
+// opaque int64 ticks to the engines, which only ever subtract, compare, and
+// scale them. The simulator's tick is one virtual microsecond; the live
+// runtime's tick is one wall-clock nanosecond.
+type Exec interface {
+	// ID identifies the executing thread within its run.
+	ID() int
+	// Now reads the clock, in the implementation's ticks.
+	Now() sim.Time
+	// Sleep parks the thread for d ticks — the delay-injection primitive.
+	Sleep(d sim.Duration)
+	// Rand returns a float64 in [0,1) from the run's seeded stream. The
+	// engines call it under their own locks, so implementations shared
+	// between threads need no additional ordering guarantees beyond being
+	// safe for serialized use.
+	Rand() float64
+}
+
+// ClockedExec is an Exec that carries its fork vector clock explicitly.
+// Live threads implement it — they have no sim TLS for vclock.Of to read.
+type ClockedExec interface {
+	Exec
+	// ForkClock returns the thread's current fork clock snapshot (nil if
+	// the runtime does not track one).
+	ForkClock() *vclock.Clock
+}
+
+// execClock extracts the fork clock of an executing thread: sim threads
+// carry it in TLS, live threads implement ClockedExec.
+func execClock(e Exec) *vclock.Clock {
+	switch x := e.(type) {
+	case *sim.Thread:
+		return vclock.Of(x)
+	case ClockedExec:
+		return x.ForkClock()
+	}
+	return nil
+}

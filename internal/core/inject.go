@@ -1,12 +1,15 @@
 package core
 
 import (
+	"sync"
+
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 )
 
 // Interval records one injected delay: where it was injected and the
-// virtual-time span the thread slept. Intervals feed Table 6 (count and
+// time span the thread slept (virtual ticks under the simulator, wall-clock
+// nanoseconds under the live runtime). Intervals feed Table 6 (count and
 // cumulative duration) and the §3.3 overlap metric.
 type Interval struct {
 	Site  trace.SiteID
@@ -36,9 +39,19 @@ func (s *DelayStats) add(iv Interval) {
 // delays at the plan's candidate sites using per-site variable lengths,
 // probability decay, and interference-aware skipping. Probabilities decay
 // in place on the shared Plan, which the Session persists between runs.
+//
+// The injector is clock-agnostic: it runs against any Exec, so the same
+// engine drives simulated threads on virtual time and live goroutines on
+// the wall clock. Its mutable state is mutex-guarded — the lock is held
+// only around decisions and bookkeeping, never across the injected sleep,
+// so concurrent live threads delay in parallel exactly as the paper's
+// threads do. Under the single-batoned simulator the lock is uncontended
+// and the behavior is bit-identical to a lock-free engine.
 type Injector struct {
-	opts  Options
-	plan  *Plan
+	opts Options
+	mu   sync.Mutex // guards plan.Probs, stats, active, activeTotal
+	plan *Plan
+
 	stats DelayStats
 
 	// active counts in-flight delays per site; interference control
@@ -59,36 +72,51 @@ func NewInjector(plan *Plan, opts Options) *Injector {
 }
 
 // Stats returns the injection activity recorded so far.
-func (in *Injector) Stats() DelayStats { return in.stats }
+func (in *Injector) Stats() DelayStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
 
-// OnAccess implements memmodel.Hook: charge instrumentation overhead, then
-// decide whether to pause the thread before the access executes.
+// OnAccess implements memmodel.Hook — the simulator entry point.
 func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	in.Access(t, site, obj, kind, dur)
+}
+
+// Access is the clock-agnostic hook body: charge instrumentation overhead,
+// then decide whether to pause the thread before the access executes.
+func (in *Injector) Access(e Exec, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
 	if in.opts.InstrCost > 0 {
-		t.Sleep(in.opts.InstrCost)
+		e.Sleep(in.opts.InstrCost)
 	}
+	in.mu.Lock()
 	gapLen, isCandidate := in.plan.DelayLen[site]
 	if !isCandidate {
+		in.mu.Unlock()
 		return
 	}
 	p := in.plan.Probs[site]
 	if p <= 0 {
+		in.mu.Unlock()
 		return
 	}
-	if t.World().Rand() >= p {
+	if e.Rand() >= p {
+		in.mu.Unlock()
 		return
 	}
 	if !in.opts.DisableInterferenceControl && in.interferenceLive(site) {
 		// §4.4: a delay planned for this site is skipped — not decayed —
 		// while an interfering delay is ongoing in another thread.
 		in.stats.Skipped++
+		in.mu.Unlock()
 		return
 	}
 
 	d := in.opts.delayFor(gapLen)
-	start := t.Now()
+	start := e.Now()
 	in.active[site]++
 	in.activeTotal++
+	in.mu.Unlock()
 	// Release and record via defer: a bug-exposing delay tears this thread
 	// down mid-Sleep (the teardown unwinds through this frame). A counter
 	// that stays live would make every other thread treat the faulted
@@ -96,34 +124,38 @@ func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, 
 	// interval recorded up front as [start, start+d] would overcount
 	// Table 6's cumulative delay and the §3.3 overlap metric when the
 	// sleep is truncated by a fault or a RunBudget cancel. During the
-	// unwind t.Now() reflects the teardown point, so clamping to
-	// [start, start+d] charges exactly the virtual time actually slept.
+	// unwind e.Now() reflects the teardown point, so clamping to
+	// [start, start+d] charges exactly the time actually slept.
 	defer func() {
-		in.active[site]--
-		in.activeTotal--
-		end := t.Now()
+		end := e.Now()
 		if lim := start.Add(d); end > lim {
 			end = lim
 		}
 		if end < start {
 			end = start
 		}
+		in.mu.Lock()
+		in.active[site]--
+		in.activeTotal--
 		in.stats.add(Interval{Site: site, Start: start, End: end})
+		in.mu.Unlock()
 	}()
-	t.Sleep(d)
+	e.Sleep(d)
 
-	// The delay completed without the world faulting (a fault would have
-	// torn this thread down mid-sleep): this attempt failed to expose a
+	// The delay completed without the run faulting in this thread (a fault
+	// would have torn it down mid-sleep): this attempt failed to expose a
 	// bug, so the site's future injection probability decays (§2, §4.4).
 	np := p - in.opts.Decay
 	if np < 0 {
 		np = 0
 	}
+	in.mu.Lock()
 	in.plan.Probs[site] = np
+	in.mu.Unlock()
 }
 
 // interferenceLive reports whether any site interfering with site has a
-// delay currently in flight.
+// delay currently in flight. Callers hold in.mu.
 func (in *Injector) interferenceLive(site trace.SiteID) bool {
 	if in.activeTotal == 0 {
 		return false

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 	"waffle/internal/vclock"
@@ -75,8 +77,14 @@ type delayRec struct {
 // pairs, per-site gaps, probabilities, interference edges, and
 // HB-inference removals persist across runs (call BeginRun between runs);
 // per-run histories reset.
+//
+// Like the Injector, the engine is clock-agnostic (it runs against any
+// Exec) and mutex-guarded so concurrent live goroutines can share it; the
+// lock is never held across an injected sleep.
 type Online struct {
 	cfg OnlineConfig
+
+	mu sync.Mutex // guards all mutable state below
 
 	// Persistent across runs.
 	pairs     map[pairKey]*Pair
@@ -120,6 +128,8 @@ func NewOnline(cfg OnlineConfig) *Online {
 
 // BeginRun resets per-run state, keeping the learned candidate set.
 func (o *Online) BeginRun() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.runs++
 	o.objHist = make(map[trace.ObjID][]histEv)
 	o.threadHist = make(map[int][]histEv)
@@ -132,13 +142,23 @@ func (o *Online) BeginRun() {
 }
 
 // Stats returns the current run's injection activity.
-func (o *Online) Stats() DelayStats { return o.stats }
+func (o *Online) Stats() DelayStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
 
 // Runs reports how many runs have begun.
-func (o *Online) Runs() int { return o.runs }
+func (o *Online) Runs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.runs
+}
 
 // Pairs returns a snapshot of the live candidate set S.
 func (o *Online) Pairs() []Pair {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	out := make([]Pair, 0, len(o.pairs))
 	for k, p := range o.pairs {
 		if !o.removed[k] {
@@ -150,47 +170,66 @@ func (o *Online) Pairs() []Pair {
 
 // InjectionSiteCount reports the number of distinct delay sites ever
 // admitted to S (Table 2's "Injection Sites" metric).
-func (o *Online) InjectionSiteCount() int { return len(o.lens) }
+func (o *Online) InjectionSiteCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.lens)
+}
 
-// OnAccess implements memmodel.Hook. Order of duties mirrors WaffleBasic:
-// instrumentation cost, HB-inference bookkeeping, the delay-or-not
-// decision for already-known candidate sites, then near-miss
-// identification using the post-delay timestamp.
+// OnAccess implements memmodel.Hook — the simulator entry point.
 func (o *Online) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	o.Access(t, site, obj, kind, dur)
+}
+
+// Access is the clock-agnostic hook body. Order of duties mirrors
+// WaffleBasic: instrumentation cost, HB-inference bookkeeping, the
+// delay-or-not decision for already-known candidate sites, then near-miss
+// identification using the post-delay timestamp.
+func (o *Online) Access(e Exec, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
 	if o.cfg.InstrCost > 0 {
-		t.Sleep(o.cfg.InstrCost)
+		e.Sleep(o.cfg.InstrCost)
 	}
 	if !kind.IsMemOrder() {
 		// Thread-unsafe API calls are outside the MemOrder engine's domain.
-		o.noteAccess(t, site, obj, kind)
+		o.mu.Lock()
+		o.noteAccess(e, site, obj, kind)
+		o.mu.Unlock()
 		return
 	}
-	o.maybeDelay(t, site)
+	o.maybeDelay(e, site)
+	o.mu.Lock()
 	if o.cfg.HBInference {
 		// The propagation check happens when ℓ2 actually executes — after
 		// any delay injected at ℓ2 itself. That is precisely why overlap
 		// blinds the heuristic (§4.1): a thread stalled by its own delay
 		// is indistinguishable from one stalled by synchronization.
-		o.inferHappensBefore(t, site)
+		o.inferHappensBefore(e, site)
 	}
-	o.identify(t, site, obj, kind)
-	o.noteAccess(t, site, obj, kind)
+	o.identify(e, site, obj, kind)
+	o.noteAccess(e, site, obj, kind)
+	o.mu.Unlock()
 }
 
-// maybeDelay runs the delay-or-not decision for one access.
-func (o *Online) maybeDelay(t *sim.Thread, site trace.SiteID) {
+// maybeDelay runs the delay-or-not decision for one access. The engine
+// lock is dropped across the sleep itself.
+func (o *Online) maybeDelay(e Exec, site trace.SiteID) {
+	o.mu.Lock()
 	if !o.siteLive(site) {
+		o.mu.Unlock()
 		return
 	}
 	p := o.probs[site]
 	if p <= 0 {
+		o.mu.Unlock()
 		return
 	}
-	if t.World().Rand() >= p {
+	if e.Rand() >= p {
+		o.mu.Unlock()
 		return
 	}
 	if o.cfg.InterferenceControl && o.interferenceLive(site) {
 		o.stats.Skipped++
+		o.mu.Unlock()
 		return
 	}
 	var d sim.Duration
@@ -199,39 +238,45 @@ func (o *Online) maybeDelay(t *sim.Thread, site trace.SiteID) {
 	} else {
 		d = o.cfg.FixedDelay
 	}
-	start := t.Now()
+	start := e.Now()
 	o.active[site]++
 	o.activeTot++
+	o.mu.Unlock()
 	// Release and record via defer: a bug-exposing delay tears this thread
 	// down mid-Sleep, and a leaked counter would keep interference control
 	// skipping injections at partner sites until the run state resets. The
-	// interval is recorded here too, with the end clamped to the virtual
-	// time actually slept — recording [start, start+d] up front overcounts
+	// interval is recorded here too, with the end clamped to the time
+	// actually slept — recording [start, start+d] up front overcounts
 	// Table 6's cumulative delay when a fault or cancel truncates the
-	// sleep (t.Now() during the unwind reflects the teardown point).
+	// sleep (e.Now() during the unwind reflects the teardown point).
 	defer func() {
-		o.active[site]--
-		o.activeTot--
-		end := t.Now()
+		end := e.Now()
 		if lim := start.Add(d); end > lim {
 			end = lim
 		}
 		if end < start {
 			end = start
 		}
+		o.mu.Lock()
+		o.active[site]--
+		o.activeTot--
 		o.stats.add(Interval{Site: site, Start: start, End: end})
+		o.mu.Unlock()
 	}()
-	t.Sleep(d)
-	o.lastDelay[site] = delayRec{start: start, end: start.Add(d), tid: t.ID(), valid: true}
+	e.Sleep(d)
 
+	o.mu.Lock()
+	o.lastDelay[site] = delayRec{start: start, end: start.Add(d), tid: e.ID(), valid: true}
 	np := p - o.cfg.Decay
 	if np < 0 {
 		np = 0
 	}
 	o.probs[site] = np
+	o.mu.Unlock()
 }
 
 // siteLive reports whether site still delays for at least one live pair.
+// Callers hold o.mu.
 func (o *Online) siteLive(site trace.SiteID) bool {
 	for _, p := range o.bySite[site] {
 		if !o.removed[p.key()] {
@@ -241,6 +286,7 @@ func (o *Online) siteLive(site trace.SiteID) bool {
 	return false
 }
 
+// interferenceLive reports in-flight interference. Callers hold o.mu.
 func (o *Online) interferenceLive(site trace.SiteID) bool {
 	if o.activeTot == 0 {
 		return false
@@ -259,16 +305,16 @@ func (o *Online) interferenceLive(site trace.SiteID) bool {
 // happens-before edge and remove the pair. Under overlapping delays the
 // stall may actually be another delay — the heuristic cannot tell (§4.1) —
 // so pairs are removed spuriously; that is WaffleBasic's documented
-// failure mode, reproduced here mechanically.
-func (o *Online) inferHappensBefore(t *sim.Thread, site trace.SiteID) {
-	now := t.Now()
+// failure mode, reproduced here mechanically. Callers hold o.mu.
+func (o *Online) inferHappensBefore(e Exec, site trace.SiteID) {
+	now := e.Now()
 	for _, p := range o.byTarget[site] {
 		k := p.key()
 		if o.removed[k] {
 			continue
 		}
 		ld := o.lastDelay[p.Delay]
-		if !ld.valid || ld.tid == t.ID() {
+		if !ld.valid || ld.tid == e.ID() {
 			continue
 		}
 		// The delay must have completed recently, and this thread must
@@ -276,10 +322,10 @@ func (o *Online) inferHappensBefore(t *sim.Thread, site trace.SiteID) {
 		if ld.end > now || now.Sub(ld.end) > o.cfg.Window {
 			continue
 		}
-		if !o.seenAccess[t.ID()] {
+		if !o.seenAccess[e.ID()] {
 			continue // a thread with no history cannot be judged stalled
 		}
-		if o.lastAccess[t.ID()] < ld.start {
+		if o.lastAccess[e.ID()] < ld.start {
 			o.removed[k] = true
 		}
 	}
@@ -287,22 +333,22 @@ func (o *Online) inferHappensBefore(t *sim.Thread, site trace.SiteID) {
 
 // identify is online near-miss tracking: match the current access against
 // the object's recent history (§3.1), updating S, gaps, probabilities, and
-// (when enabled) interference edges.
-func (o *Online) identify(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+// (when enabled) interference edges. Callers hold o.mu.
+func (o *Online) identify(e Exec, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
 	if kind != trace.KindUse && kind != trace.KindDispose {
 		return
 	}
-	now := t.Now()
+	now := e.Now()
 	var clk *vclock.Clock
 	if o.cfg.ParentChildPruning {
-		clk = vclock.Of(t)
+		clk = execClock(e)
 	}
 	for _, h := range o.objHist[obj] {
 		gap := now.Sub(h.t)
 		if gap < 0 || gap >= o.cfg.Window {
 			continue
 		}
-		if h.tid == t.ID() {
+		if h.tid == e.ID() {
 			continue
 		}
 		var bk BugKind
@@ -317,12 +363,13 @@ func (o *Online) identify(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kin
 		if o.cfg.ParentChildPruning && vclock.Ordered(h.clock, clk) {
 			continue
 		}
-		o.admit(t, h.site, site, bk, gap, h.t, now)
+		o.admit(e, h.site, site, bk, gap, h.t, now)
 	}
 }
 
-// admit adds or refreshes a candidate pair discovered online.
-func (o *Online) admit(t *sim.Thread, delaySite, targetSite trace.SiteID, bk BugKind, gap sim.Duration, t1, t2 sim.Time) {
+// admit adds or refreshes a candidate pair discovered online. Callers hold
+// o.mu.
+func (o *Online) admit(e Exec, delaySite, targetSite trace.SiteID, bk BugKind, gap sim.Duration, t1, t2 sim.Time) {
 	k := pairKey{delay: delaySite, target: targetSite, kind: bk}
 	if o.removed[k] {
 		return
@@ -348,7 +395,7 @@ func (o *Online) admit(t *sim.Thread, delaySite, targetSite trace.SiteID, bk Bug
 		// Current thread is ℓ2's thread: any candidate site it exercised
 		// in [τ1−δ, τ2) interferes with ℓ1 (§4.4, applied online).
 		lo := t1.Add(-o.cfg.Window)
-		for _, h := range o.threadHist[t.ID()] {
+		for _, h := range o.threadHist[e.ID()] {
 			if h.t < lo || h.t > t2 {
 				continue
 			}
@@ -371,13 +418,14 @@ func (o *Online) addInterference(a, b trace.SiteID) {
 }
 
 // noteAccess appends the access to the object and thread histories.
-func (o *Online) noteAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
-	now := t.Now()
-	ev := histEv{site: site, tid: t.ID(), t: now, kind: kind, clock: vclock.Of(t)}
+// Callers hold o.mu.
+func (o *Online) noteAccess(e Exec, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+	now := e.Now()
+	ev := histEv{site: site, tid: e.ID(), t: now, kind: kind, clock: execClock(e)}
 	o.objHist[obj] = appendBounded(o.objHist[obj], ev, o.cfg.HistoryDepth)
-	o.threadHist[t.ID()] = appendBounded(o.threadHist[t.ID()], ev, o.cfg.HistoryDepth)
-	o.lastAccess[t.ID()] = now
-	o.seenAccess[t.ID()] = true
+	o.threadHist[e.ID()] = appendBounded(o.threadHist[e.ID()], ev, o.cfg.HistoryDepth)
+	o.lastAccess[e.ID()] = now
+	o.seenAccess[e.ID()] = true
 }
 
 // appendBounded appends keeping at most depth entries (oldest dropped).

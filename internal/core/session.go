@@ -49,13 +49,24 @@ type Tool interface {
 
 // RunReport describes one completed run of a session.
 type RunReport struct {
-	Run      int        // 1-based run number
-	Seed     int64      // world seed used
-	End      sim.Time   // virtual end time
-	TimedOut bool       // run hit its virtual-time budget
+	Run int // 1-based run number
+	// Seed is the seed used for the run. Under the simulator it is the
+	// world seed and makes the run bit-for-bit reproducible. On live
+	// (wall-clock) runs it only drives the injector's RNG — physical
+	// scheduling is nondeterministic, so the same seed does not replay
+	// the same interleaving.
+	Seed     int64
+	End      sim.Time   // end time in run ticks (virtual µs; wall-clock ns duration on live runs)
+	TimedOut bool       // run hit its time budget
 	Fault    *sim.Fault // fault that ended the run, if any
 	Err      error      // abnormal termination without a fault: deadlock, limits, cancellation
 	Stats    DelayStats // delay activity during the run
+
+	// WallStart and WallDur stamp the run's physical start time and
+	// duration. They are set only by the live runtime, where latencies are
+	// wall-clock real; simulated runs leave them zero.
+	WallStart time.Time
+	WallDur   time.Duration
 }
 
 // BugReport is emitted when a delay-injection run manifests a NULL

@@ -1,0 +1,81 @@
+package live
+
+import (
+	"time"
+
+	"waffle/internal/core"
+)
+
+// Demo is a built-in live scenario with a planted MemOrder bug, shared by
+// the examples, cmd/waffle -live, and the live smoke tests. The timings
+// are chosen so the natural order holds by a wide margin (tens of
+// milliseconds — far above scheduler noise) while the analyzed gap stays
+// inside the near-miss window, so only an injected delay flips the order.
+type Demo struct {
+	Name  string
+	About string
+	Kind  core.BugKind
+	Scenario
+}
+
+// Demos lists the built-in live scenarios.
+func Demos() []Demo {
+	return []Demo{
+		{
+			Name: "disposer",
+			About: "a worker goroutine sends on a connection " +
+				"~5ms in; main disposes it at ~40ms. Delaying the worker's use " +
+				"past the disposal faults.",
+			Kind:     core.UseAfterFree,
+			Scenario: Scenario{Name: "live/disposer", Body: disposerBody},
+		},
+		{
+			Name: "lazyinit",
+			About: "main loads a config ~5ms in; a reader " +
+				"goroutine consumes it at ~40ms. Delaying the load past the " +
+				"read faults.",
+			Kind:     core.UseBeforeInit,
+			Scenario: Scenario{Name: "live/lazyinit", Body: lazyInitBody},
+		},
+	}
+}
+
+// FindDemo looks a built-in demo up by name.
+func FindDemo(name string) (Demo, bool) {
+	for _, d := range Demos() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Demo{}, false
+}
+
+// disposerBody plants a use-after-free: the worker's send races the main
+// thread's dispose. Naturally the send wins by ~35ms; the analyzed pair
+// delays the send site by 1.15x the observed gap, pushing it past the
+// dispose.
+func disposerBody(t *Thread, h *Heap) {
+	conn := h.NewRef("conn")
+	conn.Init(t, "disposer.Open")
+	w := t.Spawn("worker", func(w *Thread) {
+		w.Sleep(5 * time.Millisecond) // prepare the payload
+		conn.Use(w, "disposer.worker.Send")
+	})
+	t.Sleep(40 * time.Millisecond) // serve for a while
+	conn.Dispose(t, "disposer.Close")
+	t.Join(w)
+}
+
+// lazyInitBody plants a use-before-init: a reader consumes a config the
+// main thread initializes concurrently. Naturally the load wins by ~35ms;
+// the analyzed pair delays the load site past the read.
+func lazyInitBody(t *Thread, h *Heap) {
+	cfg := h.NewRef("config")
+	w := t.Spawn("reader", func(w *Thread) {
+		w.Sleep(40 * time.Millisecond) // unrelated warm-up work
+		cfg.Use(w, "lazyinit.reader.Get")
+	})
+	t.Sleep(5 * time.Millisecond)
+	cfg.Init(t, "lazyinit.Load")
+	t.Join(w)
+}

@@ -1,0 +1,175 @@
+package live
+
+import (
+	"errors"
+	"time"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// Scenario is one live program-under-test: a body that receives the root
+// thread and a fresh heap. The detector executes it repeatedly — every
+// run gets a new Heap and new Threads, so bodies must allocate all shared
+// state inside the body (captured refs from a previous run would escape
+// the oracle).
+type Scenario struct {
+	Name string
+	Body func(*Thread, *Heap)
+}
+
+// Phases accumulates the wall-clock cost of each pipeline phase across a
+// detector's lifetime — the live counterpart of the virtual-time Table 4
+// metrics, and the payload of the CI live benchmark artifact.
+type Phases struct {
+	Prepare    time.Duration `json:"prepare_ns"`      // delay-free preparation runs
+	Analyze    time.Duration `json:"analyze_ns"`      // offline trace analysis
+	Detect     time.Duration `json:"detect_ns"`       // delay-injecting detection runs
+	PrepRuns   int           `json:"prep_runs"`       // preparation runs performed
+	DetectRuns int           `json:"detect_runs"`     // detection runs performed
+	Events     int           `json:"trace_events"`    // events in the recorded trace
+	Pairs      int           `json:"candidate_pairs"` // candidate set size |S|
+}
+
+// Detector drives the full Waffle pipeline against live scenarios:
+// preparation run → trace analysis → detection runs. Like core.Session's
+// Tool, a Detector is stateful across runs — the plan's per-site
+// probabilities decay monotonically over its lifetime, so reusing one
+// Detector across Expose calls continues the same search.
+type Detector struct {
+	opts   Options
+	plan   *core.Plan
+	prep   *trace.Trace
+	phases Phases
+}
+
+// NewDetector returns a detector with opts (zero value = live defaults).
+func NewDetector(opts Options) *Detector {
+	return &Detector{opts: opts.withDefaults()}
+}
+
+// Plan returns the analysis plan, nil before the first successful
+// preparation run.
+func (d *Detector) Plan() *core.Plan { return d.plan }
+
+// PrepTrace returns the recorded preparation trace, nil before the first
+// successful preparation run.
+func (d *Detector) PrepTrace() *trace.Trace { return d.prep }
+
+// Phases returns the accumulated per-phase wall-clock costs.
+func (d *Detector) Phases() Phases { return d.phases }
+
+// recordAccess is the preparation-run hook: append to the accessing
+// thread's own shard — no locks, no cross-goroutine state.
+func recordAccess(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+	t.events = append(t.events, trace.Event{
+		T: t.rt.now(), TID: t.id, Site: site, Obj: obj, Kind: kind, Clock: t.clock,
+	})
+}
+
+// Expose searches for a MemOrder bug in s using at most maxRuns runs
+// (preparation included; <= 0 means Options.MaxRuns), mirroring
+// core.Session.Expose. Run 1 is the delay-free preparation run, analyzed
+// into the plan; subsequent runs inject with decaying probabilities. The
+// base seed offsets per-run injector seeds; on the wall clock it does not
+// (cannot) replay scheduling.
+func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome {
+	out := &core.Outcome{Program: s.Name, Tool: "waffle-live"}
+	copts := d.opts.coreOptions()
+	if maxRuns <= 0 {
+		maxRuns = d.opts.MaxRuns
+	}
+
+	base := runOnce(s.Name, baseSeed, s.Body, nil, false, d.opts.RunTimeout)
+	out.BaseTime = sim.Duration(base.end)
+
+	for run := 1; run <= maxRuns; run++ {
+		seed := baseSeed + int64(run) - 1
+		var res runResult
+		var stats core.DelayStats
+		if d.plan == nil {
+			// Preparation: record, never inject. A prep run that faults or
+			// times out yields no usable trace; the plan stays nil and the
+			// next iteration prepares again.
+			res = runOnce(s.Name, seed, s.Body, recordAccess, true, d.opts.RunTimeout)
+			d.phases.Prepare += res.wallDur
+			d.phases.PrepRuns++
+			if res.trace != nil && res.fault == nil {
+				t0 := time.Now()
+				d.plan = core.Analyze(res.trace, copts)
+				d.phases.Analyze += time.Since(t0)
+				d.prep = res.trace
+				d.phases.Events = len(res.trace.Events)
+				d.phases.Pairs = len(d.plan.Pairs)
+			}
+		} else {
+			inj := core.NewInjector(d.plan, copts)
+			hook := func(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+				inj.Access(t.ex, site, obj, kind, 0)
+			}
+			res = runOnce(s.Name, seed, s.Body, hook, false, d.opts.RunTimeout)
+			stats = inj.Stats()
+			d.phases.Detect += res.wallDur
+			d.phases.DetectRuns++
+		}
+
+		rep := core.RunReport{
+			Run: run, Seed: seed, End: res.end,
+			TimedOut: res.timedOut, Fault: res.fault, Stats: stats,
+			WallStart: res.wallStart, WallDur: res.wallDur,
+		}
+		if res.fault == nil && !res.timedOut {
+			rep.Err = res.err
+		}
+		out.Runs = append(out.Runs, rep)
+		out.TotalTime += sim.Duration(res.end)
+
+		if res.fault != nil {
+			var nre *memmodel.NullRefError
+			if errors.As(res.fault.Err, &nre) {
+				var cands []core.Pair
+				if d.plan != nil {
+					cands = d.plan.PairsAt(nre.Site)
+				}
+				out.Bug = &core.BugReport{
+					Program: s.Name, Tool: out.Tool,
+					Run: run, Seed: seed,
+					Fault: res.fault, NullRef: nre,
+					Candidates: cands, Delays: stats,
+				}
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// Prepare performs only the delay-free preparation run and analysis,
+// returning the resulting plan (nil if the run faulted or timed out).
+// Useful for measuring the preparation phase in isolation and for the
+// "prep alone does not expose" control runs.
+func (d *Detector) Prepare(s Scenario, seed int64) (*core.Plan, *core.RunReport) {
+	res := runOnce(s.Name, seed, s.Body, recordAccess, true, d.opts.RunTimeout)
+	d.phases.Prepare += res.wallDur
+	d.phases.PrepRuns++
+	rep := &core.RunReport{
+		Run: 1, Seed: seed, End: res.end,
+		TimedOut: res.timedOut, Fault: res.fault,
+		WallStart: res.wallStart, WallDur: res.wallDur,
+	}
+	if res.fault == nil && !res.timedOut {
+		rep.Err = res.err
+	}
+	if res.trace == nil || res.fault != nil {
+		return nil, rep
+	}
+	t0 := time.Now()
+	d.plan = core.Analyze(res.trace, d.opts.coreOptions())
+	d.phases.Analyze += time.Since(t0)
+	d.prep = res.trace
+	d.phases.Events = len(res.trace.Events)
+	d.phases.Pairs = len(d.plan.Pairs)
+	return d.plan, rep
+}

@@ -1,0 +1,38 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"waffle/internal/core"
+)
+
+// ExposeT runs the full live pipeline against body inside a Go test: one
+// delay-free preparation run, trace analysis, then up to runs-1 detection
+// runs with real injected sleeps. If a MemOrder bug manifests the test
+// fails with the bug report; the outcome is returned either way so tests
+// can assert on runs, delays, or candidate counts.
+//
+// Use it as a concurrency regression gate:
+//
+//	func TestNoMemOrderBugs(t *testing.T) {
+//	    live.ExposeT(t, func(root *live.Thread, h *live.Heap) {
+//	        // spawn goroutines, Init/Use/Dispose refs ...
+//	    }, 10)
+//	}
+//
+// runs <= 0 uses the default run budget. Each run executes body afresh
+// with a new Heap; allocate all refs inside body.
+func ExposeT(tb testing.TB, body func(*Thread, *Heap), runs int) *core.Outcome {
+	tb.Helper()
+	d := NewDetector(Options{})
+	out := d.Expose(Scenario{Name: tb.Name(), Body: body}, runs, 1)
+	if out.Bug != nil {
+		tb.Errorf("live: MemOrder bug exposed: %v\n  fault: %v\n  delays in exposing run: %d (%v total)",
+			out.Bug, out.Bug.Fault.Err, out.Bug.Delays.Count, time.Duration(out.Bug.Delays.Total))
+	}
+	for _, err := range out.RunErrs() {
+		tb.Errorf("live: %v", err)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"waffle/internal/memmodel"
+	"waffle/internal/trace"
+)
+
+// Heap allocates live reference cells. Unlike memmodel.Heap it is shared
+// between real goroutines, so allocation and lifecycle state use atomics;
+// the instrumentation seam itself stays lock-free on the access path.
+type Heap struct {
+	rt     *runState
+	nextID atomic.Int64
+}
+
+// NewRef allocates a reference cell in the nil state. Safe to call from
+// any thread of the run.
+func (h *Heap) NewRef(name string) *Ref {
+	return &Ref{rt: h.rt, id: trace.ObjID(h.nextID.Add(1)), name: name}
+}
+
+// Ref is one heap reference cell shared between real goroutines. Its
+// lifecycle state is an atomic so the oracle itself never introduces a
+// data race under -race — the races it exposes are the scenario's
+// ordering bugs, manifested as lifecycle faults, not memory races in the
+// instrumentation.
+type Ref struct {
+	rt    *runState
+	id    trace.ObjID
+	name  string
+	state atomic.Int32 // holds a memmodel.State
+}
+
+// ID returns the cell's object id.
+func (r *Ref) ID() trace.ObjID { return r.id }
+
+// Name returns the debugging label.
+func (r *Ref) Name() string { return r.name }
+
+// State returns the current lifecycle state.
+func (r *Ref) State() memmodel.State { return memmodel.State(r.state.Load()) }
+
+// IsLive reports whether the reference currently points to a live object.
+func (r *Ref) IsLive() bool { return r.State() == memmodel.StateLive }
+
+// enter runs the active hook in the accessing goroutine before the access
+// executes — the same chokepoint memmodel.Ref.enter provides under the
+// simulator. During preparation runs the hook records into t's shard;
+// during detection runs it is the injector, and the goroutine really
+// sleeps here.
+func (r *Ref) enter(t *Thread, site trace.SiteID, kind trace.Kind) {
+	t.op = fmt.Sprintf("%s %s @ %s", kind, r.name, site)
+	if fn := r.rt.access; fn != nil {
+		fn(t, site, r.id, kind)
+	}
+}
+
+// throw raises the NULL-reference fault: the panic unwinds the goroutine
+// to its recoverFault frame, which maps it to a sim.Fault — the live
+// analog of sim.Thread.Throw.
+func (r *Ref) throw(site trace.SiteID, kind trace.Kind, st memmodel.State) {
+	panic(&memmodel.NullRefError{Obj: r.id, Name: r.name, Site: site, Kind: kind, State: st})
+}
+
+// Init executes an object initialization at site: nil (or disposed) → live.
+func (r *Ref) Init(t *Thread, site trace.SiteID) {
+	r.enter(t, site, trace.KindInit)
+	r.state.Store(int32(memmodel.StateLive))
+}
+
+// Use executes a member access at site; a non-live reference faults —
+// use-before-init when nil, use-after-free when disposed.
+func (r *Ref) Use(t *Thread, site trace.SiteID) {
+	r.enter(t, site, trace.KindUse)
+	if st := r.State(); st != memmodel.StateLive {
+		r.throw(site, trace.KindUse, st)
+	}
+}
+
+// UseIfLive is the guarded variant: the access is still instrumented (and
+// thus a candidate location), but a non-live reference returns false
+// instead of faulting.
+func (r *Ref) UseIfLive(t *Thread, site trace.SiteID) bool {
+	r.enter(t, site, trace.KindUse)
+	return r.IsLive()
+}
+
+// Dispose executes an object disposal at site. The live→disposed edge is
+// a compare-and-swap: two goroutines racing to dispose resolve to exactly
+// one winner, and the loser faults like a double-dispose.
+func (r *Ref) Dispose(t *Thread, site trace.SiteID) {
+	r.enter(t, site, trace.KindDispose)
+	if !r.state.CompareAndSwap(int32(memmodel.StateLive), int32(memmodel.StateDisposed)) {
+		r.throw(site, trace.KindDispose, r.State())
+	}
+}

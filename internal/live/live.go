@@ -1,0 +1,217 @@
+// Package live runs the WAFFLE pipeline against real goroutines on the
+// monotonic wall clock — the counterpart of the virtual-time simulator in
+// internal/sim, and the first runtime in this repository where the
+// detector's latencies are physical rather than simulated.
+//
+// The paper's tool instruments real C# applications and injects delays as
+// actual Thread.Sleep calls on physical time; everything else in this
+// repository replaces that physical substrate with a deterministic
+// virtual-time world. This package closes the gap: a live Scenario body
+// spawns real goroutines via Thread.Spawn, performs instrumented heap
+// operations (Ref.Init / Use / Dispose) against a lock-free-on-the-hot-path
+// Heap, and a Detector drives the same three-phase pipeline as the
+// simulator — a delay-free preparation run recorded into the standard
+// trace model, offline analysis via core.Analyze (sharded when configured),
+// then repeated detection runs where core.Injector issues real time.Sleep
+// delays gated by the interference counters and decaying probabilities.
+//
+// Differences from the simulator, by construction:
+//
+//   - One engine tick is one wall-clock nanosecond (the simulator's is one
+//     virtual microsecond). Timestamps are monotonic nanoseconds since run
+//     start; the physical start time is reported in RunReport.WallStart.
+//   - Runs are nondeterministic: a seed drives only the injector's random
+//     stream, not goroutine scheduling. Exposure is therefore
+//     probabilistic per run — exactly the paper's setting — while reports
+//     remain zero-false-positive: a bug is reported only when the program
+//     actually raises a NULL-reference fault.
+//   - Fork vector clocks propagate through Spawn by explicit
+//     vclock.Fork calls (there is no TLS to ride), giving the same
+//     parent-child pruning as the simulator.
+//   - The bug oracle is panic/recover: lifecycle violations panic with
+//     *memmodel.NullRefError, and any goroutine panic (including genuine
+//     nil dereferences in scenario code) is recovered, mapped to a
+//     sim.Fault, and — for NULL-reference faults — to a core.BugReport.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// accessFn is the live instrumentation seam: the per-run hook invoked in
+// the accessing goroutine before the access executes.
+type accessFn func(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind)
+
+// runState is the shared state of one live run: the clock anchor, the
+// seeded random stream, the active hook, the fault slot, and the thread
+// registry whose per-thread event shards become the preparation trace.
+type runState struct {
+	label string
+	start time.Time // run start; monotonic anchor for now()
+
+	access    accessFn // nil for uninstrumented baseline runs
+	recording bool     // preparation run: threads buffer event shards
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	faultMu sync.Mutex
+	fault   *sim.Fault
+
+	nextTID atomic.Int64
+	wg      sync.WaitGroup // every spawned goroutine
+
+	threadMu sync.Mutex
+	threads  []*Thread
+}
+
+func newRunState(label string, seed int64, access accessFn, recording bool) *runState {
+	rt := &runState{
+		label:     label,
+		start:     time.Now(),
+		access:    access,
+		recording: recording,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	return rt
+}
+
+// now reads the run clock: monotonic nanoseconds since run start.
+func (rt *runState) now() sim.Time {
+	return sim.Time(time.Since(rt.start).Nanoseconds())
+}
+
+// rand draws from the run's seeded stream. Threads share one stream under
+// a mutex: the draw order is scheduling-dependent, which is fine — on real
+// time the seed parameterizes the search, it does not replay it.
+func (rt *runState) randFloat() float64 {
+	rt.rngMu.Lock()
+	defer rt.rngMu.Unlock()
+	return rt.rng.Float64()
+}
+
+// register adds a thread to the run's registry (its shard is collected
+// into the preparation trace at run end).
+func (rt *runState) register(t *Thread) {
+	rt.threadMu.Lock()
+	rt.threads = append(rt.threads, t)
+	rt.threadMu.Unlock()
+}
+
+// recoverFault converts a goroutine panic into the run's fault, keeping
+// the first one — the same "unhandled exception ends the run" semantics
+// the simulator implements, via recover instead of a scheduler.
+func (rt *runState) recoverFault(t *Thread) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	err, ok := r.(error)
+	if !ok {
+		err = fmt.Errorf("panic: %v", r)
+	}
+	rt.faultMu.Lock()
+	if rt.fault == nil {
+		rt.fault = &sim.Fault{
+			Err:    err,
+			Thread: t.id,
+			Name:   t.name,
+			T:      rt.now(),
+			Op:     t.op,
+			Stacks: []string{fmt.Sprintf("%s@%s", t.name, t.op)},
+		}
+	}
+	rt.faultMu.Unlock()
+}
+
+// collectTrace merges the per-thread event shards into one time-sorted
+// trace — the lock-sharded recording scheme: each thread appends to its
+// own shard with no synchronization on the hot path, and the merge runs
+// strictly after every shard writer has finished.
+func (rt *runState) collectTrace(seed int64, end sim.Time) *trace.Trace {
+	rt.threadMu.Lock()
+	threads := rt.threads
+	rt.threadMu.Unlock()
+	var evs []trace.Event
+	for _, t := range threads {
+		evs = append(evs, t.events...)
+	}
+	// The analyzer requires nondecreasing timestamps; shards are merged by
+	// wall-clock stamp with thread id as the (stable) tiebreaker.
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].T != evs[j].T {
+			return evs[i].T < evs[j].T
+		}
+		return evs[i].TID < evs[j].TID
+	})
+	for i := range evs {
+		evs[i].Seq = i
+	}
+	return &trace.Trace{Label: rt.label, Seed: seed, End: end, Events: evs}
+}
+
+// errRunTimeout marks a run that exceeded Options.RunTimeout.
+var errRunTimeout = fmt.Errorf("live: run exceeded its wall-clock budget")
+
+// runResult is the outcome of one live run.
+type runResult struct {
+	end       sim.Time   // run duration in nanosecond ticks
+	fault     *sim.Fault // first goroutine panic, if any
+	timedOut  bool       // run exceeded its wall-clock budget
+	err       error      // abnormal termination without a fault
+	wallStart time.Time  // physical start time
+	wallDur   time.Duration
+	trace     *trace.Trace // recorded trace (preparation runs only)
+}
+
+// runOnce executes one live run: the root body on a fresh goroutine plus
+// everything it spawns, bounded by timeout. A timed-out run leaks its
+// goroutines — they cannot be killed in Go — so its shards are NOT
+// collected (writers may still be live) and its state is abandoned.
+func runOnce(label string, seed int64, body func(*Thread, *Heap), access accessFn, recording bool, timeout time.Duration) runResult {
+	rt := newRunState(label, seed, access, recording)
+	root := newThread(rt, int(rt.nextTID.Add(1)), "main")
+	heap := &Heap{rt: rt}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer rt.wg.Wait()
+		defer rt.recoverFault(root)
+		body(root, heap)
+	}()
+
+	if timeout <= 0 {
+		timeout = DefaultRunTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		return runResult{
+			end: rt.now(), timedOut: true, err: errRunTimeout,
+			wallStart: rt.start, wallDur: time.Since(rt.start),
+		}
+	}
+
+	end := rt.now()
+	res := runResult{
+		end:       end,
+		fault:     rt.fault,
+		wallStart: rt.start,
+		wallDur:   time.Since(rt.start),
+	}
+	if recording {
+		res.trace = rt.collectTrace(seed, end)
+	}
+	return res
+}

@@ -1,0 +1,115 @@
+package live
+
+import (
+	"time"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+)
+
+// Live-mode defaults. Window, Alpha, and Decay keep the paper's values;
+// MinDelay and RunTimeout are wall-clock choices: a simulated run can
+// afford a 100 ms near-miss window because virtual time is free, and so
+// can a live run — the window is an analysis parameter, not a cost.
+const (
+	DefaultWindow     = 100 * time.Millisecond
+	DefaultAlpha      = 1.15
+	DefaultDecay      = 0.1
+	DefaultFixedDelay = 100 * time.Millisecond
+	DefaultMinDelay   = 100 * time.Microsecond
+	DefaultRunTimeout = 30 * time.Second
+	DefaultMaxRuns    = 50
+)
+
+// Options configures a live Detector. All durations are physical
+// time.Durations; they are converted to the engines' tick space (one tick
+// = one nanosecond on the wall clock) internally. The zero value means
+// live defaults.
+type Options struct {
+	// Window is the near-miss window δ applied to the recorded wall-clock
+	// trace.
+	Window time.Duration
+
+	// Alpha scales observed gaps into injected delay lengths (§4.3).
+	Alpha float64
+
+	// Decay is the per-unproductive-delay probability decay λ (§4.4).
+	Decay float64
+
+	// FixedDelay substitutes for variable lengths when FixedDelays is set.
+	FixedDelay time.Duration
+
+	// FixedDelays disables §4.3's variable delay lengths (the Table 7
+	// ablation) — every injection sleeps FixedDelay.
+	FixedDelays bool
+
+	// NoInterferenceControl disables §4.4's interference-aware skipping.
+	NoInterferenceControl bool
+
+	// MinDelay floors computed variable delays.
+	MinDelay time.Duration
+
+	// MaxRuns bounds Detector.Expose when its maxRuns argument is <= 0.
+	MaxRuns int
+
+	// AnalyzeWorkers shards trace analysis (core.AnalyzeParallel) across
+	// this many workers; zero or one analyzes sequentially. The plan is
+	// bit-identical either way.
+	AnalyzeWorkers int
+
+	// RunTimeout bounds each run's wall-clock time. A timed-out run leaks
+	// its goroutines (Go cannot kill them); the detector records the run
+	// as timed out and abandons its state.
+	RunTimeout time.Duration
+}
+
+// withDefaults fills unset fields with the live defaults.
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Decay <= 0 {
+		o.Decay = DefaultDecay
+	}
+	if o.FixedDelay <= 0 {
+		o.FixedDelay = DefaultFixedDelay
+	}
+	if o.MinDelay <= 0 {
+		o.MinDelay = DefaultMinDelay
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = DefaultMaxRuns
+	}
+	if o.AnalyzeWorkers < 0 {
+		o.AnalyzeWorkers = 0
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = DefaultRunTimeout
+	}
+	return o
+}
+
+// coreOptions maps live options into the clock-agnostic engines' tick
+// space. Every duration field is set explicitly — core's defaults are
+// denominated in virtual microseconds and would be three orders of
+// magnitude off here. Instrumentation and trace-logging costs are
+// disabled (-1 → 0 in WithDefaults): on the wall clock the overhead of
+// the hook is physical and needs no modeling.
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Window:                     sim.Duration(o.Window.Nanoseconds()),
+		Alpha:                      o.Alpha,
+		Decay:                      o.Decay,
+		FixedDelay:                 sim.Duration(o.FixedDelay.Nanoseconds()),
+		MinDelay:                   sim.Duration(o.MinDelay.Nanoseconds()),
+		InstrCost:                  -1,
+		TraceCost:                  -1,
+		MaxDetectionRuns:           o.MaxRuns,
+		AnalyzeWorkers:             o.AnalyzeWorkers,
+		DisableCustomLengths:       o.FixedDelays,
+		DisableInterferenceControl: o.NoInterferenceControl,
+	}
+}

@@ -1,0 +1,115 @@
+package live
+
+import (
+	"time"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// Thread is a live goroutine participating in one run. Each Thread is
+// owned by exactly one goroutine: scenario bodies receive their Thread as
+// an argument and must not share it. The fork vector clock, the current-op
+// label, and the event shard are all single-writer for that reason — the
+// hot path records with no synchronization at all.
+type Thread struct {
+	rt    *runState
+	id    int
+	name  string
+	clock *vclock.Clock
+
+	// op labels the in-flight operation for fault reports.
+	op string
+
+	// events is this thread's trace shard (preparation runs only).
+	events []trace.Event
+
+	// ex is the core.Exec view of this thread, built once to keep the
+	// per-access hook call allocation-free.
+	ex core.Exec
+}
+
+func newThread(rt *runState, id int, name string) *Thread {
+	t := &Thread{rt: rt, id: id, name: name, clock: vclock.New(id)}
+	t.ex = execView{t}
+	rt.register(t)
+	return t
+}
+
+// ID returns the thread's id (the root thread is 1).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debugging label.
+func (t *Thread) Name() string { return t.name }
+
+// Sleep pauses the goroutine for a physical duration — application think
+// time, as opposed to injected delays (which the engines issue themselves
+// through the core.Exec seam).
+func (t *Thread) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Elapsed reports the time since the run started.
+func (t *Thread) Elapsed() time.Duration {
+	return time.Duration(t.rt.now())
+}
+
+// Handle tracks a spawned thread until it finishes.
+type Handle struct {
+	t    *Thread
+	done chan struct{}
+}
+
+// Join blocks until the spawned thread's body has returned (or panicked
+// and been recovered into the run's fault).
+func (h *Handle) Join() { <-h.done }
+
+// Spawn launches body on a fresh goroutine as a child thread. The fork
+// vector clocks propagate exactly as through the simulator's TLS fork
+// hook: the child starts with a copy of the parent's clock plus its own
+// (childID, 1) entry, and the parent's own counter is bumped so its
+// subsequent events are concurrent with the child (§4.1).
+func (t *Thread) Spawn(name string, body func(*Thread)) *Handle {
+	rt := t.rt
+	childID := int(rt.nextTID.Add(1))
+	child := newThread(rt, childID, name)
+	child.clock, t.clock = vclock.Fork(t.clock, childID)
+
+	h := &Handle{t: child, done: make(chan struct{})}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		defer close(h.done)
+		defer rt.recoverFault(child)
+		body(child)
+	}()
+	return h
+}
+
+// Join blocks until h's thread finishes — symmetric with the simulator's
+// t.Join(handle) shape so scenario bodies port across runtimes.
+func (t *Thread) Join(h *Handle) { h.Join() }
+
+// execView adapts a Thread to core.Exec: one engine tick is one
+// wall-clock nanosecond, Sleep is a real time.Sleep, and the random
+// stream is the run's seeded source. It also implements core.ClockedExec
+// so the online engine can read fork clocks without sim TLS.
+type execView struct{ t *Thread }
+
+func (e execView) ID() int       { return e.t.id }
+func (e execView) Now() sim.Time { return e.t.rt.now() }
+
+func (e execView) Sleep(d sim.Duration) {
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+func (e execView) Rand() float64 { return e.t.rt.randFloat() }
+
+// ForkClock implements core.ClockedExec.
+func (e execView) ForkClock() *vclock.Clock { return e.t.clock }

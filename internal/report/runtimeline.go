@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"waffle/internal/core"
+)
+
+// RunTimeline renders a session's runs as one lane each. For live
+// (wall-clock) sessions — recognizable by the stamped RunReport.WallStart
+// and WallDur — lanes are positioned on physical time relative to the
+// first run's start, so gaps between runs (analysis, scheduling) are
+// visible; simulated sessions, which carry no wall stamps, are laid out
+// end to end on cumulative virtual time. Markers: '#' delay-injecting
+// span, '=' delay-free span, 'F' fault, 'T' timeout.
+func RunTimeline(runs []core.RunReport, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(runs) == 0 {
+		return "(no runs)\n"
+	}
+
+	live := false
+	for _, r := range runs {
+		if r.WallDur > 0 {
+			live = true
+			break
+		}
+	}
+
+	// Per-run [start, end) offsets on a common axis, in nanoseconds.
+	starts := make([]time.Duration, len(runs))
+	durs := make([]time.Duration, len(runs))
+	var total time.Duration
+	if live {
+		base := runs[0].WallStart
+		for _, r := range runs {
+			if r.WallStart.Before(base) {
+				base = r.WallStart
+			}
+		}
+		for i, r := range runs {
+			starts[i] = r.WallStart.Sub(base)
+			durs[i] = r.WallDur
+			if end := starts[i] + durs[i]; end > total {
+				total = end
+			}
+		}
+	} else {
+		var cursor time.Duration
+		for i, r := range runs {
+			starts[i] = cursor
+			durs[i] = time.Duration(r.End)
+			cursor += durs[i]
+		}
+		total = cursor
+	}
+	if total <= 0 {
+		total = 1
+	}
+	bucket := func(d time.Duration) int {
+		b := int(float64(d) / float64(total) * float64(width))
+		if b >= width {
+			b = width - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+
+	clock := "virtual"
+	if live {
+		clock = "wall"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "runs: %d over %v (%s clock; #=delays ==no delays F=fault T=timeout)\n",
+		len(runs), total, clock)
+	for i, r := range runs {
+		lane := []byte(strings.Repeat(".", width))
+		span := byte('=')
+		if r.Stats.Count > 0 {
+			span = '#'
+		}
+		lo, hi := bucket(starts[i]), bucket(starts[i]+durs[i])
+		for b := lo; b <= hi; b++ {
+			lane[b] = span
+		}
+		switch {
+		case r.Fault != nil:
+			lane[hi] = 'F'
+		case r.TimedOut:
+			lane[hi] = 'T'
+		}
+		note := fmt.Sprintf("dur=%v delays=%d", durs[i].Round(time.Microsecond), r.Stats.Count)
+		if live {
+			note = fmt.Sprintf("start=+%v %s", starts[i].Round(time.Microsecond), note)
+		}
+		fmt.Fprintf(&sb, "run %-3d |%s| %s\n", r.Run, lane, note)
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+func TestRunTimelineLive(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	runs := []core.RunReport{
+		{Run: 1, End: sim.Time(40 * time.Millisecond), WallStart: base, WallDur: 40 * time.Millisecond},
+		{Run: 2, End: sim.Time(47 * time.Millisecond), WallStart: base.Add(45 * time.Millisecond),
+			WallDur: 47 * time.Millisecond,
+			Stats:   core.DelayStats{Count: 1},
+			Fault:   &sim.Fault{Thread: 2}},
+	}
+	out := RunTimeline(runs, 40)
+	if !strings.Contains(out, "wall clock") {
+		t.Errorf("live session not labeled wall clock:\n%s", out)
+	}
+	if !strings.Contains(out, "start=+0s") || !strings.Contains(out, "start=+45ms") {
+		t.Errorf("wall start offsets missing:\n%s", out)
+	}
+	if !strings.Contains(out, "F") {
+		t.Errorf("fault marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Errorf("delay/no-delay spans missing:\n%s", out)
+	}
+}
+
+func TestRunTimelineSim(t *testing.T) {
+	runs := []core.RunReport{
+		{Run: 1, End: 1000},
+		{Run: 2, End: 3000, TimedOut: true},
+	}
+	out := RunTimeline(runs, 40)
+	if !strings.Contains(out, "virtual clock") {
+		t.Errorf("sim session not labeled virtual clock:\n%s", out)
+	}
+	if strings.Contains(out, "start=+") {
+		t.Errorf("sim session must not render wall offsets:\n%s", out)
+	}
+	if !strings.Contains(out, "T") {
+		t.Errorf("timeout marker missing:\n%s", out)
+	}
+}
+
+func TestRunTimelineEmpty(t *testing.T) {
+	if got := RunTimeline(nil, 40); got != "(no runs)\n" {
+		t.Errorf("empty session rendered %q", got)
+	}
+}
+
+// TestTimelineWallClockScale pins the overflow guard: UnixNano-scale
+// timestamps (the live runtime's natural magnitude if absolute stamps
+// ever flow in) must bucket monotonically instead of overflowing
+// int64(t)*width.
+func TestTimelineWallClockScale(t *testing.T) {
+	base := sim.Time(time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC).UnixNano())
+	tr := &trace.Trace{
+		Label: "wall",
+		End:   base + sim.Time(100*time.Millisecond),
+		Events: []trace.Event{
+			{Seq: 0, T: base, TID: 1, Site: "a", Obj: 1, Kind: trace.KindInit},
+			{Seq: 1, T: base + sim.Time(99*time.Millisecond), TID: 2, Site: "b", Obj: 1, Kind: trace.KindUse},
+		},
+	}
+	out := Timeline(tr, 40)
+	lines := strings.Split(out, "\n")
+	var lane1, lane2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "thd 1") {
+			lane1 = l
+		}
+		if strings.HasPrefix(l, "thd 2") {
+			lane2 = l
+		}
+	}
+	if lane1 == "" || lane2 == "" {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	// Both events sit in the last ~1% and ~100% of the axis: the init must
+	// land in the final bucket region, not wrap to a random column.
+	if !strings.Contains(lane1, "I") || !strings.Contains(lane2, "U") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	iCol := strings.IndexByte(lane1, 'I')
+	uCol := strings.IndexByte(lane2, 'U')
+	if iCol >= uCol {
+		t.Errorf("init column %d not left of use column %d:\n%s", iCol, uCol, out)
+	}
+	if uCol < len(lane2)-8 {
+		t.Errorf("use at column %d, want near the right edge:\n%s", uCol, out)
+	}
+}

@@ -25,10 +25,30 @@ func Timeline(tr *trace.Trace, width int) string {
 	if end <= 0 {
 		end = tr.Events[len(tr.Events)-1].T + 1
 	}
+	// Anchor the axis at the earliest event so traces stamped with absolute
+	// wall-clock nanoseconds still spread across the width, and bucket in
+	// float64 — at that magnitude int64(t)*width overflows and would
+	// scatter markers randomly.
+	origin := tr.Events[0].T
+	for _, e := range tr.Events {
+		if e.T < origin {
+			origin = e.T
+		}
+	}
+	if origin > end {
+		origin = 0
+	}
+	span := end.Sub(origin)
+	if span <= 0 {
+		span = 1
+	}
 	bucket := func(t sim.Time) int {
-		b := int(int64(t) * int64(width) / int64(end))
+		b := int(float64(t.Sub(origin)) / float64(span) * float64(width))
 		if b >= width {
 			b = width - 1
+		}
+		if b < 0 {
+			b = 0
 		}
 		return b
 	}
@@ -52,11 +72,15 @@ func Timeline(tr *trace.Trace, width int) string {
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "timeline: %s, %d events over %v (I=init U=use D=dispose A=api)\n",
-		tr.Label, len(tr.Events), end)
+		tr.Label, len(tr.Events), span)
 	for _, tid := range tids {
 		fmt.Fprintf(&sb, "thd %-4d |%s|\n", tid, lanes[tid])
 	}
-	fmt.Fprintf(&sb, "          0%s%v\n", strings.Repeat(" ", width-len(end.String())), end)
+	pad := width - len(span.String()) - 1
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(&sb, "          0%s+%v\n", strings.Repeat(" ", pad), span)
 	return sb.String()
 }
 

@@ -166,6 +166,12 @@ func (t *Thread) Sleep(d Duration) {
 	t.park()
 }
 
+// Rand returns a float64 in [0,1) from the world's seeded stream — the
+// thread-context view of World.Rand, letting thread-agnostic consumers
+// (core's injection engines) draw randomness without reaching through
+// World. Must only be called from the running thread.
+func (t *Thread) Rand() float64 { return t.w.Rand() }
+
 // Yield reschedules the thread at the current time, giving equal-time
 // threads a seeded-random chance to run first.
 func (t *Thread) Yield() {

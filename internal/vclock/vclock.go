@@ -77,10 +77,29 @@ func (h *holder) fork(childID int) *holder {
 	return &holder{clock: &Clock{own: childID, vals: childVals}}
 }
 
+// New returns a root clock for thread own with its own counter at 1 — the
+// explicit-clock analog of Attach for runtimes without sim TLS (the live
+// wall-clock runtime attaches clocks to its threads directly).
+func New(own int) *Clock {
+	return &Clock{own: own, vals: map[int]int64{own: 1}}
+}
+
+// Fork applies the copy-append-bump protocol to explicit clocks: child is
+// the parent's tuples plus a fresh (childID, 1) entry, and advanced is the
+// parent's clock with its own counter incremented (so parent events after
+// the fork are concurrent with the child). The live runtime calls this at
+// Spawn, where no TLS-forking machinery exists; the returned clocks are
+// immutable snapshots exactly like the TLS-managed ones.
+func Fork(parent *Clock, childID int) (child, advanced *Clock) {
+	h := &holder{clock: parent}
+	ch := h.fork(childID)
+	return ch.clock, h.clock
+}
+
 // Attach installs a root clock on t. Call once on the root thread before
 // any instrumented activity; children inherit automatically via TLS.
 func Attach(t *sim.Thread) {
-	t.SetTLS(Key, &holder{clock: &Clock{own: t.ID(), vals: map[int]int64{t.ID(): 1}}})
+	t.SetTLS(Key, &holder{clock: New(t.ID())})
 }
 
 // Of returns the current clock snapshot of t, or nil if none was attached

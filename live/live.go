@@ -1,0 +1,89 @@
+// Package live is the public façade over internal/live: WAFFLE against
+// real goroutines on the monotonic wall clock.
+//
+// Where package waffle runs scenarios inside a deterministic virtual-time
+// simulator, this package runs them as real concurrent Go code: Spawn
+// launches goroutines, Sleep really sleeps, and injected delays are
+// physical time.Sleeps — the paper's actual operating regime. The
+// pipeline is unchanged: a delay-free preparation run records a
+// wall-clock trace, core.Analyze builds the candidate set, and detection
+// runs inject variable-length delays with probability decay and
+// interference control.
+//
+// The quickest entry point is the test helper:
+//
+//	func TestNoMemOrderBugs(t *testing.T) {
+//	    live.ExposeT(t, func(root *live.Thread, h *live.Heap) {
+//	        conn := h.NewRef("conn")
+//	        conn.Init(root, "open")
+//	        w := root.Spawn("worker", func(w *live.Thread) {
+//	            w.Sleep(5 * time.Millisecond)
+//	            conn.Use(w, "send") // races the dispose below
+//	        })
+//	        root.Sleep(40 * time.Millisecond)
+//	        conn.Dispose(root, "close")
+//	        root.Join(w)
+//	    }, 10)
+//	}
+//
+// Because scheduling is physical, runs are nondeterministic: the seed
+// passed to Expose drives only the injector's random stream and cannot
+// replay an interleaving. Reports remain zero-false-positive — a bug is
+// reported only when the program actually faults.
+package live
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	ilive "waffle/internal/live"
+)
+
+// Re-exported live vocabulary.
+type (
+	// Thread is a live goroutine participating in a run.
+	Thread = ilive.Thread
+	// Handle tracks a spawned thread until it finishes.
+	Handle = ilive.Handle
+	// Heap allocates instrumented reference cells shared between
+	// goroutines.
+	Heap = ilive.Heap
+	// Ref is one instrumented reference cell with an atomic lifecycle.
+	Ref = ilive.Ref
+	// Options configures a live Detector; all durations are physical.
+	Options = ilive.Options
+	// Scenario is one live program under test.
+	Scenario = ilive.Scenario
+	// Detector drives prepare → analyze → detection runs on the wall clock.
+	Detector = ilive.Detector
+	// Phases accumulates per-phase wall-clock costs.
+	Phases = ilive.Phases
+	// Demo is a built-in live scenario with a planted bug.
+	Demo = ilive.Demo
+
+	// Outcome, BugReport, RunReport, Plan and Pair are shared with the
+	// simulated detector — live runs additionally stamp RunReport.WallStart
+	// and RunReport.WallDur.
+	Outcome   = core.Outcome
+	BugReport = core.BugReport
+	RunReport = core.RunReport
+	Plan      = core.Plan
+	Pair      = core.Pair
+)
+
+// New returns a live detector (zero Options mean live defaults: δ=100ms,
+// α=1.15, λ=0.1, 30s run timeout).
+func New(opts Options) *Detector { return ilive.NewDetector(opts) }
+
+// ExposeT runs the live pipeline against body inside a Go test, failing
+// the test if a MemOrder bug manifests. See internal/live.ExposeT.
+func ExposeT(tb testing.TB, body func(*Thread, *Heap), runs int) *Outcome {
+	tb.Helper()
+	return ilive.ExposeT(tb, body, runs)
+}
+
+// Demos lists the built-in live scenarios with planted bugs.
+func Demos() []Demo { return ilive.Demos() }
+
+// FindDemo looks a built-in demo up by name.
+func FindDemo(name string) (Demo, bool) { return ilive.FindDemo(name) }
