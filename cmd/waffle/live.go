@@ -68,7 +68,11 @@ func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath
 
 	fmt.Printf("program:  %s (live, wall clock)\n", out.Program)
 	fmt.Printf("tool:     %s\n", out.Tool)
-	fmt.Printf("baseline: %v (uninstrumented)\n", time.Duration(out.BaseTime))
+	if out.BaseErr != nil {
+		fmt.Printf("baseline: unavailable (%v)\n", out.BaseErr)
+	} else {
+		fmt.Printf("baseline: %v (uninstrumented)\n", time.Duration(out.BaseTime))
+	}
 	for _, r := range out.Runs {
 		kind := "detection"
 		if r.Run == 1 {

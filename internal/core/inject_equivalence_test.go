@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// simExecView routes a *sim.Thread through the generic Exec/ClockedExec
+// seam: the same adapter shape internal/live uses for goroutines, here
+// wrapping a simulated thread so the injector cannot take the *sim.Thread
+// TLS fast path.
+type simExecView struct{ t *sim.Thread }
+
+func (e simExecView) ID() int                  { return e.t.ID() }
+func (e simExecView) Now() sim.Time            { return e.t.Now() }
+func (e simExecView) Sleep(d sim.Duration)     { e.t.Sleep(d) }
+func (e simExecView) Rand() float64            { return e.t.Rand() }
+func (e simExecView) ForkClock() *vclock.Clock { return vclock.Of(e.t) }
+
+// seamHook drives the injector through the generic seam instead of the
+// legacy *sim.Thread OnAccess entry point.
+type seamHook struct{ in *core.Injector }
+
+func (h seamHook) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	h.in.Access(simExecView{t}, site, obj, kind, dur)
+}
+
+// scheduleBytes canonicalizes one detection run's injection schedule —
+// every interval in injection order plus the decayed per-site
+// probabilities — for byte comparison.
+func scheduleBytes(stats core.DelayStats, plan *core.Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "count=%d total=%d skipped=%d\n", stats.Count, stats.Total, stats.Skipped)
+	for _, iv := range stats.Intervals {
+		fmt.Fprintf(&sb, "%s [%d,%d]\n", iv.Site, iv.Start, iv.End)
+	}
+	for _, site := range plan.InjectionSites() {
+		fmt.Fprintf(&sb, "p[%s]=%v\n", site, plan.Probs[site])
+	}
+	return sb.String()
+}
+
+// TestInjectionScheduleEquivalentAcrossExecSeam pins the clock-abstraction
+// refactor on the simulator: for every built-in bug input, a detection run
+// whose injector is entered through the legacy *sim.Thread hook and one
+// entered through the generic Exec seam (the adapter shape live threads
+// use) must produce byte-identical injection schedules — same intervals in
+// the same order, same skips, same decayed probabilities, same run end.
+// Simulated runs are deterministic per seed, so any divergence is the
+// seam's doing.
+func TestInjectionScheduleEquivalentAcrossExecSeam(t *testing.T) {
+	bugs := apps.AllBugs()
+	if testing.Short() {
+		bugs = bugs[:4]
+	}
+	for _, bt := range bugs {
+		bt := bt
+		t.Run(bt.Bug.ID, func(t *testing.T) {
+			t.Parallel()
+
+			rec := trace.NewRecorder(bt.Name, 1)
+			res := bt.Prog.Execute(1, core.NewPrepHook(rec, core.Options{}))
+			if res.Fault != nil {
+				t.Fatalf("delay-free preparation run faulted: %v", res.Fault.Err)
+			}
+			base := core.Analyze(rec.Finish(res.End), core.Options{})
+			if len(base.Pairs) == 0 {
+				t.Fatalf("preparation produced no candidate pairs")
+			}
+
+			for run := 0; run < 3; run++ {
+				seed := int64(100 + 7*run)
+				planA, planB := base.Clone(), base.Clone()
+				injA := core.NewInjector(planA, core.Options{})
+				injB := core.NewInjector(planB, core.Options{})
+
+				resA := bt.Prog.Execute(seed, injA)
+				resB := bt.Prog.Execute(seed, seamHook{injB})
+
+				if resA.End != resB.End || (resA.Fault == nil) != (resB.Fault == nil) {
+					t.Fatalf("run %d (seed %d) diverged: legacy end=%v fault=%v, seam end=%v fault=%v",
+						run, seed, resA.End, resA.Fault, resB.End, resB.Fault)
+				}
+				a, b := scheduleBytes(injA.Stats(), planA), scheduleBytes(injB.Stats(), planB)
+				if a != b {
+					t.Fatalf("run %d (seed %d) injection schedules differ:\nlegacy:\n%s\nseam:\n%s", run, seed, a, b)
+				}
+				// Carry the decay forward so later iterations also compare
+				// behavior on partially decayed probabilities.
+				base.MergeFrom(planA)
+			}
+		})
+	}
+}

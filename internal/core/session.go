@@ -104,7 +104,14 @@ type Outcome struct {
 	Bug       *BugReport  // nil when no bug manifested within MaxRuns
 	Runs      []RunReport // every run performed, in order
 	TotalTime sim.Duration
-	BaseTime  sim.Duration // uninstrumented single-run time
+	BaseTime  sim.Duration // uninstrumented single-run time; zero when the baseline was abnormal
+
+	// BaseErr reports an abnormal (faulted or timed-out) uninstrumented
+	// baseline run. When set, BaseTime is zero and Slowdown returns 0
+	// rather than a ratio over a truncated denominator. Only runtimes
+	// that execute a real baseline set it (the live detector does; the
+	// simulator's baseline is deterministic and cannot fail this way).
+	BaseErr error
 }
 
 // RunErrs aggregates the abnormal terminations across the outcome's runs:

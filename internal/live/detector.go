@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"waffle/internal/core"
@@ -43,6 +44,14 @@ type Detector struct {
 	plan   *core.Plan
 	prep   *trace.Trace
 	phases Phases
+
+	// Baseline state, measured once per Detector lifetime: the
+	// uninstrumented run is an overhead denominator, not part of the
+	// search, so reusing a Detector across Expose calls must not repeat
+	// it.
+	baseDone bool
+	baseTime sim.Duration
+	baseErr  error
 }
 
 // NewDetector returns a detector with opts (zero value = live defaults).
@@ -74,7 +83,9 @@ func recordAccess(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind
 // core.Session.Expose. Run 1 is the delay-free preparation run, analyzed
 // into the plan; subsequent runs inject with decaying probabilities. The
 // base seed offsets per-run injector seeds; on the wall clock it does not
-// (cannot) replay scheduling.
+// (cannot) replay scheduling. The uninstrumented baseline run behind
+// Outcome.BaseTime executes once per Detector and is reused by later
+// Expose calls; an abnormal baseline is reported in Outcome.BaseErr.
 func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome {
 	out := &core.Outcome{Program: s.Name, Tool: "waffle-live"}
 	copts := d.opts.coreOptions()
@@ -82,8 +93,23 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 		maxRuns = d.opts.MaxRuns
 	}
 
-	base := runOnce(s.Name, baseSeed, s.Body, nil, false, d.opts.RunTimeout)
-	out.BaseTime = sim.Duration(base.end)
+	if !d.baseDone {
+		// A faulted or timed-out baseline is no overhead denominator: its
+		// truncated duration would understate BaseTime and inflate every
+		// overhead ratio, so record nothing and surface the abnormality.
+		base := runOnce(s.Name, baseSeed, s.Body, nil, false, d.opts.RunTimeout)
+		d.baseDone = true
+		switch {
+		case base.timedOut:
+			d.baseErr = fmt.Errorf("live: uninstrumented baseline run timed out after %v", base.wallDur)
+		case base.fault != nil:
+			d.baseErr = fmt.Errorf("live: uninstrumented baseline run faulted: %w", base.fault.Err)
+		default:
+			d.baseTime = sim.Duration(base.end)
+		}
+	}
+	out.BaseTime = d.baseTime
+	out.BaseErr = d.baseErr
 
 	for run := 1; run <= maxRuns; run++ {
 		seed := baseSeed + int64(run) - 1
@@ -105,7 +131,17 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 				d.phases.Pairs = len(d.plan.Pairs)
 			}
 		} else {
-			inj := core.NewInjector(d.plan, copts)
+			// Each detection run injects from a private clone of the plan:
+			// a timed-out run leaks its goroutines (Go cannot kill them),
+			// and the leaked threads keep calling this run's injector,
+			// which decays its plan's Probs map under the injector's own
+			// mutex. The clone keeps those writes off d.plan — which later
+			// runs' injectors and direct readers (PairsAt, WriteJSON)
+			// access with no lock in common with the abandoned injector —
+			// and the decayed state merges back only when the run completes
+			// normally, after every one of its goroutines has finished.
+			runPlan := d.plan.Clone()
+			inj := core.NewInjector(runPlan, copts)
 			hook := func(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
 				inj.Access(t.ex, site, obj, kind, 0)
 			}
@@ -113,6 +149,9 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 			stats = inj.Stats()
 			d.phases.Detect += res.wallDur
 			d.phases.DetectRuns++
+			if !res.timedOut {
+				d.plan.MergeFrom(runPlan)
+			}
 		}
 
 		rep := core.RunReport{

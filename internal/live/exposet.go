@@ -34,5 +34,8 @@ func ExposeT(tb testing.TB, body func(*Thread, *Heap), runs int) *core.Outcome {
 	for _, err := range out.RunErrs() {
 		tb.Errorf("live: %v", err)
 	}
+	if out.BaseErr != nil {
+		tb.Logf("live: %v (overhead ratio unavailable)", out.BaseErr)
+	}
 	return out
 }

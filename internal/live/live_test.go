@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -215,6 +216,67 @@ func TestRunTimeout(t *testing.T) {
 	}, 1, 1)
 	if len(out.Runs) != 1 || !out.Runs[0].TimedOut {
 		t.Fatalf("runs = %+v, want one timed-out run", out.Runs)
+	}
+}
+
+// TestTimedOutDetectionRunIsolatesPlan is the regression test for the
+// plan-isolation fix: a timed-out detection run leaks goroutines that
+// keep calling the abandoned run's injector, decaying its plan's Probs
+// under that injector's own mutex. Each detection run must therefore
+// inject from a private plan clone — otherwise those leaked writes race
+// with the next run's injector (a different mutex) on the shared map,
+// which the race detector flags and which corrupts decay state. The
+// scenario's detection runs outlive the run budget while hammering an
+// instrumented site; the assertion is simply that two such runs back to
+// back stay -race-clean and the detector's plan survives intact.
+func TestTimedOutDetectionRunIsolatesPlan(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	body := func(root *Thread, h *Heap) {
+		n := calls.Add(1) // 1 = baseline, 2 = preparation, 3+ = detection
+		conn := h.NewRef("conn")
+		conn.Init(root, "iso.Open")
+		w := root.Spawn("worker", func(w *Thread) {
+			w.Sleep(2 * time.Millisecond)
+			conn.UseIfLive(w, "iso.worker.Send")
+			if n < 3 {
+				return
+			}
+			// Detection runs: outlive the run budget and keep hitting the
+			// instrumented site, so the leaked goroutine drives the
+			// abandoned injector while the detector is in later runs.
+			for {
+				select {
+				case <-release:
+					return
+				default:
+					conn.UseIfLive(w, "iso.worker.Send")
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		})
+		root.Sleep(8 * time.Millisecond)
+		conn.Dispose(root, "iso.Close")
+		root.Join(w)
+	}
+
+	d := NewDetector(Options{RunTimeout: 25 * time.Millisecond})
+	out := d.Expose(Scenario{Name: "iso", Body: body}, 3, 1)
+	if out.Bug != nil {
+		t.Fatalf("guarded scenario exposed a bug: %v", out.Bug)
+	}
+	if len(out.Runs) != 3 || !out.Runs[1].TimedOut || !out.Runs[2].TimedOut {
+		t.Fatalf("runs = %+v, want prep + two timed-out detection runs", out.Runs)
+	}
+	plan := d.Plan()
+	if plan == nil || len(plan.Probs) == 0 {
+		t.Fatal("detector lost its plan")
+	}
+	for site, p := range plan.Probs {
+		if p < 0 || p > 1 {
+			t.Errorf("plan probability for %s corrupted: %v", site, p)
+		}
 	}
 }
 

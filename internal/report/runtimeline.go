@@ -53,7 +53,9 @@ func RunTimeline(runs []core.RunReport, width int) string {
 		var cursor time.Duration
 		for i, r := range runs {
 			starts[i] = cursor
-			durs[i] = time.Duration(r.End)
+			// Sim ticks are virtual microseconds; live End values (wall
+			// nanoseconds) never reach this branch.
+			durs[i] = time.Duration(r.End) * time.Microsecond
 			cursor += durs[i]
 		}
 		total = cursor
