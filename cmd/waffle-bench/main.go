@@ -7,18 +7,23 @@
 //	waffle-bench -figure 2           # one figure (2 or 5)
 //	waffle-bench -all                # everything, in paper order
 //	waffle-bench -all -max-tests 20 -reps 5   # faster, subsampled
+//	waffle-bench -gen 1000,100,mixed # differential oracle over a generated corpus
 //
 // The output is the measured reproduction; EXPERIMENTS.md places it side
 // by side with the paper's numbers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"waffle/internal/apps"
 	"waffle/internal/eval"
+	"waffle/internal/genprog"
 	"waffle/internal/report"
 )
 
@@ -40,9 +45,26 @@ func main() {
 		format   = flag.String("format", "ascii", "output format: ascii | md")
 		gaps     = flag.Bool("gaps", false, "per-bug delay-free time gaps (§4.3's measurement)")
 		detail   = flag.Bool("ablation-detail", false, "per-bug runs-to-expose under each Table 7 ablation")
+		gen      = flag.String("gen", "", "differential oracle over a generated corpus: seed,count,size (size: small|medium|large|mixed)")
+		genOut   = flag.String("gen-out", "BENCH_gen.json", "report file for -gen")
 	)
 	flag.Parse()
 	markdown = *format == "md"
+
+	if *gen != "" {
+		opt, err := parseGen(*gen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waffle-bench: bad -gen %q: %v\n", *gen, err)
+			os.Exit(2)
+		}
+		opt.MaxRuns = *maxRuns
+		opt.Workers = *parallel
+		if err := runGen(opt, *genOut); err != nil {
+			fmt.Fprintf(os.Stderr, "waffle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if !*all && *table == 0 && *figure == 0 && *sweep == "" && !*compare && !*fullHB && !*gaps && !*detail {
 		flag.Usage()
@@ -117,6 +139,79 @@ func main() {
 	if *detail {
 		printAblationDetail(eval.BugOptions{Seed: *seed, Repetitions: min(*reps, 7), MaxRuns: *maxRuns})
 	}
+}
+
+// parseGen parses the "-gen seed,count,size" triple. count and size are
+// optional: "1000" means 25 mixed programs from seed 1000.
+func parseGen(s string) (eval.DiffOptions, error) {
+	var opt eval.DiffOptions
+	parts := strings.Split(s, ",")
+	if len(parts) > 3 {
+		return opt, fmt.Errorf("want seed[,count[,size]]")
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return opt, fmt.Errorf("seed: %w", err)
+	}
+	opt.Seed = seed
+	opt.Mixed = true
+	if len(parts) > 1 {
+		n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || n <= 0 {
+			return opt, fmt.Errorf("count: want a positive integer, got %q", parts[1])
+		}
+		opt.Programs = n
+	}
+	if len(parts) > 2 {
+		switch strings.TrimSpace(parts[2]) {
+		case "mixed", "":
+		case "small":
+			opt.Mixed, opt.Size = false, genprog.SizeSmall
+		case "medium":
+			opt.Mixed, opt.Size = false, genprog.SizeMedium
+		case "large":
+			opt.Mixed, opt.Size = false, genprog.SizeLarge
+		default:
+			return opt, fmt.Errorf("size: want small|medium|large|mixed, got %q", parts[2])
+		}
+	}
+	return opt, nil
+}
+
+// runGen runs the differential oracle, prints the corpus summary, and
+// writes the machine-readable report.
+func runGen(opt eval.DiffOptions, out string) error {
+	rep := eval.RunDifferential(opt)
+
+	t := report.NewTable(
+		fmt.Sprintf("Differential oracle: %d generated programs (seed %d, %d planted bugs: %d UBI + %d UAF)",
+			rep.Programs, rep.Seed, rep.PlantedUBI+rep.PlantedUAF, rep.PlantedUBI, rep.PlantedUAF),
+		"Tool", "Exposed", "Rate", "Mean runs", "±95% CI", "p50", "p90", "p99", "Delays")
+	for _, s := range rep.Tools {
+		t.Row(s.Tool, fmt.Sprintf("%d/%d", s.Exposed, s.Sessions),
+			fmt.Sprintf("%.0f%%", s.ExposureRate*100),
+			fmt.Sprintf("%.2f", s.MeanRuns), fmt.Sprintf("%.2f", s.CI95Runs),
+			fmt.Sprintf("%.0f", s.P50Runs), fmt.Sprintf("%.0f", s.P90Runs),
+			fmt.Sprintf("%.0f", s.P99Runs), s.Delays)
+	}
+	render(t)
+	fmt.Printf("reproducible: %v; violations: %d\n", rep.ReproOK, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d oracle violations", len(rep.Violations))
+	}
+	return nil
 }
 
 func printAblationDetail(opt eval.BugOptions) {

@@ -1,0 +1,414 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/genprog"
+	"waffle/internal/memmodel"
+	"waffle/internal/sched"
+	"waffle/internal/stats"
+	"waffle/internal/trace"
+	"waffle/internal/tsvd"
+	"waffle/internal/wafflebasic"
+)
+
+// DiffOptions configures a differential-oracle sweep over a generated
+// corpus. The zero value (plus a seed) is a usable smoke configuration.
+type DiffOptions struct {
+	// Seed is the corpus base seed; program i is generated from Seed+i.
+	Seed int64
+	// Programs is the corpus size. <= 0 means 25.
+	Programs int
+	// Size selects the per-program scale. Mixed overrides it.
+	Size genprog.Size
+	// Mixed cycles small/medium/large across the corpus.
+	Mixed bool
+	// MaxRuns bounds each armed Waffle/WaffleBasic session (preparation
+	// included). <= 0 means 25.
+	MaxRuns int
+	// TSVDRuns bounds each armed TSVD session. TSVD instruments only
+	// thread-unsafe API calls, so it can never expose a planted MemOrder
+	// bug; a short budget demonstrates that without burning runs.
+	// <= 0 means 6.
+	TSVDRuns int
+	// DisarmRuns bounds the disarmed zero-FP control sessions. <= 0 means
+	// 12 — enough runs for every per-site probability to decay to zero,
+	// so the schedule space the tools can reach has been exhausted.
+	DisarmRuns int
+	// Workers bounds corpus-level parallelism. <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Programs <= 0 {
+		o.Programs = 25
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 25
+	}
+	if o.TSVDRuns <= 0 {
+		o.TSVDRuns = 6
+	}
+	if o.DisarmRuns <= 0 {
+		o.DisarmRuns = 12
+	}
+	return o
+}
+
+// DiffTools names the compared detectors in report order.
+var DiffTools = []string{"waffle", "wafflebasic", "tsvd"}
+
+func newDiffTool(name string) core.Tool {
+	switch name {
+	case "waffle":
+		return core.NewWaffle(core.Options{})
+	case "wafflebasic":
+		return wafflebasic.New(core.Options{})
+	case "tsvd":
+		return &tsvdTool{t: tsvd.New(tsvd.Options{})}
+	}
+	panic("eval: unknown diff tool " + name)
+}
+
+// tsvdTool adapts the TSVD baseline — a memmodel.Hook with its own
+// BeginRun/Stats surface — to the core.Tool interface the session driver
+// expects. TSVD has no MemOrder candidate notion, so Candidates maps its
+// unordered TSV site pairs through core.Pair for report display only.
+type tsvdTool struct{ t *tsvd.Tool }
+
+func (a *tsvdTool) Name() string { return "tsvd" }
+
+func (a *tsvdTool) HookForRun(run int, prev *core.RunReport) memmodel.Hook {
+	a.t.BeginRun()
+	return a.t
+}
+
+func (a *tsvdTool) RunStats() core.DelayStats { return a.t.Stats() }
+
+func (a *tsvdTool) Candidates(site trace.SiteID) []core.Pair {
+	var out []core.Pair
+	for _, pr := range a.t.Pairs() {
+		if pr[0] == site || pr[1] == site {
+			out = append(out, core.Pair{Delay: pr[0], Target: pr[1]})
+		}
+	}
+	return out
+}
+
+// BugOutcome is one (bug, tool) cell of the differential table.
+type BugOutcome struct {
+	Bug  int    `json:"bug"`
+	Kind string `json:"kind"`
+	Tool string `json:"tool"`
+	// Runs is the 1-based run that exposed the bug, 0 when the tool
+	// missed it within its budget.
+	Runs int `json:"runs"`
+	// Delays counts the delays injected in the exposing run.
+	Delays int `json:"delays,omitempty"`
+}
+
+// ProgramDiff is one generated program's differential result.
+type ProgramDiff struct {
+	Program    string       `json:"program"`
+	Seed       int64        `json:"seed"`
+	Size       string       `json:"size"`
+	Bugs       int          `json:"bugs"`
+	Threads    int          `json:"threads"`
+	Objects    int          `json:"objects"`
+	Outcomes   []BugOutcome `json:"outcomes"`
+	Violations []string     `json:"violations,omitempty"`
+}
+
+// ToolDiffSummary aggregates one tool over the corpus. Runs-to-exposure
+// statistics count a missed bug as MaxRuns+1 (the whole budget spent plus
+// the run that would still be needed), so means remain comparable across
+// tools with different hit rates.
+type ToolDiffSummary struct {
+	Tool         string  `json:"tool"`
+	Sessions     int     `json:"sessions"` // armed sessions = planted bugs
+	Exposed      int     `json:"exposed"`
+	Missed       int     `json:"missed"`
+	ExposureRate float64 `json:"exposure_rate"`
+	MeanRuns     float64 `json:"mean_runs"`
+	CI95Runs     float64 `json:"ci95_runs"` // 95% CI half-width of MeanRuns
+	P50Runs      float64 `json:"p50_runs"`
+	P90Runs      float64 `json:"p90_runs"`
+	P99Runs      float64 `json:"p99_runs"`
+	Delays       int     `json:"delays"` // delays injected across exposing runs
+}
+
+// DiffReport is the full differential-oracle result: the payload of
+// BENCH_gen.json and the object the acceptance tests assert on.
+type DiffReport struct {
+	Seed       int64             `json:"seed"`
+	Programs   int               `json:"programs"`
+	MaxRuns    int               `json:"max_runs"`
+	PlantedUBI int               `json:"planted_ubi"`
+	PlantedUAF int               `json:"planted_uaf"`
+	Tools      []ToolDiffSummary `json:"tools"`
+	Results    []ProgramDiff     `json:"results"`
+	// Violations aggregates every oracle breach across the corpus: a
+	// report outside a manifest, a fault in a disarmed program, an
+	// abnormal run, or a reproducibility divergence. Empty on a healthy
+	// pipeline.
+	Violations []string `json:"violations,omitempty"`
+	// ReproOK reports that every program regenerated byte-identically and
+	// its preparation trace and plans were bit-reproducible across
+	// Analyze, AnalyzeParallel, and AnalyzeStream.
+	ReproOK bool `json:"repro_ok"`
+}
+
+// Summary returns the named tool's corpus summary.
+func (r *DiffReport) Summary(tool string) (ToolDiffSummary, bool) {
+	for _, s := range r.Tools {
+		if s.Tool == tool {
+			return s, true
+		}
+	}
+	return ToolDiffSummary{}, false
+}
+
+// RunDifferential generates a corpus and runs the differential oracle:
+// every planted bug armed in isolation under every tool, plus a disarmed
+// zero-FP control per tool, plus per-program reproducibility checks. The
+// corpus fans out over a sched pool; per-program results are committed in
+// index order, so the report is deterministic for a fixed seed.
+func RunDifferential(o DiffOptions) *DiffReport {
+	o = o.withDefaults()
+	rep := &DiffReport{Seed: o.Seed, Programs: o.Programs, MaxRuns: o.MaxRuns, ReproOK: true}
+
+	pool := sched.Pool{Workers: o.Workers, Wave: o.Workers}
+	runs := make(map[string][]float64)
+	delays := make(map[string]int)
+	exposed := make(map[string]int)
+	sessions := make(map[string]int)
+
+	sched.Run(pool, 0, o.Programs-1, func(_ context.Context, i int) (*ProgramDiff, error) {
+		return o.diffProgram(i), nil
+	}, func(res sched.Result[*ProgramDiff]) bool {
+		if res.Err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("program %d: %v", res.Index, res.Err))
+			return true
+		}
+		pd := res.Value
+		rep.Results = append(rep.Results, *pd)
+		rep.Violations = append(rep.Violations, pd.Violations...)
+		for _, out := range pd.Outcomes {
+			sessions[out.Tool]++
+			if out.Tool == DiffTools[0] {
+				if out.Kind == core.UseBeforeInit.String() {
+					rep.PlantedUBI++
+				} else {
+					rep.PlantedUAF++
+				}
+			}
+			budget := o.MaxRuns
+			if out.Tool == "tsvd" {
+				budget = o.TSVDRuns
+			}
+			if out.Runs > 0 {
+				exposed[out.Tool]++
+				delays[out.Tool] += out.Delays
+				runs[out.Tool] = append(runs[out.Tool], float64(out.Runs))
+			} else {
+				runs[out.Tool] = append(runs[out.Tool], float64(budget+1))
+			}
+		}
+		return true
+	})
+
+	for _, name := range DiffTools {
+		xs := runs[name]
+		mean, ci := stats.MeanCI95(xs)
+		s := ToolDiffSummary{
+			Tool:     name,
+			Sessions: sessions[name],
+			Exposed:  exposed[name],
+			Missed:   sessions[name] - exposed[name],
+			MeanRuns: mean,
+			CI95Runs: ci,
+			P50Runs:  stats.Percentile(xs, 50),
+			P90Runs:  stats.Percentile(xs, 90),
+			P99Runs:  stats.Percentile(xs, 99),
+			Delays:   delays[name],
+		}
+		if s.Sessions > 0 {
+			s.ExposureRate = float64(s.Exposed) / float64(s.Sessions)
+		}
+		rep.Tools = append(rep.Tools, s)
+	}
+	if len(rep.Violations) > 0 {
+		rep.ReproOK = false
+	}
+	return rep
+}
+
+// diffProgram runs the full oracle for corpus index i.
+func (o DiffOptions) diffProgram(i int) *ProgramDiff {
+	size := o.Size
+	if o.Mixed {
+		size = genprog.Size(i % 3)
+	}
+	cfg := genprog.SizeConfig(o.Seed+int64(i), size)
+	p := genprog.Generate(cfg)
+	m := p.Manifest()
+	pd := &ProgramDiff{
+		Program: p.Name(),
+		Seed:    cfg.Seed,
+		Size:    size.String(),
+		Bugs:    len(m.Bugs),
+		Threads: p.Threads(),
+		Objects: p.Objects(),
+	}
+	fail := func(format string, args ...any) {
+		pd.Violations = append(pd.Violations, fmt.Sprintf("%s: ", p.Name())+fmt.Sprintf(format, args...))
+	}
+
+	if err := checkReproducible(p, cfg); err != nil {
+		fail("%v", err)
+	}
+
+	// Armed sessions: each planted bug in isolation, under each tool.
+	for _, bug := range m.Bugs {
+		variant := p.ArmOnly(bug.Index).Prog()
+		for ti, name := range DiffTools {
+			budget := o.MaxRuns
+			if name == "tsvd" {
+				budget = o.TSVDRuns
+			}
+			s := &core.Session{
+				Prog:     variant,
+				Tool:     newDiffTool(name),
+				MaxRuns:  budget,
+				BaseSeed: o.Seed + int64(i)*1_000_003 + int64(bug.Index)*1009 + int64(ti)*101 + 1,
+			}
+			out := s.Expose()
+			oc := BugOutcome{Bug: bug.Index, Kind: bug.Kind.String(), Tool: name}
+			if out.Bug != nil {
+				if err := m.Check(out.Bug); err != nil {
+					fail("tool %s, bug %d armed: %v", name, bug.Index, err)
+				} else if out.Bug.NullRef.Name != bug.Obj {
+					fail("tool %s, bug %d armed: exposed %s, want %s", name, bug.Index, out.Bug.NullRef.Name, bug.Obj)
+				} else {
+					oc.Runs = out.Bug.Run
+					oc.Delays = out.Bug.Delays.Count
+				}
+			}
+			for _, err := range out.RunErrs() {
+				fail("tool %s, bug %d armed: %v", name, bug.Index, err)
+			}
+			pd.Outcomes = append(pd.Outcomes, oc)
+		}
+	}
+
+	// Disarmed control: the zero-FP invariant. No delay schedule any tool
+	// can produce may fault a program whose probes are all guarded.
+	disarmed := p.DisarmAll().Prog()
+	for ti, name := range DiffTools {
+		s := &core.Session{
+			Prog:     disarmed,
+			Tool:     newDiffTool(name),
+			MaxRuns:  o.DisarmRuns,
+			BaseSeed: o.Seed + int64(i)*1_000_003 + int64(ti)*7 + 500_009,
+		}
+		out := s.Expose()
+		if out.Bug != nil {
+			fail("tool %s, disarmed: false positive: %v", name, out.Bug)
+		}
+		for _, err := range out.RunErrs() {
+			fail("tool %s, disarmed: %v", name, err)
+		}
+	}
+	return pd
+}
+
+// checkReproducible asserts the per-seed bit-reproducibility claims:
+// regeneration is byte-identical (script and manifest), the preparation
+// trace is byte-identical across executions with one seed, and the three
+// analyzers produce byte-identical plans from it.
+func checkReproducible(p *genprog.Program, cfg genprog.Config) error {
+	q := genprog.Generate(cfg)
+	if p.Fingerprint() != q.Fingerprint() {
+		return fmt.Errorf("regeneration diverged for seed %d", cfg.Seed)
+	}
+	if !bytes.Equal(p.Manifest().JSON(), q.Manifest().JSON()) {
+		return fmt.Errorf("manifest regeneration diverged for seed %d", cfg.Seed)
+	}
+
+	prepSeed := cfg.Seed*31 + 7
+	tr1, err := diffPrepTrace(p, prepSeed)
+	if err != nil {
+		return err
+	}
+	tr2, err := diffPrepTrace(p, prepSeed)
+	if err != nil {
+		return err
+	}
+	var b1, b2 bytes.Buffer
+	if err := tr1.WriteBinary(&b1); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	if err := tr2.WriteBinary(&b2); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		return fmt.Errorf("preparation trace not reproducible at seed %d", prepSeed)
+	}
+
+	encode := func(plan *core.Plan) ([]byte, error) {
+		var buf bytes.Buffer
+		err := plan.WriteJSON(&buf)
+		return buf.Bytes(), err
+	}
+	want, err := encode(core.Analyze(tr1, core.Options{}))
+	if err != nil {
+		return err
+	}
+	par, err := encode(core.AnalyzeParallel(tr1, core.Options{}, 4))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, par) {
+		return fmt.Errorf("AnalyzeParallel plan diverged from Analyze at seed %d", prepSeed)
+	}
+	var stream bytes.Buffer
+	if err := tr1.WriteStream(&stream); err != nil {
+		return fmt.Errorf("write stream: %w", err)
+	}
+	sp, err := core.AnalyzeStream(bytes.NewReader(stream.Bytes()), core.Options{})
+	if err != nil {
+		return fmt.Errorf("streaming analysis: %w", err)
+	}
+	got, err := encode(sp)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("AnalyzeStream plan diverged from Analyze at seed %d", prepSeed)
+	}
+	return nil
+}
+
+// diffPrepTrace performs one delay-free preparation run and returns its
+// trace.
+func diffPrepTrace(p *genprog.Program, seed int64) (*trace.Trace, error) {
+	wf := core.NewWaffle(core.Options{})
+	wf.SetLabel(p.Name())
+	hook := wf.HookForRun(1, nil)
+	res := p.Prog().Execute(seed, hook)
+	if res.Fault != nil {
+		return nil, fmt.Errorf("preparation run faulted: %v", res.Fault.Err)
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("preparation run: %w", res.Err)
+	}
+	wf.FinishPreparation(&core.RunReport{Run: 1, End: res.End})
+	tr := wf.PrepTrace()
+	if tr == nil {
+		return nil, fmt.Errorf("no preparation trace")
+	}
+	return tr, nil
+}

@@ -1,0 +1,58 @@
+package genprog
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+)
+
+// FuzzGenerate fuzzes the generator's config space, asserting the two
+// properties every consumer relies on: generation is deterministic, and
+// an unperturbed program — fully armed, with or without preparation-run
+// instrumentation — never faults. A seed/config combination that faults
+// without injected delays would poison the differential oracle's ground
+// truth (the planted order must hold until a delay inverts it).
+//
+// CI runs this briefly (`go test -fuzz=FuzzGenerate -fuzztime=10s`); the
+// seed corpus alone covers every preset size and the degenerate knobs.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(2), uint8(1), uint8(1), uint8(0), uint16(2), uint16(60), uint8(1))
+	f.Add(int64(2), uint8(2), uint8(3), uint8(2), uint8(1), uint8(2), uint16(5), uint16(40), uint8(2))
+	f.Add(int64(3), uint8(3), uint8(5), uint8(3), uint8(2), uint8(3), uint16(2), uint16(90), uint8(3))
+	f.Add(int64(99), uint8(4), uint8(0), uint8(0), uint8(0), uint8(1), uint16(1), uint16(1), uint8(1))
+	f.Add(int64(-7), uint8(1), uint8(1), uint8(0), uint8(2), uint8(0), uint16(150), uint16(400), uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, bugs, decoys, hb, jd, api uint8, gapMinMs, gapMaxMs uint16, depth uint8) {
+		cfg := Config{
+			Seed:            seed,
+			Bugs:            int(bugs%4) + 1,
+			DecoysPerThread: int(decoys % 8),
+			HBDecoys:        int(hb % 5),
+			JoinDecoys:      int(jd % 4),
+			APINoise:        int(api % 4),
+			GapMin:          sim.Duration(gapMinMs%500+1) * sim.Millisecond,
+			GapMax:          sim.Duration(gapMaxMs%500) * sim.Millisecond,
+			Depth:           int(depth%4) + 1,
+		}
+		p := Generate(cfg)
+		if p.Fingerprint() != Generate(cfg).Fingerprint() {
+			t.Fatal("generation is not deterministic")
+		}
+
+		armed := p.ArmAll()
+		if res := armed.Prog().Execute(seed, nil); res.Fault != nil || res.Err != nil || res.TimedOut {
+			t.Fatalf("unperturbed armed run abnormal: fault=%v err=%v timedOut=%v",
+				res.Fault, res.Err, res.TimedOut)
+		}
+
+		// The delay-free preparation run adds per-access instrumentation
+		// cost; absolute-time positioning must absorb it.
+		wf := core.NewWaffle(core.Options{})
+		hook := wf.HookForRun(1, nil)
+		if res := armed.Prog().Execute(seed+1, hook); res.Fault != nil || res.Err != nil || res.TimedOut {
+			t.Fatalf("instrumented preparation run abnormal: fault=%v err=%v timedOut=%v",
+				res.Fault, res.Err, res.TimedOut)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package genprog
+
+import (
+	"bytes"
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/trace"
+	"waffle/internal/wafflebasic"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for _, size := range []Size{SizeSmall, SizeMedium, SizeLarge} {
+		cfg := SizeConfig(7, size)
+		a, b := Generate(cfg), Generate(cfg)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: two generations from one config diverge", size)
+		}
+		if !bytes.Equal(a.Manifest().JSON(), b.Manifest().JSON()) {
+			t.Errorf("%s: manifests diverge", size)
+		}
+	}
+	if Generate(Config{Seed: 1}).Fingerprint() == Generate(Config{Seed: 2}).Fingerprint() {
+		t.Error("different seeds generated identical programs")
+	}
+}
+
+func TestManifestShape(t *testing.T) {
+	p := Generate(SizeConfig(3, SizeLarge))
+	m := p.Manifest()
+	if len(m.Bugs) != 3 {
+		t.Fatalf("planted %d bugs, want 3", len(m.Bugs))
+	}
+	for _, b := range m.Bugs {
+		if b.Gap < p.Config().GapMin || b.Gap > p.Config().GapMax {
+			t.Errorf("bug %d gap %v outside [%v, %v]", b.Index, b.Gap, p.Config().GapMin, p.Config().GapMax)
+		}
+		if got, ok := m.Allows(b.Obj, b.FaultSite); !ok || got.Index != b.Index {
+			t.Errorf("bug %d not allowed by its own manifest", b.Index)
+		}
+		if _, ok := m.Allows(b.Obj, trace.SiteID("nowhere")); ok {
+			t.Errorf("bug %d object allowed at an unplanted site", b.Index)
+		}
+	}
+}
+
+// An unperturbed (hook-free) run must never fault, even fully armed: the
+// planted orders hold whenever nothing delays the racy accesses.
+func TestUnperturbedArmedRunIsClean(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := Generate(SizeConfig(seed, Size(seed%3))).ArmAll()
+		res := p.Prog().Execute(seed, nil)
+		if res.Fault != nil {
+			t.Errorf("seed %d: unperturbed run faulted: %v", seed, res.Fault.Err)
+		}
+		if res.Err != nil || res.TimedOut {
+			t.Errorf("seed %d: abnormal termination: err=%v timedOut=%v", seed, res.Err, res.TimedOut)
+		}
+	}
+}
+
+// The trace — and so the plan — must not depend on the arming mask:
+// guarded and faulting probes record the same KindUse event.
+func TestTraceIsArmingInvariant(t *testing.T) {
+	p := Generate(SizeConfig(11, SizeMedium))
+	encode := func(v *Program) []byte {
+		t.Helper()
+		wf := core.NewWaffle(core.Options{})
+		wf.SetLabel(v.Name())
+		hook := wf.HookForRun(1, nil)
+		res := v.Prog().Execute(41, hook)
+		if res.Fault != nil || res.Err != nil {
+			t.Fatalf("prep run: fault=%v err=%v", res.Fault, res.Err)
+		}
+		wf.FinishPreparation(&core.RunReport{Run: 1, End: res.End})
+		var buf bytes.Buffer
+		if err := wf.PrepTrace().WriteBinary(&buf); err != nil {
+			t.Fatalf("encode trace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(p.ArmAll()), encode(p.DisarmAll())) {
+		t.Error("armed and disarmed preparation traces differ")
+	}
+}
+
+// Waffle must expose each planted bug — armed in isolation — in the
+// second run: the preparation trace pins the gap exactly, the planted
+// pair survives fork-clock pruning while every fork decoy is pruned, and
+// the α·gap delay at probability 1 inverts the order deterministically.
+func TestWaffleExposesEveryPlantedBug(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		p := Generate(SizeConfig(seed, SizeLarge))
+		m := p.Manifest()
+		for i, want := range m.Bugs {
+			s := &core.Session{
+				Prog:     p.ArmOnly(i).Prog(),
+				Tool:     core.NewWaffle(core.Options{}),
+				MaxRuns:  core.DefaultMaxRuns,
+				BaseSeed: seed*100 + int64(i),
+			}
+			out := s.Expose()
+			if out.Bug == nil {
+				t.Fatalf("seed %d bug %d: not exposed in %d runs", seed, i, len(out.Runs))
+			}
+			if err := m.Check(out.Bug); err != nil {
+				t.Errorf("seed %d bug %d: %v", seed, i, err)
+			}
+			if out.Bug.NullRef.Name != want.Obj || out.Bug.NullRef.Site != want.FaultSite {
+				t.Errorf("seed %d bug %d: exposed %s at %s, want %s at %s",
+					seed, i, out.Bug.NullRef.Name, out.Bug.NullRef.Site, want.Obj, want.FaultSite)
+			}
+			if out.Bug.Run != 2 {
+				t.Errorf("seed %d bug %d: exposed in run %d, want 2", seed, i, out.Bug.Run)
+			}
+		}
+	}
+}
+
+// Disarmed programs are the zero-FP control: no tool's delay schedule may
+// fault them, whatever it perturbs.
+func TestDisarmedSurvivesDetection(t *testing.T) {
+	p := Generate(SizeConfig(5, SizeMedium)).DisarmAll()
+	tools := []core.Tool{
+		core.NewWaffle(core.Options{}),
+		wafflebasic.New(core.Options{}),
+	}
+	for _, tool := range tools {
+		s := &core.Session{Prog: p.Prog(), Tool: tool, MaxRuns: 15, BaseSeed: 501}
+		out := s.Expose()
+		if out.Bug != nil {
+			t.Errorf("%s: disarmed program reported a bug: %v", tool.Name(), out.Bug)
+		}
+		for _, err := range out.RunErrs() {
+			t.Errorf("%s: %v", tool.Name(), err)
+		}
+		for _, r := range out.Runs {
+			if r.TimedOut {
+				t.Errorf("%s: run %d timed out", tool.Name(), r.Run)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package genprog
+
+import (
+	"time"
+
+	"waffle/internal/live"
+)
+
+// LiveBody renders the program for the live (real-goroutine, wall-clock)
+// runtime: virtual microseconds become physical microseconds, timed ops
+// sleep to their absolute offset from the run start, and the guarded
+// probes behave exactly as in the simulator. Thread-unsafe API ops are
+// skipped — the live heap has no API instrumentation and TSVD is not a
+// live tool — so generate live samples with APINoise = 0.
+//
+// The structural zero-FP argument is timing-independent (it relies only
+// on program order, forks, and joins), so a disarmed live program must
+// survive any physical schedule and any injected delay without faulting —
+// which is what running it under live.ExposeT and -race asserts.
+func (p *Program) LiveBody() func(*live.Thread, *live.Heap) {
+	return func(root *live.Thread, h *live.Heap) {
+		refs := make([]*live.Ref, len(p.objs))
+		for i, name := range p.objs {
+			refs[i] = h.NewRef(name)
+		}
+		p.execLive(root, 0, refs)
+	}
+}
+
+func (p *Program) execLive(t *live.Thread, idx int, refs []*live.Ref) {
+	ts := &p.threads[idx]
+	for _, o := range ts.Pre {
+		p.doLive(t, o, refs)
+	}
+	kids := make([]*live.Handle, 0, len(ts.Children))
+	for _, c := range ts.Children {
+		c := c
+		kids = append(kids, t.Spawn(p.threads[c].Name, func(ct *live.Thread) {
+			p.execLive(ct, c, refs)
+		}))
+	}
+	for _, o := range ts.Ops {
+		p.doLive(t, o, refs)
+	}
+	for _, k := range kids {
+		t.Join(k)
+	}
+	for _, o := range ts.Post {
+		p.doLive(t, o, refs)
+	}
+}
+
+func (p *Program) doLive(t *live.Thread, o op, refs []*live.Ref) {
+	if o.At >= 0 {
+		at := time.Duration(o.At) * time.Microsecond
+		if d := at - t.Elapsed(); d > 0 {
+			t.Sleep(d)
+		}
+	}
+	r := refs[o.Obj]
+	switch o.Code {
+	case opInit:
+		r.Init(t, o.Site)
+	case opUse:
+		if o.Bug >= 0 && !p.armed[o.Bug] {
+			r.UseIfLive(t, o.Site)
+		} else {
+			r.Use(t, o.Site)
+		}
+	case opDispose:
+		r.Dispose(t, o.Site)
+	case opAPIRead, opAPIWrite:
+		// No live API instrumentation; preserve pacing only.
+		if o.Dur > 0 {
+			t.Sleep(time.Duration(o.Dur) * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package genprog
+
+import (
+	"testing"
+
+	"waffle/internal/live"
+	"waffle/internal/sim"
+)
+
+// liveConfig shapes a generated program for the wall clock: one bug, no
+// API noise (the live heap has no API instrumentation), and gaps wide
+// enough that the 0.15·gap exposure margin dwarfs physical scheduling
+// jitter.
+func liveConfig(seed int64) Config {
+	return Config{
+		Seed:   seed,
+		Bugs:   1,
+		GapMin: 30 * sim.Millisecond,
+		GapMax: 50 * sim.Millisecond,
+		Depth:  1,
+	}
+}
+
+// A disarmed generated program must survive the full live pipeline — real
+// goroutines, physical injected delays, arbitrary OS scheduling — without
+// a fault: the structural zero-FP argument is timing-independent.
+// live.ExposeT fails the test on any manifestation. Under -race this also
+// checks the rendered bodies are data-race-free.
+func TestLiveDisarmedGeneratedProgramSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	p := Generate(liveConfig(31)).DisarmAll()
+	live.ExposeT(t, p.LiveBody(), 5)
+}
+
+// An armed generated program must expose its planted bug on the wall
+// clock. Physical scheduling is nondeterministic, so allow a few runs and
+// retry with fresh detectors before declaring failure.
+func TestLiveArmedGeneratedProgramExposes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	p := Generate(liveConfig(32))
+	m := p.Manifest()
+	armed := p.ArmOnly(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		d := live.NewDetector(live.Options{})
+		out := d.Expose(live.Scenario{Name: p.Name(), Body: armed.LiveBody()}, 6, int64(100+attempt))
+		if out.Bug != nil {
+			if err := m.Check(out.Bug); err != nil {
+				t.Fatalf("attempt %d: %v", attempt, err)
+			}
+			return
+		}
+	}
+	t.Error("planted bug not exposed in 3 live attempts of 6 runs each")
+}

@@ -1,0 +1,112 @@
+package genprog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// PlantedBug is one ground-truth entry: a racy access pair the generator
+// planted deliberately. A detector's report is correct iff it names a
+// planted bug's object and fault site; anything else is a false positive.
+type PlantedBug struct {
+	Index int          `json:"index"`
+	Kind  core.BugKind `json:"-"`
+	// KindName is Kind rendered for the JSON manifest.
+	KindName string `json:"kind"`
+	// Obj is the shared object's name (memmodel.NullRefError.Name on a
+	// manifestation).
+	Obj string `json:"obj"`
+	// DelaySite is where the analysis should inject (the first access of
+	// the near-miss pair: the init for use-before-init, the use for
+	// use-after-free).
+	DelaySite trace.SiteID `json:"delay_site"`
+	// TargetSite is the second access of the pair.
+	TargetSite trace.SiteID `json:"target_site"`
+	// FaultSite is where the NullRefError manifests when the planted
+	// order inverts — always the pair's use site.
+	FaultSite trace.SiteID `json:"fault_site"`
+	// Gap is the planted prep-run distance between the pair's accesses.
+	Gap sim.Duration `json:"gap_us"`
+	// At is the virtual time of the pair's first access in an undelayed
+	// run.
+	At sim.Time `json:"at_us"`
+	// DelayThread and FaultThread name the threads performing the delayed
+	// access and the faulting access.
+	DelayThread string `json:"delay_thread"`
+	FaultThread string `json:"fault_thread"`
+}
+
+func (b PlantedBug) String() string {
+	return fmt.Sprintf("bug %d: %s on %s (delay %s, fault %s, gap %v)",
+		b.Index, b.Kind, b.Obj, b.DelaySite, b.FaultSite, b.Gap)
+}
+
+// Manifest is the machine-readable ground truth for one generated
+// program: everything an oracle needs to judge a detector's reports.
+type Manifest struct {
+	Program string       `json:"program"`
+	Seed    int64        `json:"seed"`
+	Threads int          `json:"threads"`
+	Objects int          `json:"objects"`
+	Bugs    []PlantedBug `json:"bugs"`
+}
+
+// Manifest builds the program's ground-truth manifest.
+func (p *Program) Manifest() *Manifest {
+	bugs := make([]PlantedBug, len(p.bugs))
+	copy(bugs, p.bugs)
+	for i := range bugs {
+		bugs[i].KindName = bugs[i].Kind.String()
+	}
+	return &Manifest{
+		Program: p.cfg.Name,
+		Seed:    p.cfg.Seed,
+		Threads: len(p.threads),
+		Objects: len(p.objs),
+		Bugs:    bugs,
+	}
+}
+
+// JSON renders the manifest deterministically (struct field order,
+// indented).
+func (m *Manifest) JSON() []byte {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil { // struct of plain values; cannot fail
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Allows reports whether a NullRefError on object objName at site matches
+// a planted bug, returning the matching entry. The zero-FP oracle: every
+// fault outside this predicate is a generator or detector defect.
+func (m *Manifest) Allows(objName string, site trace.SiteID) (PlantedBug, bool) {
+	for _, b := range m.Bugs {
+		if b.Obj == objName && b.FaultSite == site {
+			return b, true
+		}
+	}
+	return PlantedBug{}, false
+}
+
+// Check judges a BugReport against the manifest: nil for a correct
+// report, an error describing the violation otherwise.
+func (m *Manifest) Check(rep *core.BugReport) error {
+	if rep == nil || rep.NullRef == nil {
+		return fmt.Errorf("genprog: report without a NULL-reference fault")
+	}
+	b, ok := m.Allows(rep.NullRef.Name, rep.NullRef.Site)
+	if !ok {
+		return fmt.Errorf("genprog: fault outside the manifest: obj %q at %s (%s)",
+			rep.NullRef.Name, rep.NullRef.Site, rep.Kind())
+	}
+	if rep.Kind() != b.Kind {
+		return fmt.Errorf("genprog: fault at %s manifested as %s, planted as %s",
+			rep.NullRef.Site, rep.Kind(), b.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package genprog
+
+import (
+	"fmt"
+	"strings"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/sim"
+)
+
+// Prog renders the program for the simulator. Each Execute builds a fresh
+// heap and ref set; the script itself is shared and read-only, so
+// variants and parallel sessions can execute concurrently.
+func (p *Program) Prog() *core.SimProgram {
+	return &core.SimProgram{
+		Label:   p.cfg.Name,
+		MaxTime: sim.Duration(p.lastAt) + 10*sim.Second,
+		Body: func(root *sim.Thread, h *memmodel.Heap) {
+			refs := make([]*memmodel.Ref, len(p.objs))
+			for i, name := range p.objs {
+				refs[i] = h.NewRef(name)
+			}
+			p.execThread(root, 0, refs)
+		},
+	}
+}
+
+// execThread interprets one threadSpec: timed preamble, forks, timed ops,
+// joins, immediate epilogue.
+func (p *Program) execThread(t *sim.Thread, idx int, refs []*memmodel.Ref) {
+	ts := &p.threads[idx]
+	for _, o := range ts.Pre {
+		p.do(t, o, refs)
+	}
+	kids := make([]*sim.Thread, len(ts.Children))
+	for i, c := range ts.Children {
+		c := c
+		kids[i] = t.Spawn(p.threads[c].Name, func(ct *sim.Thread) {
+			p.execThread(ct, c, refs)
+		})
+	}
+	for _, o := range ts.Ops {
+		p.do(t, o, refs)
+	}
+	for _, k := range kids {
+		t.Join(k)
+	}
+	for _, o := range ts.Post {
+		p.do(t, o, refs)
+	}
+}
+
+// do sleeps to the op's absolute time, then performs the access. Sleeping
+// to an absolute instant (rather than for a relative amount) makes each
+// access self-positioning: instrumentation overhead charged earlier in
+// the thread is absorbed by a shorter sleep, so the planted gaps survive
+// hook costs unchanged as long as ops are spaced wider than one hook.
+func (p *Program) do(t *sim.Thread, o op, refs []*memmodel.Ref) {
+	if o.At >= 0 {
+		if now := t.Now(); o.At > now {
+			t.Sleep(o.At.Sub(now))
+		}
+	}
+	r := refs[o.Obj]
+	switch o.Code {
+	case opInit:
+		r.Init(t, o.Site)
+	case opUse:
+		if o.Bug >= 0 && !p.armed[o.Bug] {
+			r.UseIfLive(t, o.Site)
+		} else {
+			r.Use(t, o.Site)
+		}
+	case opDispose:
+		r.Dispose(t, o.Site)
+	case opAPIRead:
+		r.APICall(t, o.Site, false, o.Dur)
+	case opAPIWrite:
+		r.APICall(t, o.Site, true, o.Dur)
+	}
+}
+
+// Fingerprint renders the whole script deterministically — threads, ops,
+// times, sites, bugs, arming — for byte-level reproducibility checks: two
+// Generate calls with the same Config must produce identical
+// fingerprints.
+func (p *Program) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s seed %d\n", p.cfg.Name, p.cfg.Seed)
+	dump := func(label string, ops []op) {
+		for _, o := range ops {
+			fmt.Fprintf(&sb, "  %s %s at=%d obj=%s site=%s dur=%d bug=%d\n",
+				label, o.Code, int64(o.At), p.objs[o.Obj], o.Site, int64(o.Dur), o.Bug)
+		}
+	}
+	for i, t := range p.threads {
+		fmt.Fprintf(&sb, "thread %d %s children=%v\n", i, t.Name, t.Children)
+		dump("pre", t.Pre)
+		dump("op", t.Ops)
+		dump("post", t.Post)
+	}
+	for _, b := range p.bugs {
+		fmt.Fprintf(&sb, "%s at=%d armed=%v\n", b, int64(b.At), p.armed[b.Index])
+	}
+	return sb.String()
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"math"
 	"sort"
 
 	"waffle/internal/core"
@@ -73,6 +74,53 @@ func MedianFloat(xs []float64) float64 {
 		return s[len(s)/2]
 	}
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Percentile returns the p-th percentile of xs (0 ≤ p ≤ 100) by the
+// nearest-rank method: the smallest element with at least ⌈p/100·n⌉
+// elements ≤ it. It is exact on the tiny samples the runs-to-exposure
+// report aggregates (no interpolation invents unobserved run counts).
+// Empty input yields 0; p ≤ 0 yields the minimum, p ≥ 100 the maximum.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its
+// normal-approximation 95% confidence interval (1.96·s/√n). Samples of
+// fewer than two points have no dispersion estimate: the half-width is 0
+// and the mean is 0 (n=0) or the single value (n=1).
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(n))
 }
 
 // Mean returns the arithmetic mean of xs; 0 for an empty slice.

@@ -163,3 +163,67 @@ func TestSummarizeAllMissed(t *testing.T) {
 		t.Fatalf("summary = %+v", sum)
 	}
 }
+
+// The runs-to-exposure report calls Percentile and MeanCI95 on per-corpus
+// samples that can be arbitrarily small (a one-program corpus, a tool
+// that exposed nothing). The table pins the degenerate cases: n = 0, 1, 2
+// plus enough larger samples to fix the nearest-rank convention.
+func TestPercentileTinySamples(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"pair p0 is min", []float64{9, 2}, 0, 2},
+		{"pair p49 is lower", []float64{9, 2}, 49, 2},
+		{"pair p50 is lower", []float64{9, 2}, 50, 2},
+		{"pair p51 is upper", []float64{9, 2}, 51, 9},
+		{"pair p100 is max", []float64{9, 2}, 100, 9},
+		{"four p25", []float64{4, 1, 3, 2}, 25, 1},
+		{"four p75", []float64{4, 1, 3, 2}, 75, 3},
+		{"ten p90", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 90, 9},
+		{"ten p99", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 99, 10},
+		{"negative p clamps to min", []float64{5, 6}, -10, 5},
+		{"p over 100 clamps to max", []float64{5, 6}, 250, 6},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanCI95TinySamples(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs         []float64
+		mean, half float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{4}, 4, 0},
+		{"pair equal", []float64{3, 3}, 3, 0},
+		// n=2, values 2 and 4: sd = √2, half = 1.96·√2/√2 = 1.96.
+		{"pair spread", []float64{2, 4}, 3, 1.96},
+	}
+	for _, c := range cases {
+		mean, half := MeanCI95(c.xs)
+		if math.Abs(mean-c.mean) > 1e-12 || math.Abs(half-c.half) > 1e-12 {
+			t.Errorf("%s: MeanCI95(%v) = (%v, %v), want (%v, %v)",
+				c.name, c.xs, mean, half, c.mean, c.half)
+		}
+	}
+}
