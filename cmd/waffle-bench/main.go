@@ -24,6 +24,7 @@ import (
 	"waffle/internal/apps"
 	"waffle/internal/eval"
 	"waffle/internal/genprog"
+	"waffle/internal/obs"
 	"waffle/internal/report"
 )
 
@@ -47,9 +48,31 @@ func main() {
 		detail   = flag.Bool("ablation-detail", false, "per-bug runs-to-expose under each Table 7 ablation")
 		gen      = flag.String("gen", "", "differential oracle over a generated corpus: seed,count,size (size: small|medium|large|mixed)")
 		genOut   = flag.String("gen-out", "BENCH_gen.json", "report file for -gen")
+
+		metricsOut      = flag.String("metrics-out", "", "write the campaign metrics snapshot (JSON, waffle.metrics/v1) to this path")
+		validateMetrics = flag.String("validate-metrics", "", "validate a metrics JSON file (bare snapshot or a report with a \"metrics\" section) and exit")
 	)
 	flag.Parse()
 	markdown = *format == "md"
+
+	if *validateMetrics != "" {
+		data, err := os.ReadFile(*validateMetrics)
+		if err == nil {
+			err = obs.ValidateSnapshotJSON(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waffle-bench: -validate-metrics %s: %v\n", *validateMetrics, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s snapshot\n", *validateMetrics, obs.SchemaVersion)
+		return
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+		defer writeMetrics(reg, *metricsOut)
+	}
 
 	if *gen != "" {
 		opt, err := parseGen(*gen)
@@ -59,7 +82,11 @@ func main() {
 		}
 		opt.MaxRuns = *maxRuns
 		opt.Workers = *parallel
+		opt.Metrics = reg
 		if err := runGen(opt, *genOut); err != nil {
+			if reg != nil {
+				writeMetrics(reg, *metricsOut)
+			}
 			fmt.Fprintf(os.Stderr, "waffle-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -80,7 +107,7 @@ func main() {
 			if a.Name == "LiteDB" {
 				continue // excluded from Tables 2/5/6 (§6.4)
 			}
-			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests, Parallelism: *parallel, AnalyzeWorkers: *panalyze}))
+			rows = append(rows, eval.EvalSuite(a, eval.SuiteOptions{Seed: *seed, MaxTests: *maxTests, Parallelism: *parallel, AnalyzeWorkers: *panalyze, Metrics: reg}))
 		}
 		return rows
 	}
@@ -139,6 +166,19 @@ func main() {
 	if *detail {
 		printAblationDetail(eval.BugOptions{Seed: *seed, Repetitions: min(*reps, 7), MaxRuns: *maxRuns})
 	}
+}
+
+// writeMetrics snapshots reg to path as indented JSON.
+func writeMetrics(reg *obs.Registry, path string) {
+	data, err := reg.Snapshot().MarshalIndentJSON()
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waffle-bench: -metrics-out: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 // parseGen parses the "-gen seed,count,size" triple. count and size are

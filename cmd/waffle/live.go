@@ -56,14 +56,14 @@ type liveBench struct {
 }
 
 // runLive drives the live detector against a built-in demo.
-func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath, benchPath string) {
+func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath, benchPath string, mc *metricsConfig) {
 	demo, ok := live.FindDemo(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "waffle: unknown live demo %q (try -live-list)\n", name)
 		os.Exit(1)
 	}
 
-	d := live.NewDetector(live.Options{AnalyzeWorkers: panalyze})
+	d := live.NewDetector(live.Options{AnalyzeWorkers: panalyze, Metrics: mc.reg})
 	out := d.Expose(demo.Scenario, maxRuns, 1)
 
 	fmt.Printf("program:  %s (live, wall clock)\n", out.Program)
@@ -166,6 +166,7 @@ func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath
 		}
 		fmt.Printf("live bench written to %s\n", benchPath)
 	}
+	mc.finish()
 	if out.Bug == nil {
 		os.Exit(3)
 	}

@@ -47,8 +47,18 @@ func main() {
 		liveName  = flag.String("live", "", "run the live (wall-clock, real-goroutine) detector against a built-in demo; see -live-list")
 		liveList  = flag.Bool("live-list", false, "list the live demos")
 		liveBench = flag.String("live-bench", "", "with -live: write per-phase wall-time JSON (BENCH_live.json) to this path")
+
+		metricsOut    = flag.String("metrics", "", "write the campaign metrics snapshot (JSON, waffle.metrics/v1) to this path; '-' for stdout")
+		metricsAddr   = flag.String("metrics-addr", "", "serve the live metrics snapshot over HTTP at this address during the campaign (e.g. 127.0.0.1:8321)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "with -metrics-addr: keep the endpoint up this long after the campaign ends, so external scrapers can catch a short campaign")
 	)
 	flag.Parse()
+
+	if *metricsLinger > 0 && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "waffle: -metrics-linger requires -metrics-addr")
+		os.Exit(2)
+	}
+	mc := newMetricsConfig(*metricsOut, *metricsAddr, *metricsLinger)
 
 	if *list {
 		listTests()
@@ -60,7 +70,7 @@ func main() {
 	}
 	if *liveName != "" {
 		rejectSimOnlyFlags()
-		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench)
+		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench, mc)
 		return
 	}
 	if *liveBench != "" {
@@ -68,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *suite != "" {
-		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze)
+		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze, mc)
 		return
 	}
 	if *testName == "" {
@@ -86,19 +96,19 @@ func main() {
 	var wtool *core.Waffle
 	switch *toolName {
 	case "waffle":
-		wtool = core.NewWaffle(core.Options{AnalyzeWorkers: *panalyze})
+		wtool = core.NewWaffle(core.Options{AnalyzeWorkers: *panalyze, Metrics: mc.reg})
 		wtool.SetLabel(test.Name)
 		tool = wtool
 	case "waffle-noprep":
-		tool = core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: *panalyze})
+		tool = core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: *panalyze, Metrics: mc.reg})
 	case "basic":
-		tool = wafflebasic.New(core.Options{})
+		tool = wafflebasic.New(core.Options{Metrics: mc.reg})
 	default:
 		fmt.Fprintf(os.Stderr, "waffle: unknown tool %q\n", *toolName)
 		os.Exit(1)
 	}
 
-	session := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: *maxRuns, BaseSeed: *seed}
+	session := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: *maxRuns, BaseSeed: *seed, Metrics: mc.reg}
 	out := session.ExposeParallel(*parallel)
 
 	fmt.Printf("program:  %s\n", out.Program)
@@ -181,6 +191,7 @@ func main() {
 		}
 		fmt.Printf("preparation trace written to %s\n", *traceOut)
 	}
+	mc.finish()
 	if out.Bug == nil {
 		os.Exit(3)
 	}
@@ -189,7 +200,7 @@ func main() {
 // runSuite exposes bugs across one application's whole test suite — the
 // evaluation's usage mode: "we ran both tools using every multi-threaded
 // test case in the test suites of each application" (§6.1).
-func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panalyze int) {
+func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panalyze int, mc *metricsConfig) {
 	app := apps.ByName(appName)
 	if app == nil {
 		fmt.Fprintf(os.Stderr, "waffle: unknown application %q (try -list)\n", appName)
@@ -198,11 +209,11 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panal
 	mkTool := func() core.Tool {
 		switch toolName {
 		case "waffle":
-			return core.NewWaffle(core.Options{AnalyzeWorkers: panalyze})
+			return core.NewWaffle(core.Options{AnalyzeWorkers: panalyze, Metrics: mc.reg})
 		case "waffle-noprep":
-			return core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: panalyze})
+			return core.NewWaffle(core.Options{DisablePrepRun: true, AnalyzeWorkers: panalyze, Metrics: mc.reg})
 		case "basic":
-			return wafflebasic.New(core.Options{})
+			return wafflebasic.New(core.Options{Metrics: mc.reg})
 		default:
 			fmt.Fprintf(os.Stderr, "waffle: unknown tool %q\n", toolName)
 			os.Exit(1)
@@ -216,6 +227,7 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panal
 		session := &core.Session{
 			Prog: test.Prog, Tool: mkTool(),
 			MaxRuns: maxRuns, BaseSeed: seed + int64(i)*101,
+			Metrics: mc.reg,
 		}
 		out := session.ExposeParallel(parallel)
 		if out.Bug != nil {
@@ -225,6 +237,7 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panal
 		}
 	}
 	fmt.Printf("%d test(s) exposed MemOrder bugs\n", bugsFound)
+	mc.finish()
 }
 
 func listTests() {

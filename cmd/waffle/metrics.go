@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"waffle/internal/obs"
+)
+
+// metricsConfig owns the campaign registry and its two outputs: the
+// end-of-campaign snapshot file (-metrics) and the HTTP scrape endpoint
+// (-metrics-addr, optionally kept alive by -metrics-linger so CI can
+// scrape a campaign that finishes faster than its probe arrives). reg is
+// nil when no metrics flag was set — every consumer treats a nil registry
+// as "instrumentation off".
+type metricsConfig struct {
+	reg    *obs.Registry
+	out    string
+	linger time.Duration
+	srv    *http.Server
+}
+
+// newMetricsConfig builds the registry and starts the HTTP endpoint if
+// requested. Exits with a diagnostic when the address cannot be bound.
+func newMetricsConfig(out, addr string, linger time.Duration) *metricsConfig {
+	mc := &metricsConfig{out: out, linger: linger}
+	if out == "" && addr == "" {
+		return mc
+	}
+	mc.reg = obs.New()
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waffle: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", mc.reg.Handler())
+		mux.Handle("/", mc.reg.Handler())
+		mc.srv = &http.Server{Handler: mux}
+		go mc.srv.Serve(ln)
+		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+	}
+	return mc
+}
+
+// finish writes the snapshot file, honors the linger window, and shuts the
+// endpoint down. Call once, before the process exits.
+func (mc *metricsConfig) finish() {
+	if mc.reg == nil {
+		return
+	}
+	if mc.out != "" {
+		snap := mc.reg.Snapshot()
+		data, err := snap.MarshalIndentJSON()
+		if err == nil && mc.out == "-" {
+			os.Stdout.Write(data)
+		} else if err == nil {
+			err = os.WriteFile(mc.out, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waffle: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if mc.out != "-" {
+			fmt.Printf("metrics written to %s\n", mc.out)
+		}
+	}
+	if mc.srv != nil {
+		if mc.linger > 0 {
+			fmt.Printf("metrics: endpoint lingering %v for scrapes\n", mc.linger)
+			time.Sleep(mc.linger)
+		}
+		mc.srv.Close()
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"waffle/internal/apps"
 	"waffle/internal/core"
 	"waffle/internal/memmodel"
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 	"waffle/internal/vclock"
@@ -75,6 +76,79 @@ func runSchedule(test *apps.Test, plan *core.Plan, seed int64, nRuns int, adapte
 		}
 	}
 	return out
+}
+
+// runScheduleOpts mirrors runSchedule's direct path with opts applied to
+// every injector — e.g. a metrics registry attached.
+func runScheduleOpts(test *apps.Test, plan *core.Plan, seed int64, nRuns int, opts core.Options) [][]byte {
+	clone := plan.Clone()
+	var out [][]byte
+	for run := 0; run < nRuns; run++ {
+		inj := core.NewInjector(clone, opts)
+		res := test.Prog.Execute(seed+int64(run), inj)
+		out = append(out, scheduleBytes(inj, clone, res))
+		if res.Fault != nil {
+			break
+		}
+	}
+	return out
+}
+
+// planJSON renders a plan to its canonical JSON bytes.
+func planJSON(t *testing.T, plan *core.Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode plan: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Attaching a metrics registry must not perturb determinism: over every
+// built-in bug input, analysis with a registry produces byte-identical
+// plans, and detection runs metered by a registry produce byte-identical
+// injection schedules (stats, intervals, decayed probabilities, faults).
+// This is the observability layer's core contract — instruments only
+// observe; they consume no randomness and feed nothing back into decisions.
+func TestMetricsRegistryDoesNotPerturbPlansOrSchedules(t *testing.T) {
+	reg := obs.New()
+	for _, test := range apps.AllBugs() {
+		tr := prepTraceOf(t, test, 11)
+		bare := core.Analyze(tr, core.Options{})
+		metered := core.Analyze(tr, core.Options{Metrics: reg})
+		if !bytes.Equal(planJSON(t, bare), planJSON(t, metered)) {
+			t.Errorf("%s: metered analysis produced a different plan", test.Name)
+			continue
+		}
+		for _, seed := range []int64{3, 17} {
+			plain := runScheduleOpts(test, bare, seed, 3, core.Options{})
+			withReg := runScheduleOpts(test, metered, seed, 3, core.Options{Metrics: reg})
+			if len(plain) != len(withReg) {
+				t.Errorf("%s seed %d: run counts diverged: %d vs %d",
+					test.Name, seed, len(plain), len(withReg))
+				continue
+			}
+			for i := range plain {
+				if !bytes.Equal(plain[i], withReg[i]) {
+					t.Errorf("%s seed %d run %d: metered schedule diverged\nbare:\n%s\nmetered:\n%s",
+						test.Name, seed, i+1, plain[i], withReg[i])
+				}
+			}
+		}
+	}
+
+	// Not vacuous: the registry must have observed real engine activity
+	// while changing none of it.
+	snap := reg.Snapshot()
+	if snap.Counters["analyze.trace_events"] == 0 {
+		t.Error("registry saw no trace events — the metered paths did not run")
+	}
+	if snap.Counters["inject.delays_injected"] == 0 {
+		t.Error("registry saw no injected delays — the metered paths did not inject")
+	}
+	if err := obs.ValidateSnapshot(snap); err != nil {
+		t.Errorf("snapshot invalid after campaign: %v", err)
+	}
 }
 
 func TestInjectorExecSeamBitIdenticalOnAllApps(t *testing.T) {

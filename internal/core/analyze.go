@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 	"waffle/internal/vclock"
@@ -18,10 +19,34 @@ import (
 // sequential analyzer either way.
 func Analyze(tr *trace.Trace, opts Options) *Plan {
 	opts = opts.WithDefaults()
+	defer opts.Metrics.Span("phase.analyze").Time()()
+	opts.Metrics.Counter("analyze.trace_events").Add(int64(len(tr.Events)))
+	var plan *Plan
 	if opts.AnalyzeWorkers > 1 {
-		return AnalyzeParallel(tr, opts, opts.AnalyzeWorkers)
+		plan = AnalyzeParallel(tr, opts, opts.AnalyzeWorkers)
+	} else {
+		plan = analyzeSequential(tr, opts)
 	}
-	return analyzeSequential(tr, opts)
+	meterPlan(opts.Metrics, plan)
+	return plan
+}
+
+// meterPlan publishes a finished plan's shape: candidate pairs admitted to
+// S and (symmetric, counted once per unordered pair) interference edges.
+func meterPlan(r *obs.Registry, plan *Plan) {
+	if r == nil {
+		return
+	}
+	r.Counter("analyze.candidate_pairs").Add(int64(len(plan.Pairs)))
+	var edges int64
+	for a, others := range plan.Interfere {
+		for _, b := range others {
+			if a <= b {
+				edges++
+			}
+		}
+	}
+	r.Counter("analyze.interference_edges").Add(edges)
 }
 
 // instance is one dynamic occurrence of a candidate pair: the pair it
@@ -39,6 +64,14 @@ type instance struct {
 // fork-propagated vector clocks are pruned unless the parent-child
 // ablation is active.
 func nearMiss(e1, e2 *trace.Event, opts Options) (BugKind, bool) {
+	return nearMissCounted(e1, e2, opts, nil)
+}
+
+// nearMissCounted is nearMiss with an optional counter for dynamic
+// near-miss instances rejected by the fork-clock pruning rule — pairs that
+// would have entered S without §4.1's parent-child analysis. The counter
+// only observes; a nil counter restores plain nearMiss.
+func nearMissCounted(e1, e2 *trace.Event, opts Options, pruned *obs.Counter) (BugKind, bool) {
 	var kind BugKind
 	switch {
 	case e1.Kind == trace.KindInit && e2.Kind == trace.KindUse:
@@ -52,6 +85,11 @@ func nearMiss(e1, e2 *trace.Event, opts Options) (BugKind, bool) {
 		return 0, false
 	}
 	if !opts.DisableParentChild && vclock.Ordered(e1.Clock, e2.Clock) {
+		// Count only instances the remaining rules would have admitted, so
+		// the metric reads as "work the pruning rule actually saved".
+		if gap := e2.T.Sub(e1.T); gap >= 0 && gap < opts.Window {
+			pruned.Inc()
+		}
 		return 0, false
 	}
 	gap := e2.T.Sub(e1.T)
@@ -68,6 +106,9 @@ func nearMiss(e1, e2 *trace.Event, opts Options) (BugKind, bool) {
 type pairAccum struct {
 	opts  Options
 	pairs map[pairKey]*Pair
+	// pruned counts near-miss instances rejected by fork-clock ordering
+	// (analyze.pairs_pruned); nil without a registry.
+	pruned *obs.Counter
 	// noInstances drops instance bookkeeping — the streaming analyzer's
 	// first pass only needs the pairs and re-derives instances on its
 	// second pass, so buffering every occurrence would defeat the point.
@@ -76,12 +117,16 @@ type pairAccum struct {
 }
 
 func newPairAccum(opts Options) *pairAccum {
-	return &pairAccum{opts: opts, pairs: make(map[pairKey]*Pair)}
+	return &pairAccum{
+		opts:   opts,
+		pairs:  make(map[pairKey]*Pair),
+		pruned: opts.Metrics.Counter("analyze.pairs_pruned"),
+	}
 }
 
 // observe feeds one ordered event pair through the near-miss rules.
 func (pa *pairAccum) observe(e1, e2 *trace.Event) {
-	kind, ok := nearMiss(e1, e2, pa.opts)
+	kind, ok := nearMissCounted(e1, e2, pa.opts, pa.pruned)
 	if !ok {
 		return
 	}

@@ -30,6 +30,8 @@ var ErrUnsortedStream = errors.New("core: streamed trace events out of time orde
 // pair (τ1, τ2) reaches back to τ1−δ > τ2−2δ) — never the whole trace.
 func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 	opts = opts.WithDefaults()
+	defer opts.Metrics.Span("phase.analyze").Time()()
+	events := opts.Metrics.Counter("analyze.trace_events")
 
 	// Pass A: near-miss candidate pairs per object (§3.1, §4.1). Each
 	// arriving event is paired against the object's buffered earlier
@@ -55,6 +57,7 @@ func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 			return nil, fmt.Errorf("%w: event %d at %v after %v", ErrUnsortedStream, ev.Seq, ev.T, prevT)
 		}
 		prevT, first = ev.T, false
+		events.Inc()
 		buf := evictBefore(objBuf[ev.Obj], ev.T.Add(-opts.Window))
 		if ev.Kind.IsMemOrder() {
 			for i := range buf {
@@ -69,6 +72,7 @@ func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 	// Pass 2 happened inside assemblePlan; pass B below is pass 3. With no
 	// candidates there is nothing to interfere.
 	if len(acc.pairs) == 0 {
+		meterPlan(opts.Metrics, plan)
 		return plan, nil
 	}
 
@@ -87,6 +91,7 @@ func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 	es := make(edgeSet)
 	objBuf = make(map[trace.ObjID][]trace.Event)
 	thrBuf := make(map[int][]trace.Event)
+	prevT, first = 0, true
 	for {
 		ev, err := sr2.Next()
 		if err == io.EOF {
@@ -95,6 +100,15 @@ func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Re-check time order from scratch: the ReadSeeker is under the
+		// caller's control, and nothing guarantees the bytes served after
+		// Seek(0) match pass A's. An unsorted replay would silently corrupt
+		// the sliding thread buffers (and thus the interference set) if it
+		// were trusted on the strength of pass A's validation alone.
+		if !first && ev.T < prevT {
+			return nil, fmt.Errorf("%w: event %d at %v after %v (interference pass)", ErrUnsortedStream, ev.Seq, ev.T, prevT)
+		}
+		prevT, first = ev.T, false
 		obuf := evictBefore(objBuf[ev.Obj], ev.T.Add(-opts.Window))
 		tbuf := evictBefore(thrBuf[ev.TID], ev.T.Add(-2*opts.Window))
 		if ev.Kind.IsMemOrder() {
@@ -121,6 +135,7 @@ func AnalyzeStream(r io.ReadSeeker, opts Options) (*Plan, error) {
 		thrBuf[ev.TID] = append(tbuf, ev)
 	}
 	es.fill(plan)
+	meterPlan(opts.Metrics, plan)
 	return plan, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 )
@@ -35,6 +36,45 @@ func (s *DelayStats) add(iv Interval) {
 	s.Intervals = append(s.Intervals, iv)
 }
 
+// Clone returns a copy whose Intervals slice shares nothing with the
+// receiver. Stats accessors must hand this out rather than a shallow copy:
+// the live runtime reads stats after a timed-out run while leaked
+// goroutines keep appending to the engine's backing array, so an aliased
+// slice is a data race and can even surface foreign intervals in the copy
+// when the append grows in place.
+func (s DelayStats) Clone() DelayStats {
+	s.Intervals = append([]Interval(nil), s.Intervals...)
+	return s
+}
+
+// injectMetrics are the injection-engine instrument handles, resolved once
+// at engine construction. All fields are nil without a registry — every
+// emit is then a single nil-check (the benchmarked disabled fast path).
+type injectMetrics struct {
+	injected   *obs.Counter   // inject.delays_injected
+	ticksTotal *obs.Counter   // inject.delay_ticks_total
+	skipped    *obs.Counter   // inject.delays_skipped_interference
+	floorHits  *obs.Counter   // inject.decay_floor_hits
+	delayTicks *obs.Histogram // inject.delay_ticks
+}
+
+func newInjectMetrics(r *obs.Registry) injectMetrics {
+	return injectMetrics{
+		injected:   r.Counter("inject.delays_injected"),
+		ticksTotal: r.Counter("inject.delay_ticks_total"),
+		skipped:    r.Counter("inject.delays_skipped_interference"),
+		floorHits:  r.Counter("inject.decay_floor_hits"),
+		delayTicks: r.Histogram("inject.delay_ticks", obs.DelayBuckets),
+	}
+}
+
+// observeDelay records one completed delay interval.
+func (m *injectMetrics) observeDelay(iv Interval) {
+	m.injected.Inc()
+	m.ticksTotal.Add(int64(iv.Dur()))
+	m.delayTicks.Observe(int64(iv.Dur()))
+}
+
 // Injector is Waffle's detection-run hook (§5, component 3). It injects
 // delays at the plan's candidate sites using per-site variable lengths,
 // probability decay, and interference-aware skipping. Probabilities decay
@@ -53,6 +93,7 @@ type Injector struct {
 	plan *Plan
 
 	stats DelayStats
+	met   injectMetrics
 
 	// active counts in-flight delays per site; interference control
 	// consults it before injecting.
@@ -64,18 +105,22 @@ type Injector struct {
 // NewInjector returns a detection hook for plan. The plan's Probs map is
 // mutated by probability decay as the run proceeds.
 func NewInjector(plan *Plan, opts Options) *Injector {
+	opts = opts.WithDefaults()
 	return &Injector{
-		opts:   opts.WithDefaults(),
+		opts:   opts,
 		plan:   plan,
+		met:    newInjectMetrics(opts.Metrics),
 		active: make(map[trace.SiteID]int),
 	}
 }
 
-// Stats returns the injection activity recorded so far.
+// Stats returns the injection activity recorded so far. The returned copy
+// owns its Intervals slice — callers may read it while the injector keeps
+// recording (live runs leak delayed goroutines past their timeout).
 func (in *Injector) Stats() DelayStats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.stats
+	return in.stats.Clone()
 }
 
 // OnAccess implements memmodel.Hook — the simulator entry point.
@@ -109,6 +154,7 @@ func (in *Injector) Access(e Exec, site trace.SiteID, obj trace.ObjID, kind trac
 		// while an interfering delay is ongoing in another thread.
 		in.stats.Skipped++
 		in.mu.Unlock()
+		in.met.skipped.Inc()
 		return
 	}
 
@@ -134,11 +180,13 @@ func (in *Injector) Access(e Exec, site trace.SiteID, obj trace.ObjID, kind trac
 		if end < start {
 			end = start
 		}
+		iv := Interval{Site: site, Start: start, End: end}
 		in.mu.Lock()
 		in.active[site]--
 		in.activeTotal--
-		in.stats.add(Interval{Site: site, Start: start, End: end})
+		in.stats.add(iv)
 		in.mu.Unlock()
+		in.met.observeDelay(iv)
 	}()
 	e.Sleep(d)
 
@@ -148,6 +196,9 @@ func (in *Injector) Access(e Exec, site trace.SiteID, obj trace.ObjID, kind trac
 	np := p - in.opts.Decay
 	if np < 0 {
 		np = 0
+	}
+	if np == 0 && p > 0 {
+		in.met.floorHits.Inc()
 	}
 	in.mu.Lock()
 	in.plan.Probs[site] = np

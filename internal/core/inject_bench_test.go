@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"waffle/internal/obs"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// benchExec is a minimal Exec for driving Access without a simulator:
+// Sleep advances a private virtual clock, Rand draws from a seeded stream.
+type benchExec struct {
+	now sim.Time
+	rnd *rand.Rand
+}
+
+func (e *benchExec) ID() int              { return 1 }
+func (e *benchExec) Now() sim.Time        { return e.now }
+func (e *benchExec) Sleep(d sim.Duration) { e.now = e.now.Add(d) }
+func (e *benchExec) Rand() float64        { return e.rnd.Float64() }
+
+// benchmarkAccess measures Injector.Access at site under reg. The plan has
+// one candidate ("hot"); benchmarking "cold" exercises the dominant
+// non-candidate path, "hot" the full inject-and-record path. The injector
+// is recreated periodically on the hot path so the interval slice does not
+// grow without bound across b.N.
+func benchmarkAccess(b *testing.B, reg *obs.Registry, site trace.SiteID) {
+	mkInj := func() *Injector {
+		plan := &Plan{
+			DelayLen: map[trace.SiteID]sim.Duration{"hot": sim.Millisecond},
+			Probs:    map[trace.SiteID]float64{"hot": 1},
+		}
+		// A vanishing decay keeps the hot site's probability at ~1 so every
+		// hot-path iteration takes the inject branch.
+		return NewInjector(plan, Options{Metrics: reg, Decay: 1e-12})
+	}
+	inj := mkInj()
+	e := &benchExec{rnd: rand.New(rand.NewSource(1))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if site == "hot" && i%(1<<16) == 1<<16-1 {
+			b.StopTimer()
+			inj = mkInj()
+			b.StartTimer()
+		}
+		inj.Access(e, site, 1, trace.KindUse, 0)
+	}
+}
+
+// The disabled fast path: with a nil registry every metric emission is a
+// single nil check, so these must not be measurably slower than the
+// pre-observability injector. Compare against the WithRegistry variants:
+//
+//	go test ./internal/core -bench BenchmarkInjectorAccess -benchmem
+func BenchmarkInjectorAccessMissNilRegistry(b *testing.B)  { benchmarkAccess(b, nil, "cold") }
+func BenchmarkInjectorAccessMissWithRegistry(b *testing.B) { benchmarkAccess(b, obs.New(), "cold") }
+func BenchmarkInjectorAccessHotNilRegistry(b *testing.B)   { benchmarkAccess(b, nil, "hot") }
+func BenchmarkInjectorAccessHotWithRegistry(b *testing.B)  { benchmarkAccess(b, obs.New(), "hot") }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 	"waffle/internal/vclock"
@@ -105,6 +106,9 @@ type Online struct {
 	active     map[trace.SiteID]int
 	activeTot  int
 	stats      DelayStats
+
+	met        injectMetrics
+	mHBRemoved *obs.Counter // online.pairs_removed_hb
 }
 
 // NewOnline returns an engine with empty persistent state. Call BeginRun
@@ -115,14 +119,16 @@ func NewOnline(cfg OnlineConfig) *Online {
 		cfg.HistoryDepth = DefaultHistoryDepth
 	}
 	return &Online{
-		cfg:       cfg,
-		pairs:     make(map[pairKey]*Pair),
-		bySite:    make(map[trace.SiteID][]*Pair),
-		byTarget:  make(map[trace.SiteID][]*Pair),
-		lens:      make(map[trace.SiteID]sim.Duration),
-		probs:     make(map[trace.SiteID]float64),
-		interfere: make(map[trace.SiteID]map[trace.SiteID]bool),
-		removed:   make(map[pairKey]bool),
+		cfg:        cfg,
+		pairs:      make(map[pairKey]*Pair),
+		bySite:     make(map[trace.SiteID][]*Pair),
+		byTarget:   make(map[trace.SiteID][]*Pair),
+		lens:       make(map[trace.SiteID]sim.Duration),
+		probs:      make(map[trace.SiteID]float64),
+		interfere:  make(map[trace.SiteID]map[trace.SiteID]bool),
+		removed:    make(map[pairKey]bool),
+		met:        newInjectMetrics(cfg.Metrics),
+		mHBRemoved: cfg.Metrics.Counter("online.pairs_removed_hb"),
 	}
 }
 
@@ -141,11 +147,13 @@ func (o *Online) BeginRun() {
 	o.stats = DelayStats{}
 }
 
-// Stats returns the current run's injection activity.
+// Stats returns the current run's injection activity. The returned copy
+// owns its Intervals slice — callers may read it while the engine keeps
+// recording (live runs leak delayed goroutines past their timeout).
 func (o *Online) Stats() DelayStats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.stats
+	return o.stats.Clone()
 }
 
 // Runs reports how many runs have begun.
@@ -230,6 +238,7 @@ func (o *Online) maybeDelay(e Exec, site trace.SiteID) {
 	if o.cfg.InterferenceControl && o.interferenceLive(site) {
 		o.stats.Skipped++
 		o.mu.Unlock()
+		o.met.skipped.Inc()
 		return
 	}
 	var d sim.Duration
@@ -257,20 +266,25 @@ func (o *Online) maybeDelay(e Exec, site trace.SiteID) {
 		if end < start {
 			end = start
 		}
+		iv := Interval{Site: site, Start: start, End: end}
 		o.mu.Lock()
 		o.active[site]--
 		o.activeTot--
-		o.stats.add(Interval{Site: site, Start: start, End: end})
+		o.stats.add(iv)
 		o.mu.Unlock()
+		o.met.observeDelay(iv)
 	}()
 	e.Sleep(d)
 
-	o.mu.Lock()
-	o.lastDelay[site] = delayRec{start: start, end: start.Add(d), tid: e.ID(), valid: true}
 	np := p - o.cfg.Decay
 	if np < 0 {
 		np = 0
 	}
+	if np == 0 && p > 0 {
+		o.met.floorHits.Inc()
+	}
+	o.mu.Lock()
+	o.lastDelay[site] = delayRec{start: start, end: start.Add(d), tid: e.ID(), valid: true}
 	o.probs[site] = np
 	o.mu.Unlock()
 }
@@ -327,6 +341,7 @@ func (o *Online) inferHappensBefore(e Exec, site trace.SiteID) {
 		}
 		if o.lastAccess[e.ID()] < ld.start {
 			o.removed[k] = true
+			o.mHBRemoved.Inc()
 		}
 	}
 }

@@ -21,7 +21,10 @@
 // ablation of Table 7.
 package core
 
-import "waffle/internal/sim"
+import (
+	"waffle/internal/obs"
+	"waffle/internal/sim"
+)
 
 // Options configures a Waffle session. The zero value means "paper
 // defaults"; the Disable* flags switch off one design point each, yielding
@@ -64,6 +67,14 @@ type Options struct {
 	// AnalyzeParallel). Zero or one means sequential analysis; the sharded
 	// result is bit-identical either way.
 	AnalyzeWorkers int
+
+	// Metrics receives campaign observability counters (delays injected and
+	// skipped, decay floors, pairs pruned, phase spans). Nil disables all
+	// instrumentation at effectively zero cost: hooks hold nil handles whose
+	// methods no-op. Instruments only observe — they never consume
+	// randomness or feed back into decisions — so plans and injection
+	// schedules are byte-identical with and without a registry.
+	Metrics *obs.Registry
 
 	// Ablations (Table 7). Each disables exactly one §4 design point.
 

@@ -73,12 +73,18 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 	}
 
 	out := &Outcome{Program: s.Prog.Name(), Tool: s.Tool.Name()}
+	defer s.trackRate(out)()
 	out.BaseTime = s.Baseline()
 
 	// Preparation runs are inherently sequential: the plan does not exist
 	// until they finish.
 	var prev *RunReport
 	firstDetection := 1 + pd.PrepRunCount()
+	stopSpan := func() {}
+	if firstDetection > 1 {
+		stopSpan = s.Metrics.Span("phase.prepare").Time()
+	}
+	defer func() { stopSpan() }()
 	for run := 1; run < firstDetection && run <= maxRuns; run++ {
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
@@ -92,6 +98,8 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 	if firstDetection > maxRuns {
 		return out
 	}
+	stopSpan()
+	stopSpan = s.Metrics.Span("phase.detect").Time()
 
 	// The shared plan. Mutated only inside commit (single-threaded,
 	// between waves); workers read it only through Clone at job start.
@@ -104,6 +112,7 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 		return specRun{start: copyProbs(plan.Probs), plan: snap, res: res, stats: inj.Stats()}, nil
 	}
 
+	respec := s.Metrics.Counter("parallel.respeculations")
 	commit := func(r sched.Result[specRun]) bool {
 		run := r.Index
 		seed := s.BaseSeed + int64(run) - 1
@@ -113,6 +122,7 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 			// an earlier run's decay means this run injected with
 			// probabilities a sequential search would not have used.
 			// Re-execute from the authoritative plan.
+			respec.Inc()
 			v = s.authoritativeRun(pd, plan, seed)
 		}
 		plan.MergeFrom(v.plan)
@@ -120,7 +130,7 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 		return !faulted
 	}
 
-	sched.Run(sched.Pool{Workers: workers, Budget: s.RunBudget}, firstDetection, maxRuns, job, commit)
+	sched.Run(sched.Pool{Workers: workers, Budget: s.RunBudget, Metrics: s.Metrics}, firstDetection, maxRuns, job, commit)
 	return out
 }
 

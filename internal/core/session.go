@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"waffle/internal/memmodel"
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 )
@@ -47,6 +48,53 @@ type Tool interface {
 	Candidates(site trace.SiteID) []Pair
 }
 
+// RunOutcome classifies how one run ended, distinguishing in particular a
+// NULL reference fault that followed an injected delay (a reportable bug,
+// §5's zero-false-positive contract) from one that manifested with no
+// delay injected (a flaky program fault Waffle must NOT claim credit for).
+type RunOutcome int
+
+const (
+	// RunClean: the run finished normally without a fault.
+	RunClean RunOutcome = iota
+	// RunFaultBug: a NULL reference fault manifested after at least one
+	// injected delay — the run produced a BugReport.
+	RunFaultBug
+	// RunFaultDelayFree: a NULL reference fault manifested in a run with
+	// zero injected delays. The fault cannot be a consequence of delay
+	// injection, so no BugReport is produced; the fault itself is surfaced
+	// via RunReport.Fault and Outcome.DelayFreeFaults.
+	RunFaultDelayFree
+	// RunFaultOther: the run faulted with something other than a NULL
+	// reference error (e.g. a harness assertion).
+	RunFaultOther
+	// RunTimedOut: the run exceeded its time budget.
+	RunTimedOut
+	// RunError: the run ended abnormally without a fault (deadlock, event
+	// limit, cancellation).
+	RunError
+)
+
+// String renders the outcome for reports and the JSONL run sink.
+func (ro RunOutcome) String() string {
+	switch ro {
+	case RunClean:
+		return "clean"
+	case RunFaultBug:
+		return "fault-bug"
+	case RunFaultDelayFree:
+		return "fault-delay-free"
+	case RunFaultOther:
+		return "fault-other"
+	case RunTimedOut:
+		return "timeout"
+	case RunError:
+		return "error"
+	default:
+		return fmt.Sprintf("RunOutcome(%d)", int(ro))
+	}
+}
+
 // RunReport describes one completed run of a session.
 type RunReport struct {
 	Run int // 1-based run number
@@ -61,6 +109,7 @@ type RunReport struct {
 	Fault    *sim.Fault // fault that ended the run, if any
 	Err      error      // abnormal termination without a fault: deadlock, limits, cancellation
 	Stats    DelayStats // delay activity during the run
+	Outcome  RunOutcome // how the run ended (distinguishes delay-free faults)
 
 	// WallStart and WallDur stamp the run's physical start time and
 	// duration. They are set only by the live runtime, where latencies are
@@ -112,6 +161,14 @@ type Outcome struct {
 	// that execute a real baseline set it (the live detector does; the
 	// simulator's baseline is deterministic and cannot fail this way).
 	BaseErr error
+
+	// DelayFreeFaults lists runs (1-based) that raised a NULL reference
+	// fault with zero injected delays. Per the zero-false-positive contract
+	// (§5) such faults cannot be attributed to delay injection and produce
+	// no BugReport; they are surfaced here (and via RunReport.Fault /
+	// RunReport.Outcome) so a flaky program-under-test is visible rather
+	// than silently swallowed or falsely claimed.
+	DelayFreeFaults []int
 }
 
 // RunErrs aggregates the abnormal terminations across the outcome's runs:
@@ -162,6 +219,13 @@ type Session struct {
 	// limits (SimProgram.MaxTime) cannot catch a run stuck without
 	// advancing virtual time; this can. Zero means no budget.
 	RunBudget time.Duration
+
+	// Metrics receives session-level campaign counters (runs, faults,
+	// bugs exposed, runs/sec) and per-run JSONL events. Nil disables all
+	// session instrumentation. Independent of the engines' Options.Metrics
+	// so a caller can meter sessions without metering injectors, though
+	// normally both point at the same registry.
+	Metrics *obs.Registry
 }
 
 // Expose performs up to MaxRuns runs, returning the outcome. A run that
@@ -170,13 +234,33 @@ type Session struct {
 // final RunReport without a BugReport.
 func (s *Session) Expose() *Outcome {
 	out := &Outcome{Program: s.Prog.Name(), Tool: s.Tool.Name()}
+	defer s.trackRate(out)()
 	out.BaseTime = s.Baseline()
 	var prev *RunReport
 	maxRuns := s.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns
 	}
+
+	// Phase spans: runs before the plan exists are "prepare", the rest
+	// "detect". Tools without a preparation phase (online identification)
+	// spend the whole search in "detect". stopSpan is a no-op without a
+	// registry — the clock is never read.
+	firstDetection := 1
+	if pd, ok := s.Tool.(PlanDriven); ok && pd.PrepRunCount() >= 0 {
+		firstDetection = 1 + pd.PrepRunCount()
+	}
+	stopSpan := func() {}
+	if firstDetection > 1 {
+		stopSpan = s.Metrics.Span("phase.prepare").Time()
+	}
+	defer func() { stopSpan() }()
+
 	for run := 1; run <= maxRuns; run++ {
+		if run == firstDetection {
+			stopSpan()
+			stopSpan = s.Metrics.Span("phase.detect").Time()
+		}
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
 		res := s.Prog.Execute(seed, hook)
@@ -189,10 +273,32 @@ func (s *Session) Expose() *Outcome {
 	return out
 }
 
+// trackRate returns a stop function that publishes the session's
+// wall-clock run throughput to the session.runs_per_sec gauge. With no
+// registry the clock is never read.
+func (s *Session) trackRate(out *Outcome) func() {
+	if s.Metrics == nil {
+		return func() {}
+	}
+	g := s.Metrics.Gauge("session.runs_per_sec")
+	t0 := time.Now()
+	return func() {
+		if el := time.Since(t0).Seconds(); el > 0 {
+			g.Set(float64(len(out.Runs)) / el)
+		}
+	}
+}
+
 // appendRun folds one execution into the outcome: it records the run
 // report — including abnormal terminations, which must not be silently
 // dropped — and assembles the BugReport when the run manifested a NULL
-// reference fault. It reports whether the fault ends the search.
+// reference fault that is attributable to delay injection. A NullRef
+// fault in a run with zero injected delays cannot be a consequence of a
+// delay (§5's zero-false-positive contract), so it yields no BugReport:
+// the fault is classified RunFaultDelayFree and listed in
+// out.DelayFreeFaults instead. Any fault still ends the search — the
+// program is crashing under the tool's feet either way. It reports
+// whether the fault ends the search.
 func (s *Session) appendRun(out *Outcome, run int, seed int64, res ExecResult, stats DelayStats) (rep *RunReport, faulted bool) {
 	r := RunReport{
 		Run: run, Seed: seed, End: res.End,
@@ -204,6 +310,14 @@ func (s *Session) appendRun(out *Outcome, run int, seed int64, res ExecResult, s
 		// no dedicated field: without this the run would read as normal.
 		r.Err = res.Err
 	}
+	switch {
+	case res.Fault != nil:
+		r.Outcome = RunFaultOther // refined below for NullRef faults
+	case res.TimedOut:
+		r.Outcome = RunTimedOut
+	case r.Err != nil:
+		r.Outcome = RunError
+	}
 	out.Runs = append(out.Runs, r)
 	out.TotalTime += sim.Duration(res.End)
 	rep = &out.Runs[len(out.Runs)-1]
@@ -211,20 +325,63 @@ func (s *Session) appendRun(out *Outcome, run int, seed int64, res ExecResult, s
 	if res.Fault != nil {
 		var nre *memmodel.NullRefError
 		if errors.As(res.Fault.Err, &nre) {
-			out.Bug = &BugReport{
-				Program:    s.Prog.Name(),
-				Tool:       s.Tool.Name(),
-				Run:        run,
-				Seed:       seed,
-				Fault:      res.Fault,
-				NullRef:    nre,
-				Candidates: s.Tool.Candidates(nre.Site),
-				Delays:     rep.Stats,
+			if stats.Count > 0 {
+				rep.Outcome = RunFaultBug
+				out.Bug = &BugReport{
+					Program:    s.Prog.Name(),
+					Tool:       s.Tool.Name(),
+					Run:        run,
+					Seed:       seed,
+					Fault:      res.Fault,
+					NullRef:    nre,
+					Candidates: s.Tool.Candidates(nre.Site),
+					Delays:     rep.Stats,
+				}
+			} else {
+				rep.Outcome = RunFaultDelayFree
+				out.DelayFreeFaults = append(out.DelayFreeFaults, run)
 			}
 		}
+		s.meterRun(out, rep)
 		return rep, true
 	}
+	s.meterRun(out, rep)
 	return rep, false
+}
+
+// meterRun publishes one completed run to the session registry: aggregate
+// counters plus the opt-in per-run JSONL event. No-op without a registry.
+func (s *Session) meterRun(out *Outcome, rep *RunReport) {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("session.runs").Inc()
+	switch rep.Outcome {
+	case RunFaultBug:
+		m.Counter("session.faults").Inc()
+		m.Counter("session.bugs_exposed").Inc()
+	case RunFaultDelayFree:
+		m.Counter("session.faults").Inc()
+		m.Counter("session.delay_free_faults").Inc()
+	case RunFaultOther:
+		m.Counter("session.faults").Inc()
+	case RunTimedOut:
+		m.Counter("session.runs_timed_out").Inc()
+	case RunError:
+		m.Counter("session.run_errors").Inc()
+	}
+	m.EmitRun(obs.RunEvent{
+		Program:    out.Program,
+		Tool:       out.Tool,
+		Run:        rep.Run,
+		Seed:       rep.Seed,
+		EndTicks:   int64(rep.End),
+		Delays:     rep.Stats.Count,
+		DelayTicks: int64(rep.Stats.Total),
+		Skipped:    rep.Stats.Skipped,
+		Outcome:    rep.Outcome.String(),
+	})
 }
 
 // Baseline measures the program's uninstrumented single-run time at the

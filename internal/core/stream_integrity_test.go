@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"waffle/internal/trace"
+)
+
+// switchReader hands out one byte stream until the caller rewinds with
+// Seek(0, io.SeekStart), then hands out a different one — the adversarial
+// shape AnalyzeStream's two passes must survive: the io.ReadSeeker is
+// caller-controlled, and nothing guarantees the bytes after a rewind match
+// the bytes read before it (a file truncated and rewritten between passes,
+// a decompressor with nondeterministic framing, a deliberate attack).
+type switchReader struct {
+	cur  *bytes.Reader
+	next []byte
+}
+
+func (s *switchReader) Read(p []byte) (int, error) { return s.cur.Read(p) }
+
+func (s *switchReader) Seek(off int64, whence int) (int64, error) {
+	if off == 0 && whence == io.SeekStart && s.next != nil {
+		s.cur = bytes.NewReader(s.next)
+		s.next = nil
+		return 0, nil
+	}
+	return s.cur.Seek(off, whence)
+}
+
+// Pass B re-reads the stream after Seek(0) and must apply the same
+// timestamp-order check as pass A: a reader that returns sorted bytes on
+// the first pass and unsorted bytes on the second must fail loudly with
+// ErrUnsortedStream, not silently drop interference edges via the
+// sliding-buffer early break.
+func TestAnalyzeStreamRejectsUnsortedSecondPass(t *testing.T) {
+	sorted := mkTrace(
+		ev(0, 0, 1, "ctor", 1, trace.KindInit),
+		ev(1, 50, 2, "use", 1, trace.KindUse),
+	)
+	unsorted := mkTrace(
+		ev(0, 50, 2, "use", 1, trace.KindUse),
+		ev(1, 0, 1, "ctor", 1, trace.KindInit),
+	)
+
+	// Sanity: the first pass alone must find a candidate pair, otherwise
+	// AnalyzeStream returns before pass B ever touches the reader.
+	if plan, err := AnalyzeStream(streamOf(t, sorted), Options{}); err != nil || len(plan.Pairs) == 0 {
+		t.Fatalf("sorted trace: plan=%v err=%v, want a candidate pair and no error", plan, err)
+	}
+
+	r := &switchReader{cur: streamOf(t, sorted), next: streamBytes(t, unsorted)}
+	_, err := AnalyzeStream(r, Options{})
+	if !errors.Is(err, ErrUnsortedStream) {
+		t.Fatalf("err = %v, want ErrUnsortedStream from the interference pass", err)
+	}
+}
+
+// streamBytes serializes a trace to its WFTS wire bytes.
+func streamBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteStream(&buf); err != nil {
+		t.Fatalf("write stream: %v", err)
+	}
+	return buf.Bytes()
+}

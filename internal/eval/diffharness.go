@@ -8,6 +8,7 @@ import (
 	"waffle/internal/core"
 	"waffle/internal/genprog"
 	"waffle/internal/memmodel"
+	"waffle/internal/obs"
 	"waffle/internal/sched"
 	"waffle/internal/stats"
 	"waffle/internal/trace"
@@ -40,6 +41,11 @@ type DiffOptions struct {
 	DisarmRuns int
 	// Workers bounds corpus-level parallelism. <= 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives engine, session, and pool counters from every
+	// session the sweep drives; the final snapshot lands in
+	// DiffReport.Metrics. Nil disables instrumentation (and omits the
+	// report section).
+	Metrics *obs.Registry
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -61,12 +67,12 @@ func (o DiffOptions) withDefaults() DiffOptions {
 // DiffTools names the compared detectors in report order.
 var DiffTools = []string{"waffle", "wafflebasic", "tsvd"}
 
-func newDiffTool(name string) core.Tool {
+func newDiffTool(name string, metrics *obs.Registry) core.Tool {
 	switch name {
 	case "waffle":
-		return core.NewWaffle(core.Options{})
+		return core.NewWaffle(core.Options{Metrics: metrics})
 	case "wafflebasic":
-		return wafflebasic.New(core.Options{})
+		return wafflebasic.New(core.Options{Metrics: metrics})
 	case "tsvd":
 		return &tsvdTool{t: tsvd.New(tsvd.Options{})}
 	}
@@ -159,6 +165,10 @@ type DiffReport struct {
 	// its preparation trace and plans were bit-reproducible across
 	// Analyze, AnalyzeParallel, and AnalyzeStream.
 	ReproOK bool `json:"repro_ok"`
+	// Metrics is the campaign observability snapshot taken at the end of
+	// the sweep, present when DiffOptions.Metrics was set. Its delay and
+	// run counters cover every session the sweep drove.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Summary returns the named tool's corpus summary.
@@ -180,7 +190,7 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	o = o.withDefaults()
 	rep := &DiffReport{Seed: o.Seed, Programs: o.Programs, MaxRuns: o.MaxRuns, ReproOK: true}
 
-	pool := sched.Pool{Workers: o.Workers, Wave: o.Workers}
+	pool := sched.Pool{Workers: o.Workers, Wave: o.Workers, Metrics: o.Metrics}
 	runs := make(map[string][]float64)
 	delays := make(map[string]int)
 	exposed := make(map[string]int)
@@ -243,6 +253,7 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	if len(rep.Violations) > 0 {
 		rep.ReproOK = false
 	}
+	rep.Metrics = o.Metrics.Snapshot()
 	return rep
 }
 
@@ -281,9 +292,10 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 			}
 			s := &core.Session{
 				Prog:     variant,
-				Tool:     newDiffTool(name),
+				Tool:     newDiffTool(name, o.Metrics),
 				MaxRuns:  budget,
 				BaseSeed: o.Seed + int64(i)*1_000_003 + int64(bug.Index)*1009 + int64(ti)*101 + 1,
+				Metrics:  o.Metrics,
 			}
 			out := s.Expose()
 			oc := BugOutcome{Bug: bug.Index, Kind: bug.Kind.String(), Tool: name}
@@ -310,9 +322,10 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 	for ti, name := range DiffTools {
 		s := &core.Session{
 			Prog:     disarmed,
-			Tool:     newDiffTool(name),
+			Tool:     newDiffTool(name, o.Metrics),
 			MaxRuns:  o.DisarmRuns,
 			BaseSeed: o.Seed + int64(i)*1_000_003 + int64(ti)*7 + 500_009,
+			Metrics:  o.Metrics,
 		}
 		out := s.Expose()
 		if out.Bug != nil {

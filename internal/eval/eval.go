@@ -10,6 +10,7 @@ import (
 
 	"waffle/internal/apps"
 	"waffle/internal/core"
+	"waffle/internal/obs"
 	"waffle/internal/sched"
 	"waffle/internal/sim"
 	"waffle/internal/stats"
@@ -64,6 +65,10 @@ type SuiteOptions struct {
 	// AnalyzeWorkers shards each test's trace analysis across this many
 	// workers; the plans are bit-identical to sequential analysis.
 	AnalyzeWorkers int
+	// Metrics receives engine and pool counters from every tool the suite
+	// drives. Nil disables instrumentation. Measurements are unchanged
+	// either way (instruments only observe).
+	Metrics *obs.Registry
 }
 
 // testResult carries one test's measurements out of the worker pool.
@@ -97,10 +102,10 @@ func EvalSuite(app *apps.App, opt SuiteOptions) SuiteRow {
 	// result slice (and thus every float accumulation below) in the same
 	// order as a sequential loop.
 	results := make([]testResult, len(tests))
-	sched.Run(sched.Pool{Workers: opt.Parallelism},
+	sched.Run(sched.Pool{Workers: opt.Parallelism, Metrics: opt.Metrics},
 		0, len(tests)-1,
 		func(_ context.Context, i int) (testResult, error) {
-			return evalOneTest(tests[i], opt.Seed+int64(i)*101, opt.AnalyzeWorkers), nil
+			return evalOneTest(tests[i], opt.Seed+int64(i)*101, opt.AnalyzeWorkers, opt.Metrics), nil
 		},
 		func(r sched.Result[testResult]) bool {
 			results[r.Index] = r.Value
@@ -173,7 +178,7 @@ func EvalSuite(app *apps.App, opt SuiteOptions) SuiteRow {
 
 // evalOneTest performs every per-test measurement: base runs, one TSVD
 // run, two WaffleBasic runs, and Waffle's preparation + first detection.
-func evalOneTest(test *apps.Test, seed int64, analyzeWorkers int) testResult {
+func evalOneTest(test *apps.Test, seed int64, analyzeWorkers int, metrics *obs.Registry) testResult {
 	var r testResult
 	base := test.Prog.Execute(seed, nil)
 	r.base = sim.Duration(base.End)
@@ -199,7 +204,7 @@ func evalOneTest(test *apps.Test, seed int64, analyzeWorkers int) testResult {
 	}
 
 	// WaffleBasic: identification run then detection run.
-	wb := wafflebasic.New(core.Options{})
+	wb := wafflebasic.New(core.Options{Metrics: metrics})
 	b1 := runTool(test.Prog, wb, 1, nil, seed)
 	if b1.TimedOut {
 		r.basicTimeouts++
@@ -222,7 +227,7 @@ func evalOneTest(test *apps.Test, seed int64, analyzeWorkers int) testResult {
 	}
 
 	// Waffle: preparation run then first detection run.
-	wf := core.NewWaffle(core.Options{AnalyzeWorkers: analyzeWorkers})
+	wf := core.NewWaffle(core.Options{AnalyzeWorkers: analyzeWorkers, Metrics: metrics})
 	wf.SetLabel(test.Name)
 	p1 := runTool(test.Prog, wf, 1, nil, seed)
 	r.wr1 = pct(p1.End, r.base)

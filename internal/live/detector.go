@@ -7,6 +7,7 @@ import (
 
 	"waffle/internal/core"
 	"waffle/internal/memmodel"
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 )
@@ -92,6 +93,7 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 	if maxRuns <= 0 {
 		maxRuns = d.opts.MaxRuns
 	}
+	defer d.trackRate(out)()
 
 	if !d.baseDone {
 		// A faulted or timed-out baseline is no overhead denominator: its
@@ -111,6 +113,7 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 	out.BaseTime = d.baseTime
 	out.BaseErr = d.baseErr
 
+	m := d.opts.Metrics
 	for run := 1; run <= maxRuns; run++ {
 		seed := baseSeed + int64(run) - 1
 		var res runResult
@@ -122,6 +125,7 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 			res = runOnce(s.Name, seed, s.Body, recordAccess, true, d.opts.RunTimeout)
 			d.phases.Prepare += res.wallDur
 			d.phases.PrepRuns++
+			m.Span("phase.prepare").Observe(res.wallDur)
 			if res.trace != nil && res.fault == nil {
 				t0 := time.Now()
 				d.plan = core.Analyze(res.trace, copts)
@@ -149,6 +153,7 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 			stats = inj.Stats()
 			d.phases.Detect += res.wallDur
 			d.phases.DetectRuns++
+			m.Span("phase.detect").Observe(res.wallDur)
 			if !res.timedOut {
 				d.plan.MergeFrom(runPlan)
 			}
@@ -162,27 +167,102 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 		if res.fault == nil && !res.timedOut {
 			rep.Err = res.err
 		}
-		out.Runs = append(out.Runs, rep)
-		out.TotalTime += sim.Duration(res.end)
+		switch {
+		case res.fault != nil:
+			rep.Outcome = core.RunFaultOther // refined below for NullRef faults
+		case res.timedOut:
+			rep.Outcome = core.RunTimedOut
+		case rep.Err != nil:
+			rep.Outcome = core.RunError
+		}
 
 		if res.fault != nil {
 			var nre *memmodel.NullRefError
 			if errors.As(res.fault.Err, &nre) {
-				var cands []core.Pair
-				if d.plan != nil {
-					cands = d.plan.PairsAt(nre.Site)
-				}
-				out.Bug = &core.BugReport{
-					Program: s.Name, Tool: out.Tool,
-					Run: run, Seed: seed,
-					Fault: res.fault, NullRef: nre,
-					Candidates: cands, Delays: stats,
+				// Zero-false-positive contract (§5): a NullRef fault is
+				// reported as a bug only when the run actually injected a
+				// delay it could be a consequence of. A fault in a delay-free
+				// run — the preparation run, or a detection run whose
+				// injections all decayed or skipped — is the program failing
+				// on its own; claiming it would be a false positive.
+				if stats.Count > 0 {
+					rep.Outcome = core.RunFaultBug
+					var cands []core.Pair
+					if d.plan != nil {
+						cands = d.plan.PairsAt(nre.Site)
+					}
+					out.Bug = &core.BugReport{
+						Program: s.Name, Tool: out.Tool,
+						Run: run, Seed: seed,
+						Fault: res.fault, NullRef: nre,
+						Candidates: cands, Delays: stats,
+					}
+				} else {
+					rep.Outcome = core.RunFaultDelayFree
+					out.DelayFreeFaults = append(out.DelayFreeFaults, run)
 				}
 			}
+			out.Runs = append(out.Runs, rep)
+			out.TotalTime += sim.Duration(res.end)
+			d.meterRun(out, &rep)
 			return out
 		}
+		out.Runs = append(out.Runs, rep)
+		out.TotalTime += sim.Duration(res.end)
+		d.meterRun(out, &rep)
 	}
 	return out
+}
+
+// meterRun publishes one completed run to the detector's registry, using
+// the same counter names and JSONL event shape as core.Session so a mixed
+// sim+live campaign aggregates into one snapshot.
+func (d *Detector) meterRun(out *core.Outcome, rep *core.RunReport) {
+	m := d.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("session.runs").Inc()
+	switch rep.Outcome {
+	case core.RunFaultBug:
+		m.Counter("session.faults").Inc()
+		m.Counter("session.bugs_exposed").Inc()
+	case core.RunFaultDelayFree:
+		m.Counter("session.faults").Inc()
+		m.Counter("session.delay_free_faults").Inc()
+	case core.RunFaultOther:
+		m.Counter("session.faults").Inc()
+	case core.RunTimedOut:
+		m.Counter("session.runs_timed_out").Inc()
+	case core.RunError:
+		m.Counter("session.run_errors").Inc()
+	}
+	m.EmitRun(obs.RunEvent{
+		Program:    out.Program,
+		Tool:       out.Tool,
+		Run:        rep.Run,
+		Seed:       rep.Seed,
+		EndTicks:   int64(rep.End),
+		Delays:     rep.Stats.Count,
+		DelayTicks: int64(rep.Stats.Total),
+		Skipped:    rep.Stats.Skipped,
+		Outcome:    rep.Outcome.String(),
+	})
+}
+
+// trackRate returns a stop function publishing wall-clock run throughput
+// to the session.runs_per_sec gauge; a no-op without a registry.
+func (d *Detector) trackRate(out *core.Outcome) func() {
+	if d.opts.Metrics == nil {
+		return func() {}
+	}
+	g := d.opts.Metrics.Gauge("session.runs_per_sec")
+	t0 := time.Now()
+	return func() {
+		if el := time.Since(t0).Seconds(); el > 0 {
+			g.Set(float64(len(out.Runs)) / el)
+		}
+	}
 }
 
 // Prepare performs only the delay-free preparation run and analysis,

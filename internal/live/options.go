@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"waffle/internal/core"
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 )
 
@@ -61,6 +62,11 @@ type Options struct {
 	// its goroutines (Go cannot kill them); the detector records the run
 	// as timed out and abandons its state.
 	RunTimeout time.Duration
+
+	// Metrics receives campaign observability counters from the detector
+	// and the engines it drives; the Registry's HTTP handler makes them
+	// scrapeable mid-campaign. Nil disables all instrumentation.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields with the live defaults.
@@ -111,5 +117,6 @@ func (o Options) coreOptions() core.Options {
 		AnalyzeWorkers:             o.AnalyzeWorkers,
 		DisableCustomLengths:       o.FixedDelays,
 		DisableInterferenceControl: o.NoInterferenceControl,
+		Metrics:                    o.Metrics,
 	}
 }

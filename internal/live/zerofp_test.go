@@ -1,0 +1,121 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waffle/internal/core"
+)
+
+// The zero-false-positive contract (§5) on the wall clock: a NULL
+// reference fault in a run that injected no delays — here the preparation
+// run, which never injects — must not produce a BugReport. The fault is
+// surfaced through RunReport.Fault, classified RunFaultDelayFree, and
+// listed in Outcome.DelayFreeFaults.
+func TestLiveDelayFreeFaultYieldsNoBugReport(t *testing.T) {
+	body := func(root *Thread, h *Heap) {
+		r := h.NewRef("cfg")
+		w := root.Spawn("boot", func(th *Thread) {
+			th.Sleep(time.Millisecond)
+			r.Use(th, "zfp.boot.use") // never initialized: faults unaided
+		})
+		root.Join(w)
+	}
+	d := NewDetector(Options{RunTimeout: 5 * time.Second})
+	out := d.Expose(Scenario{Name: "zfp", Body: body}, 4, 1)
+	if out.Bug != nil {
+		t.Fatalf("delay-free fault reported as a bug: %v", out.Bug)
+	}
+	if len(out.Runs) == 0 {
+		t.Fatal("no runs recorded")
+	}
+	last := out.Runs[len(out.Runs)-1]
+	if last.Fault == nil {
+		t.Fatal("faulting run lost its Fault record")
+	}
+	if last.Stats.Count != 0 {
+		t.Fatalf("run injected %d delays — scenario not delay-free", last.Stats.Count)
+	}
+	if last.Outcome != core.RunFaultDelayFree {
+		t.Fatalf("run outcome = %v, want %v", last.Outcome, core.RunFaultDelayFree)
+	}
+	if len(out.DelayFreeFaults) != 1 || out.DelayFreeFaults[0] != last.Run {
+		t.Fatalf("DelayFreeFaults = %v, want [%d]", out.DelayFreeFaults, last.Run)
+	}
+}
+
+// The stats-aliasing regression: Injector.Stats used to return a shallow
+// copy whose Intervals slice aliased the live backing array. A timed-out
+// detection run leaks its goroutines (Go cannot kill them), and the leaked
+// threads keep driving the abandoned injector — which keeps appending to
+// that same array while the detector reads the captured copy. With the
+// deep copy this passes under -race; with the shallow copy it is a data
+// race and the copy can even surface intervals injected after the capture.
+func TestTimedOutRunStatsAreRaceFreeSnapshots(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	body := func(root *Thread, h *Heap) {
+		n := calls.Add(1) // 1 = baseline, 2 = preparation, 3+ = detection
+		conn := h.NewRef("conn")
+		conn.Init(root, "snap.Open")
+		w := root.Spawn("worker", func(w *Thread) {
+			w.Sleep(200 * time.Microsecond)
+			conn.UseIfLive(w, "snap.worker.Send")
+			if n < 3 {
+				return
+			}
+			// Detection runs: outlive the run budget and keep hitting the
+			// instrumented site, so the leaked goroutine keeps appending
+			// intervals to the abandoned injector's stats while this test
+			// reads the snapshots captured at timeout. The sub-millisecond
+			// gap keeps each injected delay short, so dozens of intervals
+			// accumulate before the timeout and the appends continue at a
+			// high rate throughout the read window below.
+			for {
+				select {
+				case <-release:
+					return
+				default:
+					conn.UseIfLive(w, "snap.worker.Send")
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		})
+		root.Sleep(time.Millisecond)
+		conn.Dispose(root, "snap.Close")
+		root.Join(w)
+	}
+
+	// A near-zero decay keeps the leaked goroutines injecting (and thus
+	// appending intervals) for the whole test instead of flooring the
+	// site's probability after its first few delays.
+	d := NewDetector(Options{RunTimeout: 25 * time.Millisecond, Decay: 1e-9})
+	out := d.Expose(Scenario{Name: "snap", Body: body}, 3, 1)
+	if out.Bug != nil {
+		t.Fatalf("guarded scenario exposed a bug: %v", out.Bug)
+	}
+
+	// Work with every captured snapshot while the leaked goroutines are
+	// still injecting. A snapshot must own its memory: reading it and
+	// appending to it (the natural aggregation pattern) must neither trip
+	// -race nor observe intervals injected after the capture. With the old
+	// shallow copy the sentinel append below lands in the abandoned
+	// injector's live backing array — the exact slot its next append
+	// writes — which -race reports and which corrupts the sentinel.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, rep := range out.Runs {
+			if len(rep.Stats.Intervals) != rep.Stats.Count {
+				t.Fatalf("run %d snapshot inconsistent: %d intervals, count %d",
+					rep.Run, len(rep.Stats.Intervals), rep.Stats.Count)
+			}
+			ivs := append(rep.Stats.Intervals, core.Interval{Site: "snap.sentinel"})
+			if got := ivs[len(ivs)-1].Site; got != "snap.sentinel" {
+				t.Fatalf("run %d snapshot aliases live stats: sentinel overwritten with %q", rep.Run, got)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler serves the registry's current snapshot as JSON — the scrape
+// endpoint for long-running live campaigns (cmd/waffle -metrics-addr).
+// A nil registry serves an empty valid snapshot so probes don't 500.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if s == nil {
+			s = &Snapshot{
+				Schema:     SchemaVersion,
+				Counters:   map[string]int64{},
+				Gauges:     map[string]float64{},
+				Histograms: map[string]HistView{},
+				Spans:      map[string]SpanView{},
+			}
+		}
+		b, err := s.MarshalIndentJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+}
+
+// PublishExpvar exposes the registry under name on the process-wide
+// expvar namespace (/debug/vars), so campaigns embedded in services that
+// already serve expvar get metrics for free. Publishing the same name
+// twice is a no-op (expvar itself panics on duplicates). No-op on a nil
+// registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,264 @@
+// Package obs is the campaign observability layer: dependency-free
+// counters, gauges, fixed-bucket histograms, and phase spans behind a
+// Registry whose Snapshot marshals to a stable JSON schema.
+//
+// Delay-injection campaigns are statistical — a detector fleet's health is
+// only interpretable through aggregate counters (delays injected and
+// skipped, decay floors hit, pairs pruned, runs per second), which the
+// engines would otherwise throw away after every run. The registry is
+// wired through the injectors, the analyzers, the session drivers, the
+// run orchestrator, and the live detector; cmd/waffle and cmd/waffle-bench
+// surface it via -metrics / -metrics-out, and long-running live campaigns
+// can serve it over HTTP (Registry.Handler) or expvar.
+//
+// Two properties are load-bearing:
+//
+//   - Off the hot path when disabled. Every instrument is a typed handle
+//     (*Counter, *Gauge, *Histogram, *Span) whose methods no-op on a nil
+//     receiver, and a nil *Registry hands out nil handles. Instrumented
+//     code resolves handles once at construction and pays one predictable
+//     nil-check per event afterwards (benchmarked in internal/core).
+//   - No effect on determinism. Instruments only observe — they never
+//     consume randomness, never sleep, and never feed back into any
+//     decision — so plans and injection schedules are byte-identical with
+//     and without a registry attached (property-tested over every built-in
+//     bug in inject_equivalence_test.go).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver (the disabled fast path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64. Safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts integer observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; observations above the last
+// bound land in an implicit overflow bucket, so len(counts) ==
+// len(bounds)+1. Safe on a nil receiver.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reads the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Span accumulates wall-clock phase durations: count, total, min, and max.
+// Safe on a nil receiver.
+type Span struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; valid when count > 0
+	max   atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations clamp to zero (the
+// monotonic clock can't go backwards, but callers may subtract).
+func (s *Span) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	if s.count.Add(1) == 1 {
+		s.min.Store(ns)
+	} else {
+		for {
+			cur := s.min.Load()
+			if ns >= cur || s.min.CompareAndSwap(cur, ns) {
+				break
+			}
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	s.total.Add(ns)
+}
+
+// Time starts timing a phase and returns the stop function that records
+// it. On a nil span the clock is never read.
+func (s *Span) Time() (stop func()) {
+	if s == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { s.Observe(time.Since(t0)) }
+}
+
+// Total reads the accumulated duration (0 on nil).
+func (s *Span) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.total.Load())
+}
+
+// Registry owns a namespace of instruments. The zero value is not usable;
+// create with New. A nil *Registry is the disabled mode: every lookup
+// returns a nil handle and every emit is a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*Span
+
+	sink *runSink
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*Span),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use (later calls ignore bounds — the first registration wins, keeping
+// bucket layouts stable across a campaign). Bounds must be ascending;
+// they are defensively copied. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span returns the named span, creating it on first use. Nil on a nil
+// registry.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = &Span{}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// DelayBuckets is the standard bucket layout for injected-delay-length
+// histograms, in engine ticks (virtual µs under the simulator, wall ns
+// live): decades from 100 ticks to 1e9 ticks.
+var DelayBuckets = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}

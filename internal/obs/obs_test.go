@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsInert pins the disabled fast path: a nil registry
+// hands out nil handles, and every operation on them is a no-op rather
+// than a panic.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", DelayBuckets)
+	s := r.Span("x")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1.5)
+	h.Observe(42)
+	s.Observe(time.Second)
+	s.Time()()
+	r.EmitRun(RunEvent{})
+	r.SetRunSink(&bytes.Buffer{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || s.Total() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+}
+
+// TestHandlesAreStable checks that repeated lookups return the same
+// instrument, so handle-at-construction wiring observes later increments.
+func TestHandlesAreStable(t *testing.T) {
+	r := New()
+	c1 := r.Counter("inject.delays_injected")
+	c1.Inc()
+	if got := r.Counter("inject.delays_injected").Value(); got != 1 {
+		t.Fatalf("second lookup sees %d, want 1", got)
+	}
+	h1 := r.Histogram("h", []int64{10, 100})
+	h2 := r.Histogram("h", []int64{999}) // later bounds ignored
+	if h1 != h2 {
+		t.Fatal("histogram lookup returned a different instance")
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment including the overflow
+// bucket and the sum/count invariants ValidateSnapshot enforces.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("d", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hv := s.Histograms["d"]
+	want := []int64{2, 2, 2} // <=10, <=100, overflow
+	for i, c := range hv.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], hv.Counts)
+		}
+	}
+	if hv.Count != 6 || hv.Sum != 5+10+11+100+101+5000 {
+		t.Fatalf("count/sum = %d/%d", hv.Count, hv.Sum)
+	}
+	if err := ValidateSnapshot(s); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+}
+
+// TestSpanMinMax exercises the CAS min/max under concurrency.
+func TestSpanMinMax(t *testing.T) {
+	r := New()
+	sp := r.Span("phase.detect")
+	var wg sync.WaitGroup
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp.Observe(time.Duration(i) * time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	v := r.Snapshot().Spans["phase.detect"]
+	if v.Count != 64 {
+		t.Fatalf("count = %d", v.Count)
+	}
+	if v.MinNS != int64(time.Millisecond) || v.MaxNS != int64(64*time.Millisecond) {
+		t.Fatalf("min/max = %d/%d", v.MinNS, v.MaxNS)
+	}
+	if v.TotalNS != int64(64*65/2)*int64(time.Millisecond) {
+		t.Fatalf("total = %d", v.TotalNS)
+	}
+}
+
+// TestSnapshotJSONStable checks that equal registries marshal to equal
+// bytes — the property the determinism tests and CI diffing rest on.
+func TestSnapshotJSONStable(t *testing.T) {
+	mk := func() []byte {
+		r := New()
+		r.Counter("b").Add(2)
+		r.Counter("a").Inc()
+		r.Gauge("g").Set(3.5)
+		r.Histogram("h", []int64{1, 2}).Observe(1)
+		r.Span("s").Observe(time.Millisecond)
+		b, err := r.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("equal registries marshaled differently")
+	}
+}
+
+// TestValidateSnapshotJSON covers the three artifact shapes: a bare
+// snapshot, a wrapper with a metrics section, and garbage.
+func TestValidateSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("session.runs").Add(3)
+	raw, err := r.Snapshot().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSnapshotJSON(raw); err != nil {
+		t.Fatalf("bare snapshot: %v", err)
+	}
+	wrapped, _ := json.Marshal(map[string]any{"seed": 1, "metrics": json.RawMessage(raw)})
+	if err := ValidateSnapshotJSON(wrapped); err != nil {
+		t.Fatalf("wrapped snapshot: %v", err)
+	}
+	if err := ValidateSnapshotJSON([]byte(`{"seed": 1}`)); err == nil {
+		t.Fatal("object without metrics validated")
+	}
+	if err := ValidateSnapshotJSON([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("wrong schema version validated")
+	}
+	bad := &Snapshot{Schema: SchemaVersion, Histograms: map[string]HistView{
+		"h": {Bounds: []int64{1, 2}, Counts: []int64{1}, Count: 1},
+	}}
+	if err := ValidateSnapshot(bad); err == nil {
+		t.Fatal("malformed histogram validated")
+	}
+}
+
+// TestRunSinkJSONL checks one-event-per-line encoding and detachment.
+func TestRunSinkJSONL(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.SetRunSink(&buf)
+	r.EmitRun(RunEvent{Program: "p", Tool: "waffle", Run: 1, Seed: 7, Delays: 2, Outcome: "clean"})
+	r.EmitRun(RunEvent{Program: "p", Tool: "waffle", Run: 2, Seed: 8, Outcome: "bug"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev RunEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if ev.Run != 2 || ev.Outcome != "bug" {
+		t.Fatalf("round-tripped event = %+v", ev)
+	}
+	r.SetRunSink(nil)
+	r.EmitRun(RunEvent{Run: 3})
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Fatal("detached sink still wrote")
+	}
+}
+
+// TestHandlerServesSnapshot scrapes the HTTP endpoint and validates the
+// payload against the schema — the same check CI's live-smoke performs.
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("inject.delays_injected").Add(4)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSnapshotJSON(body.Bytes()); err != nil {
+		t.Fatalf("scraped payload invalid: %v\n%s", err, body.String())
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["inject.delays_injected"] != 4 {
+		t.Fatalf("scraped counters = %v", s.Counters)
+	}
+
+	// A nil registry's handler must serve an empty valid snapshot.
+	var nilReg *Registry
+	srv2 := httptest.NewServer(nilReg.Handler())
+	defer srv2.Close()
+	resp2, err := srv2.Client().Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var body2 bytes.Buffer
+	body2.ReadFrom(resp2.Body)
+	if err := ValidateSnapshotJSON(body2.Bytes()); err != nil {
+		t.Fatalf("nil-registry payload invalid: %v", err)
+	}
+}
+
+// TestPublishExpvarIdempotent checks double publication doesn't panic.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := New()
+	r.PublishExpvar("waffle.test.metrics")
+	r.PublishExpvar("waffle.test.metrics")
+	var nilReg *Registry
+	nilReg.PublishExpvar("waffle.test.metrics.nil")
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// RunEvent is one per-run record for the JSONL event sink: everything a
+// campaign dashboard needs to reconstruct a session's trajectory without
+// holding the full Outcome in memory. Fields carry engine ticks (virtual
+// µs under the simulator, wall-clock ns live) and deliberately no wall
+// timestamps, so sink output for a simulated campaign is deterministic.
+type RunEvent struct {
+	Program    string `json:"program"`
+	Tool       string `json:"tool"`
+	Run        int    `json:"run"`
+	Seed       int64  `json:"seed"`
+	EndTicks   int64  `json:"end_ticks"`
+	Delays     int    `json:"delays"`
+	DelayTicks int64  `json:"delay_ticks"`
+	Skipped    int    `json:"skipped"`
+	Outcome    string `json:"outcome"`
+}
+
+// runSink serializes RunEvents as JSONL under a mutex.
+type runSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// SetRunSink directs per-run records to w as JSON lines (one event per
+// line). Pass nil to detach. No-op on a nil registry. The writer is used
+// under an internal mutex; it does not need its own locking.
+func (r *Registry) SetRunSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w == nil {
+		r.sink = nil
+		return
+	}
+	r.sink = &runSink{enc: json.NewEncoder(w)}
+}
+
+// EmitRun writes one per-run record to the sink, if one is attached.
+// No-op on a nil registry or with no sink — per-run emission stays off
+// the campaign's critical path unless explicitly opted in.
+func (r *Registry) EmitRun(ev RunEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	_ = sink.enc.Encode(ev) // best-effort: a failed sink write never fails a run
+}

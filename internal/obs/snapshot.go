@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion identifies the snapshot wire schema. Consumers (CI's
+// schema validation, dashboards) key on it; bump it only with an
+// accompanying DESIGN.md §9 update.
+const SchemaVersion = "waffle.metrics/v1"
+
+// HistView is a histogram's snapshot form.
+type HistView struct {
+	// Bounds are the inclusive upper bucket bounds, ascending. The last
+	// bucket (counts[len(bounds)]) is the overflow bucket.
+	Bounds []int64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries.
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// SpanView is a span's snapshot form (all durations in nanoseconds).
+type SpanView struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, marshaling to the
+// stable JSON schema validated by ValidateSnapshot. Map keys marshal
+// sorted (encoding/json), so equal registries produce equal bytes.
+type Snapshot struct {
+	Schema     string              `json:"schema"`
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]HistView `json:"histograms"`
+	Spans      map[string]SpanView `json:"spans"`
+}
+
+// Snapshot copies the registry's current values. Nil on a nil registry.
+// Instruments updated concurrently are read atomically per field; the
+// snapshot as a whole is not a consistent cut, which is fine for the
+// aggregate counters it carries.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Schema:     SchemaVersion,
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistView, len(r.hists)),
+		Spans:      make(map[string]SpanView, len(r.spans)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hv := HistView{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hv
+	}
+	for name, sp := range r.spans {
+		s.Spans[name] = SpanView{
+			Count:   sp.count.Load(),
+			TotalNS: sp.total.Load(),
+			MinNS:   sp.min.Load(),
+			MaxNS:   sp.max.Load(),
+		}
+	}
+	return s
+}
+
+// MarshalIndentJSON renders the snapshot as indented JSON with a trailing
+// newline — the -metrics / -metrics-out file format.
+func (s *Snapshot) MarshalIndentJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ValidateSnapshot checks a snapshot's structural invariants: schema
+// version, non-negative counters, histogram bucket layout (ascending
+// bounds, len(counts) == len(bounds)+1, bucket counts summing to count),
+// and span ordering (min <= max when populated).
+func ValidateSnapshot(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("obs: schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	for name, v := range s.Counters {
+		if v < 0 {
+			return fmt.Errorf("obs: counter %s negative: %d", name, v)
+		}
+	}
+	for name, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: histogram %s has %d buckets for %d bounds", name, len(h.Counts), len(h.Bounds))
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("obs: histogram %s bounds not ascending at %d", name, i)
+			}
+		}
+		var total int64
+		for i, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("obs: histogram %s bucket %d negative", name, i)
+			}
+			total += c
+		}
+		if total != h.Count {
+			return fmt.Errorf("obs: histogram %s bucket sum %d != count %d", name, total, h.Count)
+		}
+	}
+	for name, sp := range s.Spans {
+		if sp.Count < 0 || sp.TotalNS < 0 {
+			return fmt.Errorf("obs: span %s negative count/total", name)
+		}
+		if sp.Count > 0 && sp.MinNS > sp.MaxNS {
+			return fmt.Errorf("obs: span %s min %d > max %d", name, sp.MinNS, sp.MaxNS)
+		}
+	}
+	return nil
+}
+
+// ValidateSnapshotJSON validates raw snapshot JSON. It accepts either a
+// bare snapshot or any JSON object embedding one under a "metrics" key
+// (the BENCH_*.json convention), so CI can point it at every artifact
+// shape we emit.
+func ValidateSnapshotJSON(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err == nil && s.Schema != "" {
+		return ValidateSnapshot(&s)
+	}
+	var wrapper struct {
+		Metrics *Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &wrapper); err != nil {
+		return fmt.Errorf("obs: not a metrics snapshot or wrapper: %w", err)
+	}
+	if wrapper.Metrics == nil {
+		return fmt.Errorf("obs: no metrics section found")
+	}
+	return ValidateSnapshot(wrapper.Metrics)
+}

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"waffle/internal/obs"
 )
 
 // Pool configures a Run.
@@ -35,6 +37,9 @@ type Pool struct {
 	// Budget is the per-job wall-clock budget, enforced via the context
 	// passed to each job. Zero means no budget.
 	Budget time.Duration
+	// Metrics receives pool counters (sched.jobs, sched.waves,
+	// sched.job_panics). Nil disables them.
+	Metrics *obs.Registry
 }
 
 // Result carries one job's outcome to commit.
@@ -82,7 +87,9 @@ func (p Pool) wave() int {
 func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int) (R, error), commit func(Result[R]) bool) int {
 	committed := 0
 	waveLen := p.wave()
+	waves := p.Metrics.Counter("sched.waves")
 	for lo := first; lo <= last; lo += waveLen {
+		waves.Inc()
 		hi := lo + waveLen - 1
 		if hi > last {
 			hi = last
@@ -133,8 +140,10 @@ func runJob[R any](p Pool, index int, job func(ctx context.Context, index int) (
 			stack := make([]byte, 64<<10)
 			stack = stack[:runtime.Stack(stack, false)]
 			res.Err = &PanicError{Index: index, Value: r, Stack: stack}
+			p.Metrics.Counter("sched.job_panics").Inc()
 		}
 	}()
+	p.Metrics.Counter("sched.jobs").Inc()
 	res.Value, res.Err = job(ctx, index)
 	return res
 }

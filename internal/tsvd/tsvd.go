@@ -114,8 +114,10 @@ func (t *Tool) BeginRun() {
 	t.stats = core.DelayStats{}
 }
 
-// Stats returns the current run's delay activity.
-func (t *Tool) Stats() core.DelayStats { return t.stats }
+// Stats returns the current run's delay activity. The copy owns its
+// Intervals slice, matching the Injector/Online contract: callers may hold
+// it while the tool keeps recording.
+func (t *Tool) Stats() core.DelayStats { return t.stats.Clone() }
 
 // InstrumentationSiteCount reports the number of unique thread-unsafe API
 // call sites observed (Table 2's TSV "Instrumentation Sites").
