@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"waffle/internal/apps"
+	"waffle/internal/control"
 	"waffle/internal/eval"
 	"waffle/internal/genprog"
 	"waffle/internal/obs"
@@ -49,6 +50,10 @@ func main() {
 		gen      = flag.String("gen", "", "differential oracle over a generated corpus: seed,count,size (size: small|medium|large|mixed)")
 		genOut   = flag.String("gen-out", "BENCH_gen.json", "report file for -gen")
 
+		adaptive    = flag.Bool("adaptive", false, "with -gen: sweep the corpus twice (fixed, then under the adaptive campaign controller) and gate on exposure parity with strictly fewer runs")
+		adaptiveOut = flag.String("adaptive-out", "BENCH_adaptive.json", "report file for -adaptive")
+		adaptiveLog = flag.String("adaptive-log", "", "with -adaptive: append every retune decision as a JSONL event to this path; '-' for stderr")
+
 		metricsOut      = flag.String("metrics-out", "", "write the campaign metrics snapshot (JSON, waffle.metrics/v1) to this path")
 		validateMetrics = flag.String("validate-metrics", "", "validate a metrics JSON file (bare snapshot or a report with a \"metrics\" section) and exit")
 	)
@@ -74,6 +79,15 @@ func main() {
 		defer writeMetrics(reg, *metricsOut)
 	}
 
+	if *adaptive && *gen == "" {
+		fmt.Fprintln(os.Stderr, "waffle-bench: -adaptive requires -gen")
+		os.Exit(2)
+	}
+	if *adaptiveLog != "" && !*adaptive {
+		fmt.Fprintln(os.Stderr, "waffle-bench: -adaptive-log requires -adaptive")
+		os.Exit(2)
+	}
+
 	if *gen != "" {
 		opt, err := parseGen(*gen)
 		if err != nil {
@@ -83,7 +97,12 @@ func main() {
 		opt.MaxRuns = *maxRuns
 		opt.Workers = *parallel
 		opt.Metrics = reg
-		if err := runGen(opt, *genOut); err != nil {
+		if *adaptive {
+			err = runGenAdaptive(opt, *adaptiveOut, *adaptiveLog)
+		} else {
+			err = runGen(opt, *genOut)
+		}
+		if err != nil {
 			if reg != nil {
 				writeMetrics(reg, *metricsOut)
 			}
@@ -252,6 +271,74 @@ func runGen(opt eval.DiffOptions, out string) error {
 		return fmt.Errorf("%d oracle violations", len(rep.Violations))
 	}
 	return nil
+}
+
+// runGenAdaptive runs the adaptive-vs-fixed comparison over a generated
+// corpus, prints both arms, writes the machine-readable report, and fails
+// unless the adaptive arm reached exposure parity with strictly fewer
+// runs and no oracle violations.
+func runGenAdaptive(opt eval.DiffOptions, out, logPath string) error {
+	cfg := control.Config{}
+	switch logPath {
+	case "":
+	case "-":
+		cfg.Log = os.Stderr
+	default:
+		f, err := os.Create(logPath)
+		if err != nil {
+			return fmt.Errorf("-adaptive-log: %w", err)
+		}
+		defer f.Close()
+		cfg.Log = f
+	}
+	rep := eval.RunAdaptiveComparison(opt, cfg)
+
+	t := report.NewTable(
+		fmt.Sprintf("Adaptive vs fixed: %d generated programs (seed %d)", rep.Programs, rep.Seed),
+		"Arm", "Total runs", "Exposed", "Violations")
+	t.Row("fixed", rep.Fixed.TotalRuns, rep.Fixed.Exposed, rep.Fixed.Violations)
+	t.Row("adaptive", rep.Adaptive.TotalRuns, rep.Adaptive.Exposed, rep.Adaptive.Violations)
+	render(t)
+	stopped, saved := 0, 0
+	for _, tg := range rep.Targets {
+		if tg.Stopped {
+			stopped++
+			saved += tg.SavedRuns
+		}
+	}
+	fmt.Printf("parity: %v; runs saved: %d (%.1f%%); retunes: %d; sessions scaled to zero: %d (%d budgeted runs unspent)\n",
+		rep.Parity, rep.RunsSaved,
+		100*float64(rep.RunsSaved)/float64(max(rep.Fixed.TotalRuns, 1)),
+		len(rep.Retunes), stopped, saved)
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	switch {
+	case len(rep.Violations) > 0:
+		return fmt.Errorf("%d violation(s)", len(rep.Violations))
+	case !rep.Parity:
+		return fmt.Errorf("adaptive arm lost exposures")
+	case rep.RunsSaved <= 0:
+		return fmt.Errorf("adaptive arm saved no runs (fixed %d, adaptive %d)",
+			rep.Fixed.TotalRuns, rep.Adaptive.TotalRuns)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func printAblationDetail(opt eval.BugOptions) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"waffle/internal/control"
 	"waffle/internal/live"
 	"waffle/internal/report"
 )
@@ -56,15 +57,21 @@ type liveBench struct {
 }
 
 // runLive drives the live detector against a built-in demo.
-func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath, benchPath string, mc *metricsConfig) {
+func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath, benchPath string, mc *metricsConfig, ctrl *control.Controller) {
 	demo, ok := live.FindDemo(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "waffle: unknown live demo %q (try -live-list)\n", name)
 		os.Exit(1)
 	}
 
-	d := live.NewDetector(live.Options{AnalyzeWorkers: panalyze, Metrics: mc.reg})
+	opts := live.Options{AnalyzeWorkers: panalyze, Metrics: mc.reg}
+	tgt := ctrl.Target(name + "/waffle-live")
+	if tgt != nil {
+		opts.Tuner = tgt
+	}
+	d := live.NewDetector(opts)
 	out := d.Expose(demo.Scenario, maxRuns, 1)
+	tgt.ObserveOutcome(out)
 
 	fmt.Printf("program:  %s (live, wall clock)\n", out.Program)
 	fmt.Printf("tool:     %s\n", out.Tool)

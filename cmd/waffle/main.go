@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"waffle/internal/apps"
+	"waffle/internal/control"
 	"waffle/internal/core"
 	"waffle/internal/wafflebasic"
 )
@@ -51,6 +52,9 @@ func main() {
 		metricsOut    = flag.String("metrics", "", "write the campaign metrics snapshot (JSON, waffle.metrics/v1) to this path; '-' for stdout")
 		metricsAddr   = flag.String("metrics-addr", "", "serve the live metrics snapshot over HTTP at this address during the campaign (e.g. 127.0.0.1:8321)")
 		metricsLinger = flag.Duration("metrics-linger", 0, "with -metrics-addr: keep the endpoint up this long after the campaign ends, so external scrapers can catch a short campaign")
+
+		adaptive    = flag.Bool("adaptive", false, "attach the adaptive campaign controller: retune alpha/decay, cap budgets from campaign history, and scale quiet sessions to zero at run boundaries")
+		adaptiveLog = flag.String("adaptive-log", "", "with -adaptive: append every retune decision as a JSONL event to this path; '-' for stderr")
 	)
 	flag.Parse()
 
@@ -58,7 +62,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "waffle: -metrics-linger requires -metrics-addr")
 		os.Exit(2)
 	}
+	if *adaptiveLog != "" && !*adaptive {
+		fmt.Fprintln(os.Stderr, "waffle: -adaptive-log requires -adaptive")
+		os.Exit(2)
+	}
 	mc := newMetricsConfig(*metricsOut, *metricsAddr, *metricsLinger)
+	ctrl, ctrlDone := newController(*adaptive, *adaptiveLog)
 
 	if *list {
 		listTests()
@@ -70,7 +79,8 @@ func main() {
 	}
 	if *liveName != "" {
 		rejectSimOnlyFlags()
-		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench, mc)
+		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench, mc, ctrl)
+		ctrlDone()
 		return
 	}
 	if *liveBench != "" {
@@ -78,7 +88,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *suite != "" {
-		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze, mc)
+		runSuite(*suite, *toolName, *maxRuns, *seed, *parallel, *panalyze, mc, ctrl)
+		ctrlDone()
 		return
 	}
 	if *testName == "" {
@@ -109,7 +120,12 @@ func main() {
 	}
 
 	session := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: *maxRuns, BaseSeed: *seed, Metrics: mc.reg}
+	tgt := ctrl.Target(test.Name + "/" + *toolName)
+	if tgt != nil {
+		session.Tuner = tgt
+	}
 	out := session.ExposeParallel(*parallel)
+	tgt.ObserveOutcome(out)
 
 	fmt.Printf("program:  %s\n", out.Program)
 	fmt.Printf("tool:     %s\n", out.Tool)
@@ -191,16 +207,56 @@ func main() {
 		}
 		fmt.Printf("preparation trace written to %s\n", *traceOut)
 	}
+	ctrlDone()
 	mc.finish()
 	if out.Bug == nil {
 		os.Exit(3)
 	}
 }
 
+// newController builds the adaptive campaign controller behind -adaptive.
+// The returned done function flushes the decision log and prints the
+// campaign summary; both are no-ops when the flag is off.
+func newController(enabled bool, logPath string) (*control.Controller, func()) {
+	if !enabled {
+		return nil, func() {}
+	}
+	cfg := control.Config{}
+	var logFile *os.File
+	switch logPath {
+	case "":
+	case "-":
+		cfg.Log = os.Stderr
+	default:
+		f, err := os.Create(logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waffle: -adaptive-log: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Log = f
+		logFile = f
+	}
+	ctrl := control.New(cfg)
+	return ctrl, func() {
+		stopped, saved := 0, 0
+		for _, t := range ctrl.Targets() {
+			if t.Stopped {
+				stopped++
+				saved += t.SavedRuns
+			}
+		}
+		fmt.Printf("adaptive: %d retune decision(s), %d session(s) scaled to zero, %d run(s) saved\n",
+			len(ctrl.Events()), stopped, saved)
+		if logFile != nil {
+			logFile.Close()
+		}
+	}
+}
+
 // runSuite exposes bugs across one application's whole test suite — the
 // evaluation's usage mode: "we ran both tools using every multi-threaded
 // test case in the test suites of each application" (§6.1).
-func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panalyze int, mc *metricsConfig) {
+func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panalyze int, mc *metricsConfig, ctrl *control.Controller) {
 	app := apps.ByName(appName)
 	if app == nil {
 		fmt.Fprintf(os.Stderr, "waffle: unknown application %q (try -list)\n", appName)
@@ -229,7 +285,14 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panal
 			MaxRuns: maxRuns, BaseSeed: seed + int64(i)*101,
 			Metrics: mc.reg,
 		}
+		// One controller across the suite: budget caps learned from early
+		// tests' exposures bound the later tests' budgets.
+		tgt := ctrl.Target(test.Name + "/" + toolName)
+		if tgt != nil {
+			session.Tuner = tgt
+		}
 		out := session.ExposeParallel(parallel)
+		tgt.ObserveOutcome(out)
 		if out.Bug != nil {
 			bugsFound++
 			fmt.Printf("  %-32s %v at %s (run %d, slowdown %.1fx)\n",

@@ -156,6 +156,40 @@ func (o *Online) Stats() DelayStats {
 	return o.stats.Clone()
 }
 
+// CurrentOptions implements Retunable.
+func (o *Online) CurrentOptions() Options {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cfg.Options
+}
+
+// SetOptions implements Retunable: swaps the numeric engine options
+// (alpha, decay, window, costs) under the engine lock. The design-point
+// flags in OnlineConfig and the metrics wiring are fixed at construction:
+// instrument handles were resolved then, so a different Metrics registry
+// in opts is ignored.
+func (o *Online) SetOptions(opts Options) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	opts = opts.WithDefaults()
+	opts.Metrics = o.cfg.Metrics
+	o.cfg.Options = opts
+}
+
+// LiveSites implements SiteProber: delay sites that still have an
+// un-removed candidate pair and positive probability.
+func (o *Online) LiveSites() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for site, p := range o.probs {
+		if p > 0 && o.siteLive(site) {
+			n++
+		}
+	}
+	return n
+}
+
 // Runs reports how many runs have begun.
 func (o *Online) Runs() int {
 	o.mu.Lock()

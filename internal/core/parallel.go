@@ -85,7 +85,15 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 		stopSpan = s.Metrics.Span("phase.prepare").Time()
 	}
 	defer func() { stopSpan() }()
-	for run := 1; run < firstDetection && run <= maxRuns; run++ {
+	curMax := maxRuns
+	for run := 1; run < firstDetection && run <= curMax; run++ {
+		if s.Tuner != nil {
+			var stop bool
+			curMax, stop = s.tuneBoundary(out, run, curMax, prev, false)
+			if stop {
+				return out
+			}
+		}
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
 		res := s.Prog.Execute(seed, hook)
@@ -95,7 +103,16 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 			return out
 		}
 	}
-	if firstDetection > maxRuns {
+	// Boundary before the first detection run: the last chance to retune
+	// (or stop) before workers start speculating.
+	if s.Tuner != nil {
+		var stop bool
+		curMax, stop = s.tuneBoundary(out, firstDetection, curMax, prev, false)
+		if stop {
+			return out
+		}
+	}
+	if firstDetection > curMax {
 		return out
 	}
 	stopSpan()
@@ -115,6 +132,12 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 	respec := s.Metrics.Counter("parallel.respeculations")
 	commit := func(r sched.Result[specRun]) bool {
 		run := r.Index
+		if run > curMax {
+			// The budget shrank below this index at an earlier boundary;
+			// results are committed in order, so every later run is out of
+			// budget too — stop the engine.
+			return false
+		}
 		seed := s.BaseSeed + int64(run) - 1
 		v := r.Value
 		if r.Err != nil || !probsEqual(plan.Probs, v.start) {
@@ -126,11 +149,24 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 			v = s.authoritativeRun(pd, plan, seed)
 		}
 		plan.MergeFrom(v.plan)
-		_, faulted := s.appendRun(out, run, seed, v.res, v.stats)
-		return !faulted
+		rep, faulted := s.appendRun(out, run, seed, v.res, v.stats)
+		if faulted {
+			return false
+		}
+		if s.Tuner != nil {
+			// Boundary before run+1. Commits run single-threaded after the
+			// wave's WaitGroup, so a retune applied here cannot race a
+			// worker; it takes effect for the next wave's injectors.
+			var stop bool
+			curMax, stop = s.tuneBoundary(out, run+1, curMax, rep, true)
+			if stop {
+				return false
+			}
+		}
+		return true
 	}
 
-	sched.Run(sched.Pool{Workers: workers, Budget: s.RunBudget, Metrics: s.Metrics}, firstDetection, maxRuns, job, commit)
+	sched.Run(sched.Pool{Workers: workers, Budget: s.RunBudget, Metrics: s.Metrics, Tune: s.PoolTune}, firstDetection, curMax, job, commit)
 	return out
 }
 

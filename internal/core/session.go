@@ -226,6 +226,17 @@ type Session struct {
 	// so a caller can meter sessions without metering injectors, though
 	// normally both point at the same registry.
 	Metrics *obs.Registry
+
+	// Tuner, when non-nil, is consulted at every run boundary and may
+	// retune the tool's options, change the budget, or stop the session
+	// (see tune.go). Nil — the default — costs one nil check per run and
+	// leaves the search byte-identical to a session without the field.
+	Tuner Tuner
+
+	// PoolTune, when non-nil, is forwarded to sched.Pool.Tune by
+	// ExposeParallel: consulted between waves with (wave, committed), a
+	// positive return adjusts the worker cap for the next wave.
+	PoolTune func(wave, committed int) int
 }
 
 // Expose performs up to MaxRuns runs, returning the outcome. A run that
@@ -257,6 +268,13 @@ func (s *Session) Expose() *Outcome {
 	defer func() { stopSpan() }()
 
 	for run := 1; run <= maxRuns; run++ {
+		if s.Tuner != nil {
+			var stop bool
+			maxRuns, stop = s.tuneBoundary(out, run, maxRuns, prev, run > firstDetection)
+			if stop {
+				return out
+			}
+		}
 		if run == firstDetection {
 			stopSpan()
 			stopSpan = s.Metrics.Span("phase.detect").Time()
@@ -361,6 +379,7 @@ func (s *Session) meterRun(out *Outcome, rep *RunReport) {
 	case RunFaultBug:
 		m.Counter("session.faults").Inc()
 		m.Counter("session.bugs_exposed").Inc()
+		m.Histogram("session.runs_to_exposure", obs.RunBuckets).Observe(int64(rep.Run))
 	case RunFaultDelayFree:
 		m.Counter("session.faults").Inc()
 		m.Counter("session.delay_free_faults").Inc()

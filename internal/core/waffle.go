@@ -119,6 +119,43 @@ func (w *Waffle) NewDetectionInjector(plan *Plan) *Injector {
 	return NewInjector(plan, w.opts)
 }
 
+// CurrentOptions implements Retunable.
+func (w *Waffle) CurrentOptions() Options { return w.opts }
+
+// SetOptions implements Retunable: replaces the options used by every
+// injector constructed from now on. NewInjector copies Options at
+// construction, so in-flight runs (including leaked timed-out live runs)
+// keep the options they started with; callers apply retunes only at run
+// boundaries (Session.Tuner does). Identity-defining flags are pinned to
+// their constructed values — a retune must not change what tool this is.
+func (w *Waffle) SetOptions(opts Options) {
+	opts.DisablePrepRun = w.opts.DisablePrepRun
+	w.opts = opts.WithDefaults()
+	if w.online != nil {
+		w.online.SetOptions(w.opts)
+	}
+}
+
+// LiveSites implements SiteProber: the number of injection sites whose
+// probability is still positive — zero means no future run of this tool
+// can inject, hence (§5) no future run can expose. -1 before the plan
+// exists.
+func (w *Waffle) LiveSites() int {
+	if w.opts.DisablePrepRun {
+		return w.online.LiveSites()
+	}
+	if w.plan == nil {
+		return -1
+	}
+	n := 0
+	for _, p := range w.plan.Probs {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // RunStats implements Tool.
 func (w *Waffle) RunStats() DelayStats {
 	switch {

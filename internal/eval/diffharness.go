@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 
+	"waffle/internal/control"
 	"waffle/internal/core"
 	"waffle/internal/genprog"
 	"waffle/internal/memmodel"
@@ -46,6 +48,16 @@ type DiffOptions struct {
 	// DiffReport.Metrics. Nil disables instrumentation (and omits the
 	// report section).
 	Metrics *obs.Registry
+	// Controller, when non-nil and enabled, attaches the adaptive campaign
+	// controller: each session gets a per-target core.Tuner, its engine's
+	// Options.Metrics is diverted to the controller's per-target registry
+	// (so the controller can read inject.decay_floor_hits per session),
+	// and outcomes feed back for campaign-wide budget reallocation.
+	// Session-level Metrics stay on the global registry — the two layers
+	// are independent by design. Nil (or a Disabled controller) leaves
+	// Session.Tuner unset: the sweep is byte-identical to the fixed
+	// harness.
+	Controller *control.Controller
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -94,6 +106,10 @@ func (a *tsvdTool) HookForRun(run int, prev *core.RunReport) memmodel.Hook {
 
 func (a *tsvdTool) RunStats() core.DelayStats { return a.t.Stats() }
 
+// LiveSites implements core.SiteProber so the adaptive controller can
+// scale a quiet TSVD session to zero.
+func (a *tsvdTool) LiveSites() int { return a.t.LiveSiteCount() }
+
 func (a *tsvdTool) Candidates(site trace.SiteID) []core.Pair {
 	var out []core.Pair
 	for _, pr := range a.t.Pairs() {
@@ -125,13 +141,20 @@ type ProgramDiff struct {
 	Threads    int          `json:"threads"`
 	Objects    int          `json:"objects"`
 	Outcomes   []BugOutcome `json:"outcomes"`
-	Violations []string     `json:"violations,omitempty"`
+	// RunsUsed totals the runs each tool consumed on this program, armed
+	// and disarmed sessions included.
+	RunsUsed   map[string]int `json:"runs_used"`
+	Violations []string       `json:"violations,omitempty"`
 }
 
-// ToolDiffSummary aggregates one tool over the corpus. Runs-to-exposure
-// statistics count a missed bug as MaxRuns+1 (the whole budget spent plus
-// the run that would still be needed), so means remain comparable across
-// tools with different hit rates.
+// ToolDiffSummary aggregates one tool over the corpus. MeanRuns (and its
+// CI) counts a missed bug as MaxRuns+1 — the whole budget spent plus the
+// run that would still be needed — so means remain comparable across
+// tools with different hit rates. The P50/P90/P99 order statistics are
+// computed over exposing sessions ONLY (0 when nothing exposed): folding
+// a sentinel into a percentile would report a "runs-to-exposure" no
+// session ever achieved and make the tail track the miss rate rather
+// than the exposure latency. Misses are reported explicitly in Missed.
 type ToolDiffSummary struct {
 	Tool         string  `json:"tool"`
 	Sessions     int     `json:"sessions"` // armed sessions = planted bugs
@@ -140,10 +163,14 @@ type ToolDiffSummary struct {
 	ExposureRate float64 `json:"exposure_rate"`
 	MeanRuns     float64 `json:"mean_runs"`
 	CI95Runs     float64 `json:"ci95_runs"` // 95% CI half-width of MeanRuns
-	P50Runs      float64 `json:"p50_runs"`
-	P90Runs      float64 `json:"p90_runs"`
-	P99Runs      float64 `json:"p99_runs"`
-	Delays       int     `json:"delays"` // delays injected across exposing runs
+	P50Runs      float64 `json:"p50_runs"`  // over exposing sessions only
+	P90Runs      float64 `json:"p90_runs"`  // over exposing sessions only
+	P99Runs      float64 `json:"p99_runs"`  // over exposing sessions only
+	Delays       int     `json:"delays"`    // delays injected across exposing runs
+	// TotalRuns counts every run the tool consumed across the corpus —
+	// armed and disarmed sessions alike. This is the quantity the
+	// adaptive controller competes on.
+	TotalRuns int `json:"total_runs"`
 }
 
 // DiffReport is the full differential-oracle result: the payload of
@@ -190,8 +217,15 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	o = o.withDefaults()
 	rep := &DiffReport{Seed: o.Seed, Programs: o.Programs, MaxRuns: o.MaxRuns, ReproOK: true}
 
-	pool := sched.Pool{Workers: o.Workers, Wave: o.Workers, Metrics: o.Metrics}
-	runs := make(map[string][]float64)
+	poolWorkers := o.Workers
+	if poolWorkers <= 0 {
+		poolWorkers = runtime.GOMAXPROCS(0)
+	}
+	pool := sched.Pool{Workers: poolWorkers, Wave: poolWorkers, Metrics: o.Metrics,
+		Tune: o.Controller.PoolTune(poolWorkers)}
+	runs := make(map[string][]float64)        // all armed sessions; miss = budget+1 sentinel (means)
+	exposedRuns := make(map[string][]float64) // exposing sessions only (percentiles)
+	totalRuns := make(map[string]int)
 	delays := make(map[string]int)
 	exposed := make(map[string]int)
 	sessions := make(map[string]int)
@@ -206,6 +240,9 @@ func RunDifferential(o DiffOptions) *DiffReport {
 		pd := res.Value
 		rep.Results = append(rep.Results, *pd)
 		rep.Violations = append(rep.Violations, pd.Violations...)
+		for tool, n := range pd.RunsUsed {
+			totalRuns[tool] += n
+		}
 		for _, out := range pd.Outcomes {
 			sessions[out.Tool]++
 			if out.Tool == DiffTools[0] {
@@ -223,7 +260,11 @@ func RunDifferential(o DiffOptions) *DiffReport {
 				exposed[out.Tool]++
 				delays[out.Tool] += out.Delays
 				runs[out.Tool] = append(runs[out.Tool], float64(out.Runs))
+				exposedRuns[out.Tool] = append(exposedRuns[out.Tool], float64(out.Runs))
 			} else {
+				// The budget+1 sentinel feeds the mean only; percentiles
+				// must describe observed exposure latencies, never a value
+				// synthesized for a miss.
 				runs[out.Tool] = append(runs[out.Tool], float64(budget+1))
 			}
 		}
@@ -231,19 +272,20 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	})
 
 	for _, name := range DiffTools {
-		xs := runs[name]
-		mean, ci := stats.MeanCI95(xs)
+		mean, ci := stats.MeanCI95(runs[name])
+		es := exposedRuns[name]
 		s := ToolDiffSummary{
-			Tool:     name,
-			Sessions: sessions[name],
-			Exposed:  exposed[name],
-			Missed:   sessions[name] - exposed[name],
-			MeanRuns: mean,
-			CI95Runs: ci,
-			P50Runs:  stats.Percentile(xs, 50),
-			P90Runs:  stats.Percentile(xs, 90),
-			P99Runs:  stats.Percentile(xs, 99),
-			Delays:   delays[name],
+			Tool:      name,
+			Sessions:  sessions[name],
+			Exposed:   exposed[name],
+			Missed:    sessions[name] - exposed[name],
+			MeanRuns:  mean,
+			CI95Runs:  ci,
+			P50Runs:   stats.Percentile(es, 50),
+			P90Runs:   stats.Percentile(es, 90),
+			P99Runs:   stats.Percentile(es, 99),
+			Delays:    delays[name],
+			TotalRuns: totalRuns[name],
 		}
 		if s.Sessions > 0 {
 			s.ExposureRate = float64(s.Exposed) / float64(s.Sessions)
@@ -267,15 +309,29 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 	p := genprog.Generate(cfg)
 	m := p.Manifest()
 	pd := &ProgramDiff{
-		Program: p.Name(),
-		Seed:    cfg.Seed,
-		Size:    size.String(),
-		Bugs:    len(m.Bugs),
-		Threads: p.Threads(),
-		Objects: p.Objects(),
+		Program:  p.Name(),
+		Seed:     cfg.Seed,
+		Size:     size.String(),
+		Bugs:     len(m.Bugs),
+		Threads:  p.Threads(),
+		Objects:  p.Objects(),
+		RunsUsed: make(map[string]int, len(DiffTools)),
 	}
 	fail := func(format string, args ...any) {
 		pd.Violations = append(pd.Violations, fmt.Sprintf("%s: ", p.Name())+fmt.Sprintf(format, args...))
+	}
+
+	// adaptiveTool builds the session's tool and (when the controller is
+	// attached and enabled) its per-target Tuner, diverting the engine's
+	// metrics to the controller's per-target registry. With no controller
+	// the tool is built exactly as the fixed harness builds it.
+	adaptiveTool := func(name, target string) (core.Tool, *control.Target) {
+		if o.Controller != nil {
+			if tgt := o.Controller.TargetWithRegistry(target, obs.New()); tgt != nil {
+				return newDiffTool(name, tgt.Registry()), tgt
+			}
+		}
+		return newDiffTool(name, o.Metrics), nil
 	}
 
 	if err := checkReproducible(p, cfg); err != nil {
@@ -290,14 +346,20 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 			if name == "tsvd" {
 				budget = o.TSVDRuns
 			}
+			tool, tgt := adaptiveTool(name, fmt.Sprintf("%s/bug%d/%s", p.Name(), bug.Index, name))
 			s := &core.Session{
 				Prog:     variant,
-				Tool:     newDiffTool(name, o.Metrics),
+				Tool:     tool,
 				MaxRuns:  budget,
 				BaseSeed: o.Seed + int64(i)*1_000_003 + int64(bug.Index)*1009 + int64(ti)*101 + 1,
 				Metrics:  o.Metrics,
 			}
+			if tgt != nil {
+				s.Tuner = tgt
+			}
 			out := s.Expose()
+			tgt.ObserveOutcome(out)
+			pd.RunsUsed[name] += len(out.Runs)
 			oc := BugOutcome{Bug: bug.Index, Kind: bug.Kind.String(), Tool: name}
 			if out.Bug != nil {
 				if err := m.Check(out.Bug); err != nil {
@@ -320,14 +382,20 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 	// can produce may fault a program whose probes are all guarded.
 	disarmed := p.DisarmAll().Prog()
 	for ti, name := range DiffTools {
+		tool, tgt := adaptiveTool(name, fmt.Sprintf("%s/disarmed/%s", p.Name(), name))
 		s := &core.Session{
 			Prog:     disarmed,
-			Tool:     newDiffTool(name, o.Metrics),
+			Tool:     tool,
 			MaxRuns:  o.DisarmRuns,
 			BaseSeed: o.Seed + int64(i)*1_000_003 + int64(ti)*7 + 500_009,
 			Metrics:  o.Metrics,
 		}
+		if tgt != nil {
+			s.Tuner = tgt
+		}
 		out := s.Expose()
+		tgt.ObserveOutcome(out)
+		pd.RunsUsed[name] += len(out.Runs)
 		if out.Bug != nil {
 			fail("tool %s, disarmed: false positive: %v", name, out.Bug)
 		}

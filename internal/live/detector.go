@@ -114,7 +114,34 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 	out.BaseErr = d.baseErr
 
 	m := d.opts.Metrics
+	var prevRep *core.RunReport
+	prevDetection := false
 	for run := 1; run <= maxRuns; run++ {
+		// Run-boundary tuning, mirroring core.Session: the tuner sees the
+		// previous run and the current live-site count, and may stop the
+		// search, shrink the budget, or replace the options used to build
+		// the NEXT injector. In-flight injectors copied their options at
+		// NewInjector, so goroutines leaked by a timed-out run are
+		// unaffected by any retune.
+		if d.opts.Tuner != nil {
+			dec := d.opts.Tuner.TuneRun(core.TuneContext{
+				Program: s.Name, Tool: out.Tool, Run: run, MaxRuns: maxRuns,
+				Prev: prevRep, PrevDetection: prevDetection,
+				LiveSites: d.liveSites(), Opts: copts, Retunable: true,
+			})
+			if dec.Opts != nil {
+				mm := copts.Metrics
+				copts = *dec.Opts
+				copts.Metrics = mm
+			}
+			if dec.MaxRuns > 0 {
+				maxRuns = dec.MaxRuns
+			}
+			if dec.Stop || run > maxRuns {
+				return out
+			}
+		}
+		isDetection := d.plan != nil
 		seed := baseSeed + int64(run) - 1
 		var res runResult
 		var stats core.DelayStats
@@ -210,8 +237,26 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 		out.Runs = append(out.Runs, rep)
 		out.TotalTime += sim.Duration(res.end)
 		d.meterRun(out, &rep)
+		prevRep = &out.Runs[len(out.Runs)-1]
+		prevDetection = isDetection
 	}
 	return out
+}
+
+// liveSites counts plan sites whose probability is still above zero —
+// the signal the adaptive controller's scale-to-zero policy reads.
+// Returns -1 before the plan exists.
+func (d *Detector) liveSites() int {
+	if d.plan == nil {
+		return -1
+	}
+	n := 0
+	for _, p := range d.plan.Probs {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // meterRun publishes one completed run to the detector's registry, using
@@ -227,6 +272,7 @@ func (d *Detector) meterRun(out *core.Outcome, rep *core.RunReport) {
 	case core.RunFaultBug:
 		m.Counter("session.faults").Inc()
 		m.Counter("session.bugs_exposed").Inc()
+		m.Histogram("session.runs_to_exposure", obs.RunBuckets).Observe(int64(rep.Run))
 	case core.RunFaultDelayFree:
 		m.Counter("session.faults").Inc()
 		m.Counter("session.delay_free_faults").Inc()

@@ -67,6 +67,14 @@ type Options struct {
 	// and the engines it drives; the Registry's HTTP handler makes them
 	// scrapeable mid-campaign. Nil disables all instrumentation.
 	Metrics *obs.Registry
+
+	// Tuner, when non-nil, is consulted at every run boundary exactly like
+	// core.Session.Tuner: it can stop the search, shrink the budget, or
+	// retune Alpha/Decay for subsequent runs. Retunes are race-free by
+	// construction — each detection run's injector copies the options at
+	// NewInjector, so goroutines leaked by a timed-out run keep the
+	// options their run started with and never observe a retune.
+	Tuner core.Tuner
 }
 
 // withDefaults fills unset fields with the live defaults.

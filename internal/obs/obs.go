@@ -262,3 +262,10 @@ func (r *Registry) Span(name string) *Span {
 // histograms, in engine ticks (virtual µs under the simulator, wall ns
 // live): decades from 100 ticks to 1e9 ticks.
 var DelayBuckets = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
+
+// RunBuckets is the standard bucket layout for run-count histograms
+// (session.runs_to_exposure): fine at the head, where nearly all
+// exposures land, and wide enough at the tail to cover any practical
+// MaxRuns budget, so HistView.Quantile reads p50/p99 at single-run
+// resolution where it matters.
+var RunBuckets = []int64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 25, 32, 40, 50, 64, 100}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The quantile accessor is what the adaptive controller steers budgets
+// on, so its nearest-rank convention must match stats.Percentile's: the
+// first bucket bound with at least ⌈p/100·n⌉ observations at or below it.
+func TestHistViewQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []int64{1, 2, 3, 5, 10})
+	// 10 observations: 1,1,2,2,2,3,4,5,7,12 (12 overflows past 10).
+	for _, v := range []int64{1, 1, 2, 2, 2, 3, 4, 5, 7, 12} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hv := snap.Histograms["q"]
+
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},    // rank clamps to 1 → first bucket
+		{10, 1},   // rank 1
+		{20, 1},   // rank 2, two observations ≤ 1
+		{50, 2},   // rank 5, cumulative hits 5 in the ≤2 bucket
+		{60, 3},   // rank 6
+		{70, 5},   // rank 7 → the (3,5] bucket (value 4) reports bound 5
+		{90, 10},  // rank 9 → the (5,10] bucket
+		{99, math.Inf(1)}, // rank 10 lands in the overflow bucket
+		{100, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got, ok := hv.Quantile(c.p)
+		if !ok {
+			t.Fatalf("Quantile(%g): not ok on populated histogram", c.p)
+		}
+		if got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+
+	if v, ok := snap.HistogramQuantile("q", 50); !ok || v != 2 {
+		t.Errorf("HistogramQuantile(q, 50) = %g, %v; want 2, true", v, ok)
+	}
+	if _, ok := snap.HistogramQuantile("absent", 50); ok {
+		t.Error("HistogramQuantile reported ok for an absent histogram")
+	}
+	var empty HistView
+	if _, ok := empty.Quantile(50); ok {
+		t.Error("Quantile reported ok for an empty histogram")
+	}
+	if _, ok := (*Snapshot)(nil).HistogramQuantile("q", 50); ok {
+		t.Error("nil snapshot reported ok")
+	}
+}
+
+// Every observation at or below the first bound: quantiles never leave
+// the first bucket, and a histogram with only overflow observations is
+// +Inf at every rank.
+func TestHistViewQuantileEdges(t *testing.T) {
+	r := New()
+	lo := r.Histogram("lo", []int64{10, 20})
+	lo.Observe(1)
+	lo.Observe(2)
+	hi := r.Histogram("hi", []int64{10, 20})
+	hi.Observe(100)
+	snap := r.Snapshot()
+
+	if v, ok := snap.Histograms["lo"].Quantile(99); !ok || v != 10 {
+		t.Errorf("lo p99 = %g, %v; want 10, true", v, ok)
+	}
+	if v, ok := snap.Histograms["hi"].Quantile(1); !ok || !math.IsInf(v, 1) {
+		t.Errorf("hi p1 = %g, %v; want +Inf, true", v, ok)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // SchemaVersion identifies the snapshot wire schema. Consumers (CI's
@@ -84,6 +85,53 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 	}
 	return s
+}
+
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100) of the histogram's
+// observations by nearest bucket rank: the inclusive upper bound of the
+// first bucket at which the cumulative count reaches ⌈p/100·count⌉. The
+// convention matches stats.Percentile — no interpolation, so the result
+// is always a bucket boundary that at least rank observations are ≤ to.
+// Observations that landed in the overflow bucket have no finite bound:
+// a rank that falls there yields +Inf. An empty histogram reports ok ==
+// false (and value 0).
+func (h HistView) Quantile(p float64) (value float64, ok bool) {
+	if h.Count <= 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0, false
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i == len(h.Bounds) {
+				return math.Inf(1), true
+			}
+			return float64(h.Bounds[i]), true
+		}
+	}
+	return math.Inf(1), true
+}
+
+// HistogramQuantile reads a quantile from the named histogram in the
+// snapshot — the accessor the adaptive campaign controller steers on
+// (p50/p99 runs-to-exposure, per-run delay overhead). ok is false when
+// the histogram is absent or empty.
+func (s *Snapshot) HistogramQuantile(name string, p float64) (value float64, ok bool) {
+	if s == nil {
+		return 0, false
+	}
+	h, present := s.Histograms[name]
+	if !present {
+		return 0, false
+	}
+	return h.Quantile(p)
 }
 
 // MarshalIndentJSON renders the snapshot as indented JSON with a trailing

@@ -40,6 +40,15 @@ type Pool struct {
 	// Metrics receives pool counters (sched.jobs, sched.waves,
 	// sched.job_panics). Nil disables them.
 	Metrics *obs.Registry
+	// Tune, when non-nil, is consulted once before each wave with the
+	// 1-based wave number and the count of results committed so far; a
+	// positive return becomes the worker cap for that wave (the wave size
+	// is unchanged — fewer workers just drain it in more batches).
+	// Non-positive returns keep the current cap. This is the adaptive
+	// controller's seam for shrinking the pool as targets go quiet: it
+	// runs between waves, on the committing goroutine, so it can never
+	// race in-flight jobs.
+	Tune func(wave, committed int) int
 }
 
 // Result carries one job's outcome to commit.
@@ -87,14 +96,25 @@ func (p Pool) wave() int {
 func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int) (R, error), commit func(Result[R]) bool) int {
 	committed := 0
 	waveLen := p.wave()
+	workers := p.workers()
 	waves := p.Metrics.Counter("sched.waves")
+	workerGauge := p.Metrics.Gauge("sched.workers")
+	workerGauge.Set(float64(workers))
+	wave := 0
 	for lo := first; lo <= last; lo += waveLen {
+		wave++
+		if p.Tune != nil {
+			if w := p.Tune(wave, committed); w > 0 {
+				workers = w
+				workerGauge.Set(float64(workers))
+			}
+		}
 		waves.Inc()
 		hi := lo + waveLen - 1
 		if hi > last {
 			hi = last
 		}
-		results := runWave(p, lo, hi, job)
+		results := runWave(p, workers, lo, hi, job)
 		for _, r := range results {
 			committed++
 			if !commit(r) {
@@ -105,12 +125,12 @@ func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int
 	return committed
 }
 
-// runWave executes jobs lo..hi concurrently and returns their results in
-// index order.
-func runWave[R any](p Pool, lo, hi int, job func(ctx context.Context, index int) (R, error)) []Result[R] {
+// runWave executes jobs lo..hi concurrently, at most workers at a time,
+// and returns their results in index order.
+func runWave[R any](p Pool, workers, lo, hi int, job func(ctx context.Context, index int) (R, error)) []Result[R] {
 	n := hi - lo + 1
 	results := make([]Result[R], n)
-	sem := make(chan struct{}, p.workers())
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)

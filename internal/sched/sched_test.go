@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"waffle/internal/obs"
 )
 
 func TestRunCommitsInAscendingOrder(t *testing.T) {
@@ -226,5 +228,71 @@ func TestRunStopsOnBudgetCancellation(t *testing.T) {
 	}
 	if r := ran.Load(); r != 4 {
 		t.Fatalf("%d jobs ran, want exactly the first wave of 4", r)
+	}
+}
+
+// Tune is consulted once per wave, before it launches, with the wave
+// number and committed count; a positive return becomes the worker cap
+// for that wave, non-positive returns keep the previous cap.
+func TestRunTuneAdjustsWorkerCap(t *testing.T) {
+	var tuneCalls [][2]int
+	caps := []int{4, 1, 0, 2} // wave 3's 0 must keep wave 2's cap of 1
+	p := Pool{
+		Workers: 4, Wave: 3,
+		Tune: func(wave, committed int) int {
+			tuneCalls = append(tuneCalls, [2]int{wave, committed})
+			if wave <= len(caps) {
+				return caps[wave-1]
+			}
+			return 0
+		},
+	}
+	var cur atomic.Int32
+	peaks := make([]int32, 5) // per-wave observed peak, indexed by wave
+	waveOf := func(i int) int { return (i-1)/3 + 1 }
+	Run(p, 1, 12, func(_ context.Context, i int) (struct{}, error) {
+		w := waveOf(i)
+		c := cur.Add(1)
+		for {
+			pk := atomic.LoadInt32(&peaks[w])
+			if c <= pk || atomic.CompareAndSwapInt32(&peaks[w], pk, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	}, func(Result[struct{}]) bool { return true })
+
+	want := [][2]int{{1, 0}, {2, 3}, {3, 6}, {4, 9}}
+	if len(tuneCalls) != len(want) {
+		t.Fatalf("tune calls %v, want %v", tuneCalls, want)
+	}
+	for i := range want {
+		if tuneCalls[i] != want[i] {
+			t.Fatalf("tune calls %v, want %v", tuneCalls, want)
+		}
+	}
+	// Waves 2, 3 (cap kept at 1), and 4 must respect the tuned caps.
+	if peaks[2] > 1 {
+		t.Errorf("wave 2 peak %d, want <= 1", peaks[2])
+	}
+	if peaks[3] > 1 {
+		t.Errorf("wave 3 peak %d, want <= 1 (non-positive Tune keeps prior cap)", peaks[3])
+	}
+	if peaks[4] > 2 {
+		t.Errorf("wave 4 peak %d, want <= 2", peaks[4])
+	}
+}
+
+// With no Tune hook the pool behaves exactly as before; the sched.workers
+// gauge reports the static cap.
+func TestRunWorkersGauge(t *testing.T) {
+	r := obs.New()
+	p := Pool{Workers: 3, Wave: 3, Metrics: r}
+	Run(p, 1, 6, func(_ context.Context, i int) (int, error) { return i, nil },
+		func(Result[int]) bool { return true })
+	if g := r.Gauge("sched.workers").Value(); g != 3 {
+		t.Fatalf("sched.workers gauge = %v, want 3", g)
 	}
 }

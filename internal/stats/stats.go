@@ -2,6 +2,17 @@
 // uses: the delay-overlap ratio of §3.3, order statistics over repeated
 // probabilistic experiments (the paper repeats every experiment 15 times,
 // §6.1), and slowdown aggregation.
+//
+// All order statistics in this package use the nearest-rank convention:
+// the p-th percentile of n sorted samples is the element at rank
+// ⌈p/100·n⌉, and the median is the lower-middle element s[(n−1)/2] —
+// exactly Percentile(xs, 50). Nothing interpolates: on the tiny,
+// integer-valued samples the harness aggregates (runs-to-exposure over a
+// handful of sessions), interpolation would invent run counts no session
+// ever observed, and it would put MedianInt, MedianFloat, and
+// Percentile(·, 50) in disagreement on identical data. The same
+// convention is mirrored by obs.HistView.Quantile so controller-side
+// and report-side percentiles agree.
 package stats
 
 import (
@@ -50,8 +61,8 @@ func OverlapRatio(ivs []core.Interval) float64 {
 	return 1 - float64(union)/float64(total)
 }
 
-// MedianInt returns the median of xs (lower middle for even lengths);
-// 0 for an empty slice.
+// MedianInt returns the nearest-rank median of xs (lower middle for even
+// lengths); 0 for an empty slice.
 func MedianInt(xs []int) int {
 	if len(xs) == 0 {
 		return 0
@@ -62,7 +73,9 @@ func MedianInt(xs []int) int {
 	return s[(len(s)-1)/2]
 }
 
-// MedianFloat returns the median of xs; 0 for an empty slice.
+// MedianFloat returns the nearest-rank median of xs (lower middle for
+// even lengths, matching MedianInt and Percentile(xs, 50)); 0 for an
+// empty slice.
 func MedianFloat(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -70,10 +83,7 @@ func MedianFloat(xs []float64) float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	if len(s)%2 == 1 {
-		return s[len(s)/2]
-	}
-	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+	return s[(len(s)-1)/2]
 }
 
 // Percentile returns the p-th percentile of xs (0 ≤ p ≤ 100) by the

@@ -90,11 +90,42 @@ func TestMedians(t *testing.T) {
 	if MedianFloat([]float64{1, 9, 5}) != 5 {
 		t.Fatal("MedianFloat odd")
 	}
-	if MedianFloat([]float64{1, 2, 3, 4}) != 2.5 {
-		t.Fatal("MedianFloat even")
+	if MedianFloat([]float64{1, 2, 3, 4}) != 2 {
+		t.Fatal("MedianFloat even (lower middle, nearest rank)")
 	}
 	if MedianFloat(nil) != 0 {
 		t.Fatal("MedianFloat empty")
+	}
+}
+
+// The package convention: MedianInt, MedianFloat, and Percentile(·, 50)
+// are the same statistic. An eval summary that medians with one helper
+// and percentiles with another must never disagree with itself, so pin
+// all three to nearest rank on identical samples of every parity.
+func TestMedianHelpersAgree(t *testing.T) {
+	samples := [][]float64{
+		{7},
+		{3, 9},
+		{5, 1, 3},
+		{4, 1, 3, 2},
+		{10, 2, 8, 4, 6},
+		{1, 1, 2, 50, 50, 50},
+		{2, 2, 2, 2},
+	}
+	for _, xs := range samples {
+		ints := make([]int, len(xs))
+		for i, x := range xs {
+			ints[i] = int(x)
+		}
+		mf := MedianFloat(xs)
+		p50 := Percentile(xs, 50)
+		mi := MedianInt(ints)
+		if mf != p50 {
+			t.Errorf("sample %v: MedianFloat %v != Percentile50 %v", xs, mf, p50)
+		}
+		if float64(mi) != mf {
+			t.Errorf("sample %v: MedianInt %d != MedianFloat %v", xs, mi, mf)
+		}
 	}
 }
 

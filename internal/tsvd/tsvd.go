@@ -127,6 +127,20 @@ func (t *Tool) InstrumentationSiteCount() int { return len(t.instrSites) }
 // the candidate set (Table 2's TSV "Injection Sites").
 func (t *Tool) InjectionSiteCount() int { return len(t.injSites) }
 
+// LiveSiteCount reports the number of sites that can still inject: some
+// un-removed pair and positive probability. Zero means the tool has gone
+// quiet — every remaining run is injection-free. The adaptive harness's
+// tsvdTool adapter surfaces this as core.SiteProber.
+func (t *Tool) LiveSiteCount() int {
+	n := 0
+	for site, p := range t.probs {
+		if p > 0 && t.siteLive(site) {
+			n++
+		}
+	}
+	return n
+}
+
 // Pairs returns the live candidate pairs, sorted for determinism.
 func (t *Tool) Pairs() [][2]trace.SiteID {
 	var out [][2]trace.SiteID

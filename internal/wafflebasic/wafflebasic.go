@@ -40,6 +40,15 @@ func (t *Tool) HookForRun(run int, prev *core.RunReport) memmodel.Hook {
 // RunStats implements core.Tool.
 func (t *Tool) RunStats() core.DelayStats { return t.engine.Stats() }
 
+// CurrentOptions implements core.Retunable (pass-through to the engine).
+func (t *Tool) CurrentOptions() core.Options { return t.engine.CurrentOptions() }
+
+// SetOptions implements core.Retunable (pass-through to the engine).
+func (t *Tool) SetOptions(opts core.Options) { t.engine.SetOptions(opts) }
+
+// LiveSites implements core.SiteProber (pass-through to the engine).
+func (t *Tool) LiveSites() int { return t.engine.LiveSites() }
+
 // Candidates implements core.Tool.
 func (t *Tool) Candidates(site trace.SiteID) []core.Pair {
 	var out []core.Pair
