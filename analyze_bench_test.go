@@ -20,7 +20,9 @@ import (
 
 	"waffle/internal/apps"
 	"waffle/internal/core"
+	"waffle/internal/sim"
 	"waffle/internal/trace"
+	"waffle/internal/vclock"
 )
 
 // bigTrace caches the largest preparation trace in the benchmark suite
@@ -50,22 +52,34 @@ func largestPrepTrace(tb testing.TB) *trace.Trace {
 	return bigTrace.tr
 }
 
+// reportEventRate publishes analyzer/recorder throughput: events consumed
+// per wall-clock second across all iterations.
+func reportEventRate(b *testing.B, eventsPerOp int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(eventsPerOp)*float64(b.N)/s, "events/sec")
+	}
+}
+
 func BenchmarkAnalyzeSequential(b *testing.B) {
 	tr := largestPrepTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Analyze(tr, core.Options{})
 	}
 	b.ReportMetric(float64(len(tr.Events)), "events")
+	reportEventRate(b, len(tr.Events))
 }
 
 func BenchmarkAnalyzeParallel(b *testing.B) {
 	tr := largestPrepTrace(b)
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.AnalyzeParallel(tr, core.Options{}, workers)
 			}
+			reportEventRate(b, len(tr.Events))
 		})
 	}
 }
@@ -78,12 +92,14 @@ func BenchmarkAnalyzeStream(b *testing.B) {
 	}
 	data := buf.Bytes()
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.AnalyzeStream(bytes.NewReader(data), core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportEventRate(b, len(tr.Events))
 }
 
 // BenchmarkAnalyzeSpeedupAt4Workers times the sequential and the 4-worker
@@ -106,4 +122,78 @@ func BenchmarkAnalyzeSpeedupAt4Workers(b *testing.B) {
 		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkRecorderRecord measures the recording hot path: RecordEvent
+// into per-thread chunked shards. allocs/op must report 0 — only one chunk
+// allocation per shardChunkEvents appends, which rounds away — and
+// events/sec is the recorder throughput number published to
+// BENCH_analyze.json. The recorder is swapped out every 2^20 events (off
+// the timer) to bound the benchmark's memory footprint at large b.N.
+func BenchmarkRecorderRecord(b *testing.B) {
+	clk := vclock.New(1)
+	rec := trace.NewRecorder("bench", 1)
+	ev := trace.Event{TID: 1, Site: "bench.go:1", Obj: 1, Kind: trace.KindUse, Clock: clk}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%(1<<20) == 0 {
+			b.StopTimer()
+			rec = trace.NewRecorder("bench", 1)
+			b.StartTimer()
+		}
+		ev.T = sim.Time(i)
+		rec.RecordEvent(ev)
+	}
+	reportEventRate(b, 1)
+}
+
+// rerecordedTrace simulates the next campaign's preparation run over an
+// unchanged program: identical event content in a fresh slice, clock
+// pointers shared — exactly what re-recording a deterministic run yields.
+func rerecordedTrace(tr *trace.Trace) *trace.Trace {
+	return &trace.Trace{
+		Label:  tr.Label,
+		Seed:   tr.Seed,
+		End:    tr.End,
+		Events: append([]trace.Event(nil), tr.Events...),
+	}
+}
+
+// BenchmarkAnalyzeIncrementalClean measures re-analysis of an unchanged
+// trace — the repeated-campaign fast path where every object folds from
+// the cache and every instance replays its recorded edges.
+func BenchmarkAnalyzeIncrementalClean(b *testing.B) {
+	tr := largestPrepTrace(b)
+	tr2 := rerecordedTrace(tr)
+	prev := core.AnalyzeIncremental(nil, nil, tr, core.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AnalyzeIncremental(prev, tr, tr2, core.Options{})
+	}
+	reportEventRate(b, len(tr2.Events))
+}
+
+// BenchmarkAnalyzeIncrementalSpeedup times a from-scratch Analyze and a
+// clean incremental re-analysis back to back on the same trace and reports
+// their ratio — the repeated-campaign win published to BENCH_analyze.json
+// (target: ≥3× on the largest built-in trace).
+func BenchmarkAnalyzeIncrementalSpeedup(b *testing.B) {
+	tr := largestPrepTrace(b)
+	tr2 := rerecordedTrace(tr)
+	prev := core.AnalyzeIncremental(nil, nil, tr, core.Options{})
+	var full, inc time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		core.Analyze(tr2, core.Options{})
+		full += time.Since(t0)
+		t1 := time.Now()
+		core.AnalyzeIncremental(prev, tr, tr2, core.Options{})
+		inc += time.Since(t1)
+	}
+	if inc > 0 {
+		b.ReportMetric(full.Seconds()/inc.Seconds(), "speedup-x")
+	}
 }

@@ -255,6 +255,10 @@ func runGen(opt eval.DiffOptions, out string) error {
 	}
 	render(t)
 	fmt.Printf("reproducible: %v; violations: %d\n", rep.ReproOK, len(rep.Violations))
+	if ra := rep.Reanalysis; ra != nil {
+		fmt.Printf("re-analysis: full %.2fms, incremental %.2fms (%.2fx)\n",
+			float64(ra.FullNS)/1e6, float64(ra.IncrementalNS)/1e6, ra.Speedup)
+	}
 	for _, v := range rep.Violations {
 		fmt.Printf("  VIOLATION: %s\n", v)
 	}

@@ -108,7 +108,7 @@ func printStats(tr *trace.Trace) {
 	fmt.Printf("label:    %s\n", tr.Label)
 	fmt.Printf("end:      %v\n", tr.End)
 	fmt.Printf("events:   %d (%d init, %d use, %d dispose, %d api)\n",
-		s.Events, s.InitEvents, s.UseEvents, s.DisposeEvent, s.APIEvents)
+		s.Events, s.InitEvents, s.UseEvents, s.DisposeEvents, s.APIEvents)
 	fmt.Printf("threads:  %d\n", s.Threads)
 	fmt.Printf("objects:  %d\n", s.Objects)
 	fmt.Printf("sites:    %d MemOrder, %d thread-unsafe API\n", s.MemSites, s.APISites)

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// AnalyzeIncremental re-analyzes a trace by diffing it against the previous
+// campaign's trace and reusing the previous plan's per-object analysis for
+// everything that did not change.
+//
+// The dirtiness rule: an object is *clean* when its event projection — the
+// (T, TID, Site, Kind, Dur, Clock) sequence of its accesses — is identical
+// in both traces. Pass 1 (near-miss candidate pairs) is a per-object scan,
+// so a clean object's pairs are folded straight from the cache; only dirty
+// objects are rescanned. Pass 3 (interference edges) additionally depends
+// on the event stream of the target event's thread and on the plan's
+// injection-site set, so a cached instance's edges are replayed only when
+// its object is clean, that thread's (T, Site, Obj, Kind) stream is
+// unchanged, and the new plan's injection sites equal the cached set;
+// otherwise the instance is re-scanned with instanceEdges. Every reuse
+// condition implies the from-scratch scan would have made exactly the same
+// observations, so the assembled plan is bit-identical to Analyze's — the
+// equivalence suite byte-compares the two on every built-in trace and on
+// generated corpora.
+//
+// prev is the plan returned by a previous AnalyzeIncremental over
+// prevTrace. When prev carries no usable cache — nil plan, a plan loaded
+// from JSON, a nil prevTrace, or analysis options (Window,
+// DisableParentChild) that differ from the cached ones — the call degrades
+// to a full scan that seeds the cache for next time. Bootstrapping is
+// therefore just AnalyzeIncremental(nil, nil, tr, opts). Incremental
+// analysis is single-threaded; opts.AnalyzeWorkers is ignored here.
+func AnalyzeIncremental(prev *Plan, prevTrace, tr *trace.Trace, opts Options) *Plan {
+	opts = opts.WithDefaults()
+	defer opts.Metrics.Span("phase.analyze").Time()()
+	opts.Metrics.Counter("analyze.trace_events").Add(int64(len(tr.Events)))
+	var st *incState
+	var pt *trace.Trace
+	if prev != nil && prev.inc != nil && prevTrace != nil &&
+		prev.inc.window == opts.Window && prev.inc.noPC == opts.DisableParentChild {
+		st, pt = prev.inc, prevTrace
+	}
+	plan := analyzeWithState(tr, opts, st, pt)
+	meterPlan(opts.Metrics, plan)
+	return plan
+}
+
+// incState is the analysis cache AnalyzeIncremental threads between
+// campaigns, carried on the plan it returns. It is immutable once built.
+type incState struct {
+	window sim.Duration // Options.Window the cache was built under
+	noPC   bool         // Options.DisableParentChild ditto
+
+	// injection is the plan's injection-site set at analysis time. Pass-3
+	// reuse compares against this rather than the live Probs map, which
+	// detection runs decay and MergeFrom extends.
+	injection map[trace.SiteID]bool
+
+	// interfere is pass 3's finished output (sorted per-site lists). When
+	// every object and thread is clean and the injection set is unchanged,
+	// the whole pass is skipped and these lists are copied into the new
+	// plan — rebuilding the edge set from per-instance adds costs as much
+	// as pass 3 itself, so the fully-clean fast path must not touch it.
+	interfere map[trace.SiteID][]trace.SiteID
+
+	// byObj and byThread index the cached trace, so re-analysis does not
+	// rebuild the previous campaign's groupings just to diff against them.
+	byObj    map[trace.ObjID][]int
+	byThread map[int][]int
+
+	objs map[trace.ObjID]*objState
+}
+
+// objState caches one object's analysis output.
+type objState struct {
+	pairs []Pair      // pass-1 pairs restricted to this object's accesses
+	insts []instState // the object's dynamic candidate instances
+}
+
+// instState is one dynamic candidate instance, positioned relative to its
+// object's event projection so it stays valid while other objects churn.
+type instState struct {
+	key    pairKey
+	p1, p2 int // positions within the object's projection
+	tid    int // e2's thread (the one pass 3 scans)
+
+	// edges replays this instance's pass-3 contribution: the exact add
+	// calls instanceEdges made when the instance was last scanned.
+	edges [][2]trace.SiteID
+}
+
+// analyzeWithState runs the three analysis passes, reusing prev's cached
+// per-object results where the dirtiness rule allows, and attaches a fresh
+// cache to the returned plan. A nil prev runs a full scan (the bootstrap
+// path). Invariant on return: every cached instState.edges reflects the
+// current trace, so chained incremental calls stay exact.
+func analyzeWithState(tr *trace.Trace, opts Options, prev *incState, prevTrace *trace.Trace) *Plan {
+	next := &incState{
+		window: opts.Window,
+		noPC:   opts.DisableParentChild,
+		objs:   make(map[trace.ObjID]*objState),
+	}
+	byObj := tr.ByObject()
+	next.byObj = byObj
+	var prevByObj map[trace.ObjID][]int
+	if prev != nil {
+		prevByObj = prev.byObj
+	}
+	cleanCtr := opts.Metrics.Counter("analyze.objects_clean")
+	dirtyCtr := opts.Metrics.Counter("analyze.objects_dirty")
+
+	// Pass 1: fold clean objects' cached pairs, rescan dirty ones. The
+	// global pair map merges per-object aggregates commutatively (counts
+	// sum, gaps max), so object iteration order cannot affect the result.
+	globalPairs := make(map[pairKey]*Pair)
+	allObjsClean := prev != nil && len(byObj) == len(prevByObj)
+	cleanObj := make(map[trace.ObjID]bool, len(byObj))
+	for obj, idxs := range byObj {
+		if prev != nil {
+			if os := prev.objs[obj]; os != nil && objProjectionEqual(prevTrace, prevByObj[obj], tr, idxs) {
+				cleanObj[obj] = true
+				cleanCtr.Inc()
+				foldPairs(globalPairs, os.pairs)
+				insts := make([]instState, len(os.insts))
+				copy(insts, os.insts)
+				next.objs[obj] = &objState{pairs: os.pairs, insts: insts}
+				continue
+			}
+		}
+		allObjsClean = false
+		dirtyCtr.Inc()
+		oacc := newPairAccum(opts)
+		oacc.scanObject(tr.Events, idxs)
+		os := &objState{pairs: flattenPairs(oacc.pairs)}
+		foldPairs(globalPairs, os.pairs)
+		pos := make(map[int]int, len(idxs))
+		for p, gi := range idxs {
+			pos[gi] = p
+		}
+		os.insts = make([]instState, len(oacc.instances))
+		for i, in := range oacc.instances {
+			os.insts[i] = instState{
+				key: in.key,
+				p1:  pos[in.e1],
+				p2:  pos[in.e2],
+				tid: tr.Events[in.e2].TID,
+			}
+		}
+		next.objs[obj] = os
+	}
+	plan := assemblePlan(tr.Label, opts, globalPairs)
+
+	// Pass 3: replay cached edges where the reuse conditions hold,
+	// re-scan otherwise.
+	injection := injectionSet(plan)
+	next.injection = injection
+	byThread := buildByThread(tr)
+	next.byThread = byThread
+	sameInj := prev != nil && siteSetEqual(injection, prev.injection)
+	var prevByThread map[int][]int
+	if sameInj {
+		prevByThread = prev.byThread
+	}
+	cleanThr := make(map[int]bool)
+	threadClean := func(tid int) bool {
+		v, ok := cleanThr[tid]
+		if !ok {
+			v = threadStreamEqual(prevTrace, prevByThread[tid], tr, byThread[tid])
+			cleanThr[tid] = v
+		}
+		return v
+	}
+	reusedCtr := opts.Metrics.Counter("analyze.instances_reused")
+
+	// Fully-clean fast path: no object changed, no thread's stream changed,
+	// and the injection-site set is the same — every instance's scan would
+	// repeat verbatim, so the previous campaign's finished interference
+	// lists are the answer. Copying them (rather than replaying per-instance
+	// adds into a fresh edge set) is what makes repeated-corpus campaigns
+	// cheap: the edge-set rebuild costs as much as the scans themselves.
+	if sameInj && allObjsClean && threadsAllClean(byThread, prevByThread, threadClean) {
+		for s, list := range prev.interfere {
+			cp := make([]trace.SiteID, len(list))
+			copy(cp, list)
+			plan.Interfere[s] = cp
+		}
+		next.interfere = prev.interfere
+		for _, os := range next.objs {
+			reusedCtr.Add(int64(len(os.insts)))
+		}
+		plan.inc = next
+		return plan
+	}
+
+	es := make(edgeSet)
+	for obj, os := range next.objs {
+		idxs := byObj[obj]
+		for i := range os.insts {
+			in := &os.insts[i]
+			// Clean-object instances were copied from the cache, so their
+			// recorded edges are exactly what a scan of the previous trace
+			// produced; with the thread stream and injection set unchanged,
+			// a scan of this trace would repeat them verbatim.
+			if sameInj && cleanObj[obj] && threadClean(in.tid) {
+				for _, e := range in.edges {
+					es.add(e[0], e[1])
+				}
+				reusedCtr.Inc()
+				continue
+			}
+			cur := instance{key: in.key, e1: idxs[in.p1], e2: idxs[in.p2]}
+			var edges [][2]trace.SiteID
+			instanceEdges(tr, byThread, injection, cur, opts.Window, func(a, b trace.SiteID) {
+				es.add(a, b)
+				edges = append(edges, [2]trace.SiteID{a, b})
+			})
+			in.edges = edges
+		}
+	}
+	es.fill(plan)
+	// Cache the finished lists. The map is copied but the slices are
+	// shared: nothing mutates an interference list in place (Plan.MergeFrom
+	// appends, and fill builds the lists at exact capacity, so any append
+	// reallocates rather than scribbling on the cached backing array).
+	next.interfere = make(map[trace.SiteID][]trace.SiteID, len(plan.Interfere))
+	for s, list := range plan.Interfere {
+		next.interfere[s] = list
+	}
+	plan.inc = next
+	return plan
+}
+
+// threadsAllClean reports whether the two campaigns saw the same thread
+// population with identical per-thread streams.
+func threadsAllClean(byThread, prevByThread map[int][]int, threadClean func(int) bool) bool {
+	if len(byThread) != len(prevByThread) {
+		return false
+	}
+	for tid := range byThread {
+		if !threadClean(tid) {
+			return false
+		}
+	}
+	return true
+}
+
+// flattenPairs copies a pass-1 pair map into a value slice (any order: the
+// consumers fold commutatively or sort).
+func flattenPairs(m map[pairKey]*Pair) []Pair {
+	out := make([]Pair, 0, len(m))
+	for _, p := range m {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// foldPairs merges per-object pair aggregates into the global pass-1 map
+// with pairAccum.mergeFrom's semantics: counts sum, gaps max-merge.
+func foldPairs(dst map[pairKey]*Pair, pairs []Pair) {
+	for _, p := range pairs {
+		k := p.key()
+		if q, ok := dst[k]; ok {
+			q.Count += p.Count
+			if p.Gap > q.Gap {
+				q.Gap = p.Gap
+			}
+		} else {
+			cp := p
+			dst[k] = &cp
+		}
+	}
+}
+
+// objProjectionEqual reports whether an object's event projection is
+// identical in both traces across every field pass 1 reads (timestamps,
+// threads, sites, kinds, durations, and fork-clock contents).
+func objProjectionEqual(pt *trace.Trace, pIdxs []int, nt *trace.Trace, nIdxs []int) bool {
+	if len(pIdxs) != len(nIdxs) {
+		return false
+	}
+	for i := range nIdxs {
+		a, b := &pt.Events[pIdxs[i]], &nt.Events[nIdxs[i]]
+		if a.T != b.T || a.TID != b.TID || a.Site != b.Site || a.Kind != b.Kind || a.Dur != b.Dur {
+			return false
+		}
+		if !vclock.Equal(a.Clock, b.Clock) {
+			return false
+		}
+	}
+	return true
+}
+
+// threadStreamEqual reports whether a thread executed the same (T, Site,
+// Obj, Kind) event stream in both traces — everything pass 3's windowed
+// scan of that thread can observe.
+func threadStreamEqual(pt *trace.Trace, pIdxs []int, nt *trace.Trace, nIdxs []int) bool {
+	if len(pIdxs) != len(nIdxs) {
+		return false
+	}
+	for i := range nIdxs {
+		a, b := &pt.Events[pIdxs[i]], &nt.Events[nIdxs[i]]
+		if a.T != b.T || a.Site != b.Site || a.Obj != b.Obj || a.Kind != b.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// siteSetEqual reports set equality of two site-membership maps.
+func siteSetEqual(a, b map[trace.SiteID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}

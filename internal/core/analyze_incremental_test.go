@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waffle/internal/obs"
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// perturbTrace derives a successor campaign's trace: a random subset of
+// objects goes dirty (events dropped or their site/kind rewritten), the
+// rest keep their projections untouched, and a few fresh events are
+// appended at the tail. Timestamps stay nondecreasing and clock pointers
+// are shared with the source trace, like a real re-recording of a mostly
+// unchanged program.
+func perturbTrace(prev *trace.Trace, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	sites := []trace.SiteID{"s0", "s1", "s2", "s3", "s4", "s5"}
+	kinds := []trace.Kind{trace.KindInit, trace.KindUse, trace.KindUse, trace.KindDispose}
+	dirty := map[trace.ObjID]bool{}
+	for o := trace.ObjID(1); o <= 4; o++ {
+		if rng.Intn(2) == 0 {
+			dirty[o] = true
+		}
+	}
+	tr := &trace.Trace{Label: prev.Label, Seed: prev.Seed}
+	for _, e := range prev.Events {
+		if dirty[e.Obj] {
+			switch rng.Intn(4) {
+			case 0:
+				continue // drop the event
+			case 1:
+				e.Site = sites[rng.Intn(len(sites))]
+			case 2:
+				e.Kind = kinds[rng.Intn(len(kinds))]
+			}
+		}
+		e.Seq = len(tr.Events)
+		tr.Events = append(tr.Events, e)
+	}
+	end := prev.End
+	if len(prev.Events) > 0 {
+		for i := 0; i < rng.Intn(10); i++ {
+			src := prev.Events[rng.Intn(len(prev.Events))]
+			end = end.Add(sim.Duration(rng.Intn(30_000)))
+			tr.Events = append(tr.Events, trace.Event{
+				Seq:   len(tr.Events),
+				T:     end,
+				TID:   src.TID,
+				Site:  sites[rng.Intn(len(sites))],
+				Obj:   trace.ObjID(1 + rng.Intn(4)),
+				Kind:  kinds[rng.Intn(len(kinds))],
+				Clock: src.Clock,
+			})
+		}
+	}
+	tr.End = end
+	return tr
+}
+
+// Bootstrap (no previous campaign) must already match the sequential
+// analyzer byte for byte.
+func TestAnalyzeIncrementalBootstrapMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		tr := genTrace(seed, 120)
+		want := planBytes(t, Analyze(tr, Options{}))
+		got := planBytes(t, AnalyzeIncremental(nil, nil, tr, Options{}))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: bootstrap incremental plan differs from Analyze", seed)
+		}
+	}
+}
+
+// Property: across chained campaigns with arbitrary per-object churn, the
+// incremental analyzer stays bit-identical to a from-scratch Analyze of
+// each trace — with and without parent-child pruning.
+func TestAnalyzeIncrementalBitIdenticalProperty(t *testing.T) {
+	err := quick.Check(func(rawSeed uint32, rawN uint8, noPC bool) bool {
+		opts := Options{DisableParentChild: noPC}
+		prevTrace := genTrace(int64(rawSeed), 10+int(rawN)%120)
+		prev := AnalyzeIncremental(nil, nil, prevTrace, opts)
+		if !bytes.Equal(planBytes(t, prev), planBytes(t, Analyze(prevTrace, opts))) {
+			return false
+		}
+		// Chain three campaigns, each perturbing the previous trace.
+		for hop := int64(0); hop < 3; hop++ {
+			tr := perturbTrace(prevTrace, int64(rawSeed)*7+hop)
+			got := AnalyzeIncremental(prev, prevTrace, tr, opts)
+			if !bytes.Equal(planBytes(t, got), planBytes(t, Analyze(tr, opts))) {
+				return false
+			}
+			prev, prevTrace = got, tr
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An unchanged trace must take the reuse path for every object and
+// instance: no dirty rescans, and still the identical plan.
+func TestAnalyzeIncrementalIdenticalTraceReusesEverything(t *testing.T) {
+	tr := genTrace(11, 150)
+	reg := obs.New()
+	opts := Options{Metrics: reg}
+	prev := AnalyzeIncremental(nil, nil, tr, opts)
+
+	// Re-record the same run: same content, fresh slice.
+	tr2 := &trace.Trace{Label: tr.Label, Seed: tr.Seed, End: tr.End, Events: append([]trace.Event(nil), tr.Events...)}
+	before := reg.Counter("analyze.objects_dirty").Value()
+	got := AnalyzeIncremental(prev, tr, tr2, opts)
+
+	if !bytes.Equal(planBytes(t, got), planBytes(t, Analyze(tr2, Options{}))) {
+		t.Fatal("clean re-analysis produced a different plan")
+	}
+	if d := reg.Counter("analyze.objects_dirty").Value() - before; d != 0 {
+		t.Fatalf("clean re-analysis rescanned %d objects", d)
+	}
+	if reg.Counter("analyze.objects_clean").Value() == 0 {
+		t.Fatal("no objects took the clean path")
+	}
+	if len(prev.Pairs) > 0 && reg.Counter("analyze.instances_reused").Value() == 0 {
+		t.Fatal("no instances took the reuse path")
+	}
+}
+
+// Decayed injection probabilities (what detection runs do to a plan) must
+// not disturb the reuse machinery: analysis resets Probs anyway.
+func TestAnalyzeIncrementalAfterProbabilityDecay(t *testing.T) {
+	tr := genTrace(13, 150)
+	prev := AnalyzeIncremental(nil, nil, tr, Options{})
+	for s := range prev.Probs {
+		prev.Probs[s] *= 0.25
+	}
+	tr2 := perturbTrace(tr, 99)
+	got := AnalyzeIncremental(prev, tr, tr2, Options{})
+	if !bytes.Equal(planBytes(t, got), planBytes(t, Analyze(tr2, Options{}))) {
+		t.Fatal("incremental after decay differs from fresh Analyze")
+	}
+}
+
+// Changed analysis options invalidate the cache: the call must fall back
+// to a full scan under the new options rather than mixing regimes.
+func TestAnalyzeIncrementalOptionsMismatchFallsBack(t *testing.T) {
+	tr := genTrace(17, 120)
+	prev := AnalyzeIncremental(nil, nil, tr, Options{Window: 20 * sim.Millisecond})
+	tr2 := perturbTrace(tr, 5)
+
+	for _, opts := range []Options{
+		{Window: 120 * sim.Millisecond},
+		{DisableParentChild: true},
+	} {
+		got := AnalyzeIncremental(prev, tr, tr2, opts)
+		if !bytes.Equal(planBytes(t, got), planBytes(t, Analyze(tr2, opts))) {
+			t.Fatalf("options %+v: fallback plan differs from fresh Analyze", opts)
+		}
+	}
+}
+
+// A plan that went through the JSON codec carries no cache; incremental
+// analysis over it must still be exact (full-scan fallback).
+func TestAnalyzeIncrementalAfterJSONRoundTrip(t *testing.T) {
+	tr := genTrace(19, 120)
+	prev := AnalyzeIncremental(nil, nil, tr, Options{})
+	var buf bytes.Buffer
+	if err := prev.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := perturbTrace(tr, 23)
+	got := AnalyzeIncremental(loaded, tr, tr2, Options{})
+	if !bytes.Equal(planBytes(t, got), planBytes(t, Analyze(tr2, Options{}))) {
+		t.Fatal("incremental over a JSON-loaded plan differs from fresh Analyze")
+	}
+}

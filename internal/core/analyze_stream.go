@@ -151,5 +151,10 @@ func evictBefore(buf []trace.Event, cutoff sim.Time) []trace.Event {
 		return buf
 	}
 	n := copy(buf, buf[i:])
+	// Zero the evicted tail: the slots past n stay reachable from the
+	// backing array for the life of the stream, and a stale Event there
+	// pins its vector clock (and whatever the clock's map references)
+	// against collection on multi-GB traces.
+	clear(buf[n:])
 	return buf[:n]
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+	"waffle/internal/vclock"
+)
+
+// Regression: evictBefore used to copy survivors down but leave the
+// evicted tail of the backing array populated, so stale Events — and the
+// vector clocks they point to — stayed reachable for the life of the
+// stream. The tail past the returned length must be zeroed.
+func TestEvictBeforeClearsTail(t *testing.T) {
+	clk := vclock.New(1)
+	buf := make([]trace.Event, 0, 8)
+	for i := 0; i < 6; i++ {
+		buf = append(buf, trace.Event{Seq: i, T: sim.Time(10 * (i + 1)), TID: 1, Site: "a.go:1", Clock: clk})
+	}
+	backing := buf[:cap(buf)]
+
+	out := evictBefore(buf, sim.Time(40)) // evicts the first 4 events
+	if len(out) != 2 {
+		t.Fatalf("evictBefore kept %d events, want 2", len(out))
+	}
+	if out[0].T != 50 || out[1].T != 60 {
+		t.Fatalf("wrong survivors: T=%d,%d", out[0].T, out[1].T)
+	}
+	for i := len(out); i < len(backing); i++ {
+		if backing[i] != (trace.Event{}) {
+			t.Fatalf("backing[%d] not zeroed: %+v (pins its clock)", i, backing[i])
+		}
+	}
+}
+
+// evictBefore with nothing to evict must leave the buffer untouched.
+func TestEvictBeforeNoop(t *testing.T) {
+	buf := []trace.Event{{Seq: 0, T: 100, TID: 1}}
+	out := evictBefore(buf, 50)
+	if len(out) != 1 || out[0].T != 100 {
+		t.Fatalf("no-op eviction changed the buffer: %+v", out)
+	}
+}

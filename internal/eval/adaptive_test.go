@@ -67,6 +67,8 @@ func TestDisabledControllerReportIdentical(t *testing.T) {
 	dis.Controller = control.New(control.Config{Disabled: true})
 	got := RunDifferential(dis)
 
+	want.StripTiming()
+	got.StripTiming()
 	wj, err := json.Marshal(want)
 	if err != nil {
 		t.Fatal(err)

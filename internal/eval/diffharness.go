@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"waffle/internal/control"
 	"waffle/internal/core"
@@ -145,6 +146,11 @@ type ProgramDiff struct {
 	// and disarmed sessions included.
 	RunsUsed   map[string]int `json:"runs_used"`
 	Violations []string       `json:"violations,omitempty"`
+	// ReanalyzeFullNS and ReanalyzeIncNS time the second campaign's
+	// re-analysis of this program's repeated preparation trace:
+	// from-scratch Analyze vs AnalyzeIncremental seeded by campaign 1.
+	ReanalyzeFullNS int64 `json:"reanalyze_full_ns,omitempty"`
+	ReanalyzeIncNS  int64 `json:"reanalyze_inc_ns,omitempty"`
 }
 
 // ToolDiffSummary aggregates one tool over the corpus. MeanRuns (and its
@@ -190,12 +196,37 @@ type DiffReport struct {
 	Violations []string `json:"violations,omitempty"`
 	// ReproOK reports that every program regenerated byte-identically and
 	// its preparation trace and plans were bit-reproducible across
-	// Analyze, AnalyzeParallel, and AnalyzeStream.
+	// Analyze, AnalyzeParallel, AnalyzeStream, and AnalyzeIncremental.
 	ReproOK bool `json:"repro_ok"`
+	// Reanalysis aggregates the repeated-campaign re-analysis timing over
+	// the corpus: total wall-clock for from-scratch vs incremental
+	// re-analysis of every program's second preparation trace.
+	Reanalysis *ReanalysisStats `json:"reanalysis,omitempty"`
 	// Metrics is the campaign observability snapshot taken at the end of
 	// the sweep, present when DiffOptions.Metrics was set. Its delay and
 	// run counters cover every session the sweep drove.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ReanalysisStats is the corpus-wide repeated-campaign measurement: how
+// long re-analyzing every program's second preparation trace took from
+// scratch versus incrementally.
+type ReanalysisStats struct {
+	FullNS        int64   `json:"full_ns"`
+	IncrementalNS int64   `json:"incremental_ns"`
+	Speedup       float64 `json:"speedup"` // FullNS / IncrementalNS
+}
+
+// StripTiming zeroes the report's wall-clock measurements (per-program and
+// aggregate re-analysis timing). Everything else in the report is
+// deterministic for a fixed seed; callers that byte-compare reports across
+// invocations normalize with this first.
+func (r *DiffReport) StripTiming() {
+	for i := range r.Results {
+		r.Results[i].ReanalyzeFullNS = 0
+		r.Results[i].ReanalyzeIncNS = 0
+	}
+	r.Reanalysis = nil
 }
 
 // Summary returns the named tool's corpus summary.
@@ -229,6 +260,7 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	delays := make(map[string]int)
 	exposed := make(map[string]int)
 	sessions := make(map[string]int)
+	var reanalyzeFull, reanalyzeInc int64
 
 	sched.Run(pool, 0, o.Programs-1, func(_ context.Context, i int) (*ProgramDiff, error) {
 		return o.diffProgram(i), nil
@@ -240,6 +272,8 @@ func RunDifferential(o DiffOptions) *DiffReport {
 		pd := res.Value
 		rep.Results = append(rep.Results, *pd)
 		rep.Violations = append(rep.Violations, pd.Violations...)
+		reanalyzeFull += pd.ReanalyzeFullNS
+		reanalyzeInc += pd.ReanalyzeIncNS
 		for tool, n := range pd.RunsUsed {
 			totalRuns[tool] += n
 		}
@@ -295,6 +329,13 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	if len(rep.Violations) > 0 {
 		rep.ReproOK = false
 	}
+	if reanalyzeInc > 0 {
+		rep.Reanalysis = &ReanalysisStats{
+			FullNS:        reanalyzeFull,
+			IncrementalNS: reanalyzeInc,
+			Speedup:       float64(reanalyzeFull) / float64(reanalyzeInc),
+		}
+	}
 	rep.Metrics = o.Metrics.Snapshot()
 	return rep
 }
@@ -334,9 +375,11 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 		return newDiffTool(name, o.Metrics), nil
 	}
 
-	if err := checkReproducible(p, cfg); err != nil {
+	fullNS, incNS, err := checkReproducible(p, cfg)
+	if err != nil {
 		fail("%v", err)
 	}
+	pd.ReanalyzeFullNS, pd.ReanalyzeIncNS = fullNS, incNS
 
 	// Armed sessions: each planted bug in isolation, under each tool.
 	for _, bug := range m.Bugs {
@@ -408,35 +451,39 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 
 // checkReproducible asserts the per-seed bit-reproducibility claims:
 // regeneration is byte-identical (script and manifest), the preparation
-// trace is byte-identical across executions with one seed, and the three
-// analyzers produce byte-identical plans from it.
-func checkReproducible(p *genprog.Program, cfg genprog.Config) error {
+// trace is byte-identical across executions with one seed, and all four
+// analyzers — sequential, sharded, streaming, and incremental — produce
+// byte-identical plans from it. The two preparation runs double as a
+// repeated-campaign measurement: the returned timing compares a
+// from-scratch Analyze of the second trace against an incremental
+// re-analysis seeded by the first campaign's plan.
+func checkReproducible(p *genprog.Program, cfg genprog.Config) (fullNS, incNS int64, err error) {
 	q := genprog.Generate(cfg)
 	if p.Fingerprint() != q.Fingerprint() {
-		return fmt.Errorf("regeneration diverged for seed %d", cfg.Seed)
+		return 0, 0, fmt.Errorf("regeneration diverged for seed %d", cfg.Seed)
 	}
 	if !bytes.Equal(p.Manifest().JSON(), q.Manifest().JSON()) {
-		return fmt.Errorf("manifest regeneration diverged for seed %d", cfg.Seed)
+		return 0, 0, fmt.Errorf("manifest regeneration diverged for seed %d", cfg.Seed)
 	}
 
 	prepSeed := cfg.Seed*31 + 7
 	tr1, err := diffPrepTrace(p, prepSeed)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	tr2, err := diffPrepTrace(p, prepSeed)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	var b1, b2 bytes.Buffer
 	if err := tr1.WriteBinary(&b1); err != nil {
-		return fmt.Errorf("encode trace: %w", err)
+		return 0, 0, fmt.Errorf("encode trace: %w", err)
 	}
 	if err := tr2.WriteBinary(&b2); err != nil {
-		return fmt.Errorf("encode trace: %w", err)
+		return 0, 0, fmt.Errorf("encode trace: %w", err)
 	}
 	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
-		return fmt.Errorf("preparation trace not reproducible at seed %d", prepSeed)
+		return 0, 0, fmt.Errorf("preparation trace not reproducible at seed %d", prepSeed)
 	}
 
 	encode := func(plan *core.Plan) ([]byte, error) {
@@ -444,33 +491,61 @@ func checkReproducible(p *genprog.Program, cfg genprog.Config) error {
 		err := plan.WriteJSON(&buf)
 		return buf.Bytes(), err
 	}
+	boot := core.AnalyzeIncremental(nil, nil, tr1, core.Options{})
 	want, err := encode(core.Analyze(tr1, core.Options{}))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	par, err := encode(core.AnalyzeParallel(tr1, core.Options{}, 4))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if !bytes.Equal(want, par) {
-		return fmt.Errorf("AnalyzeParallel plan diverged from Analyze at seed %d", prepSeed)
+		return 0, 0, fmt.Errorf("AnalyzeParallel plan diverged from Analyze at seed %d", prepSeed)
 	}
 	var stream bytes.Buffer
 	if err := tr1.WriteStream(&stream); err != nil {
-		return fmt.Errorf("write stream: %w", err)
+		return 0, 0, fmt.Errorf("write stream: %w", err)
 	}
 	sp, err := core.AnalyzeStream(bytes.NewReader(stream.Bytes()), core.Options{})
 	if err != nil {
-		return fmt.Errorf("streaming analysis: %w", err)
+		return 0, 0, fmt.Errorf("streaming analysis: %w", err)
 	}
 	got, err := encode(sp)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if !bytes.Equal(want, got) {
-		return fmt.Errorf("AnalyzeStream plan diverged from Analyze at seed %d", prepSeed)
+		return 0, 0, fmt.Errorf("AnalyzeStream plan diverged from Analyze at seed %d", prepSeed)
 	}
-	return nil
+	bb, err := encode(boot)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !bytes.Equal(want, bb) {
+		return 0, 0, fmt.Errorf("AnalyzeIncremental bootstrap diverged from Analyze at seed %d", prepSeed)
+	}
+
+	// Second campaign over the re-recorded trace: from-scratch vs
+	// incremental, timed, and still byte-identical.
+	t0 := time.Now()
+	fullPlan := core.Analyze(tr2, core.Options{})
+	fullNS = time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	incPlan := core.AnalyzeIncremental(boot, tr1, tr2, core.Options{})
+	incNS = time.Since(t1).Nanoseconds()
+	want2, err := encode(fullPlan)
+	if err != nil {
+		return 0, 0, err
+	}
+	got2, err := encode(incPlan)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !bytes.Equal(want2, got2) {
+		return 0, 0, fmt.Errorf("AnalyzeIncremental re-analysis diverged from Analyze at seed %d", prepSeed)
+	}
+	return fullNS, incNS, nil
 }
 
 // diffPrepTrace performs one delay-free preparation run and returns its

@@ -74,7 +74,7 @@ func (d *Detector) Phases() Phases { return d.phases }
 // recordAccess is the preparation-run hook: append to the accessing
 // thread's own shard — no locks, no cross-goroutine state.
 func recordAccess(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
-	t.events = append(t.events, trace.Event{
+	t.events.Append(trace.Event{
 		T: t.rt.now(), TID: t.id, Site: site, Obj: obj, Kind: kind, Clock: t.clock,
 	})
 }

@@ -142,7 +142,7 @@ func (rt *runState) collectTrace(seed int64, end sim.Time) *trace.Trace {
 	rt.threadMu.Unlock()
 	var evs []trace.Event
 	for _, t := range threads {
-		evs = append(evs, t.events...)
+		evs = t.events.AppendTo(evs)
 	}
 	// The analyzer requires nondecreasing timestamps; shards are merged by
 	// wall-clock stamp with thread id as the (stable) tiebreaker.

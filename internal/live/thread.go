@@ -23,8 +23,10 @@ type Thread struct {
 	// op labels the in-flight operation for fault reports.
 	op string
 
-	// events is this thread's trace shard (preparation runs only).
-	events []trace.Event
+	// events is this thread's chunked trace shard (preparation runs only):
+	// single-writer, so the record hot path stays lock-free, and chunked, so
+	// it never re-copies recorded history while the run is live.
+	events trace.Shard
 
 	// ex is the core.Exec view of this thread, built once to keep the
 	// per-access hook call allocation-free.

@@ -36,6 +36,13 @@ func FuzzReadBinary(f *testing.F) {
 		_ = emptyClockTrace().WriteBinary(&buf)
 		f.Add(buf.Bytes())
 	}
+	// A multi-shard trace crossing chunk boundaries keeps the chunked
+	// recorder's merge path in the corpus.
+	{
+		var buf bytes.Buffer
+		_ = chunkCrossingTrace().WriteBinary(&buf)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte("WFTR"))
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is definitely not a trace"))
@@ -64,6 +71,11 @@ func FuzzReadStream(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("WFTS\x01\x00\x00Z\x00"))
 	f.Add(emptyClockStreamBytes())
+	{
+		var buf bytes.Buffer
+		_ = chunkCrossingTrace().WriteStream(&buf)
+		f.Add(buf.Bytes())
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadStream(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,69 @@
+package trace
+
+// shardChunkEvents is the fixed chunk size of a Shard. At 1024 events a
+// chunk is ~72 KiB on 64-bit platforms: large enough that the amortized
+// allocation cost of recording drops to ~1/1024 allocs per event, small
+// enough that a short run does not over-commit memory.
+const shardChunkEvents = 1024
+
+// Shard is a single-writer chunked event buffer: the per-thread building
+// block of the Recorder and of the live runtime's per-goroutine trace
+// shards. Events are appended into fixed-size chunks; once a chunk fills it
+// is sealed and a fresh one is allocated, so the steady-state cost of
+// Append is one slot store — no per-event allocation and no grow-by-copy of
+// previously recorded events (the failure mode of a single append-grown
+// slice, which re-copies the whole history every doubling).
+//
+// Clock pointers are stored as-is: vclock.Clock is immutable, so sharing
+// the pointer across every event a thread records between two forks is
+// safe and keeps chunks compact.
+//
+// A Shard must only be appended to by one writer at a time; merging
+// (AppendTo) may happen on another thread once the writer has stopped. The
+// zero value is an empty shard ready for use.
+type Shard struct {
+	full [][]Event // sealed chunks, each exactly shardChunkEvents long
+	cur  []Event   // open chunk being filled; cap is shardChunkEvents
+}
+
+// Append records one event. Amortized zero-allocation: only every
+// shardChunkEvents-th call allocates (a fresh chunk).
+func (s *Shard) Append(e Event) {
+	if len(s.cur) == cap(s.cur) {
+		if s.cur != nil {
+			s.full = append(s.full, s.cur)
+		}
+		s.cur = make([]Event, 0, shardChunkEvents)
+	}
+	s.cur = append(s.cur, e)
+}
+
+// Len reports the number of events appended so far.
+func (s *Shard) Len() int {
+	return len(s.full)*shardChunkEvents + len(s.cur)
+}
+
+// AppendTo flushes the shard's events, in append order, onto dst and
+// returns the extended slice. The shard itself is not modified.
+func (s *Shard) AppendTo(dst []Event) []Event {
+	for _, c := range s.full {
+		dst = append(dst, c...)
+	}
+	return append(dst, s.cur...)
+}
+
+// scatter places every buffered event at dst[e.Seq]. The Recorder stamps
+// Seq in global record order before the event reaches its shard, so
+// scattering all shards into one pre-sized slice reconstructs the exact
+// interleaved order a single append-grown recorder would have produced —
+// which is what keeps merged traces byte-identical through the codecs.
+func (s *Shard) scatter(dst []Event) {
+	for _, c := range s.full {
+		for i := range c {
+			dst[c[i].Seq] = c[i]
+		}
+	}
+	for i := range s.cur {
+		dst[s.cur[i].Seq] = s.cur[i]
+	}
+}

@@ -107,20 +107,40 @@ type Trace struct {
 
 // Recorder accumulates events during a run. It implements the hook half of
 // the preparation phase: no delays, just logging. The zero value is ready.
+//
+// Events are buffered in per-thread chunked Shards rather than one
+// append-grown slice, so the recording hot path performs no per-event
+// allocation after each thread's first chunk is warm (and never re-copies
+// the recorded history the way slice doubling does). Every event is stamped
+// with a dense global Seq before it reaches its shard; Finish scatters the
+// shards back into Seq order, so the merged trace is byte-identical —
+// through every codec — to what a single append-order recorder would have
+// produced.
 type Recorder struct {
-	tr Trace
+	label string
+	seed  int64
+
+	n      int            // events recorded so far; also the next Seq
+	shards map[int]*Shard // per-thread chunk buffers, keyed by TID
+
+	// last caches the shard of the most recent event's thread: runs are
+	// bursts of same-thread activity, so this skips the map lookup on the
+	// common path. Valid only when non-nil.
+	last    *Shard
+	lastTID int
+
+	finished bool
 }
 
 // NewRecorder returns a Recorder with metadata filled in.
 func NewRecorder(label string, seed int64) *Recorder {
-	return &Recorder{tr: Trace{Label: label, Seed: seed}}
+	return &Recorder{label: label, seed: seed}
 }
 
-// Record appends one event, stamping Seq, timestamp, and the thread's
-// current fork clock.
+// Record captures one event from a sim thread, stamping Seq, timestamp, and
+// the thread's current fork clock. It panics if the recorder was Finished.
 func (r *Recorder) Record(t *sim.Thread, site SiteID, obj ObjID, kind Kind, dur sim.Duration) {
-	r.tr.Events = append(r.tr.Events, Event{
-		Seq:   len(r.tr.Events),
+	r.RecordEvent(Event{
 		T:     t.Now(),
 		TID:   t.ID(),
 		Site:  site,
@@ -131,15 +151,52 @@ func (r *Recorder) Record(t *sim.Thread, site SiteID, obj ObjID, kind Kind, dur 
 	})
 }
 
-// Finish stamps the run's end time and returns the completed trace.
-// The recorder must not be reused afterwards.
+// RecordEvent is the raw recording hot path: it stamps e.Seq with the next
+// global position and appends e to its thread's shard. Callers that are not
+// sim threads (tests, fuzz-seed builders) fill the remaining fields
+// themselves. It panics if the recorder was Finished.
+func (r *Recorder) RecordEvent(e Event) {
+	if r.finished {
+		panic("trace: Record after Finish — a finished Recorder must not be reused")
+	}
+	e.Seq = r.n
+	r.n++
+	s := r.last
+	if s == nil || e.TID != r.lastTID {
+		if s = r.shards[e.TID]; s == nil {
+			if r.shards == nil {
+				r.shards = make(map[int]*Shard)
+			}
+			s = new(Shard)
+			r.shards[e.TID] = s
+		}
+		r.last, r.lastTID = s, e.TID
+	}
+	s.Append(e)
+}
+
+// Finish merges the per-thread shards into one Seq-ordered event slice,
+// stamps the run's end time, and returns the completed trace. The recorder
+// must not be reused afterwards: a second Finish, or any Record after
+// Finish, panics.
 func (r *Recorder) Finish(end sim.Time) *Trace {
-	r.tr.End = end
-	return &r.tr
+	if r.finished {
+		panic("trace: Finish called twice — a finished Recorder must not be reused")
+	}
+	r.finished = true
+	var evs []Event
+	if r.n > 0 {
+		evs = make([]Event, r.n)
+		for _, s := range r.shards {
+			s.scatter(evs)
+		}
+	}
+	r.shards, r.last = nil, nil
+	return &Trace{Label: r.label, Seed: r.seed, End: end, Events: evs}
 }
 
 // Len reports the number of recorded events so far.
-func (r *Recorder) Len() int { return len(r.tr.Events) }
+func (r *Recorder) Len() int { return r.n }
 
 // Stats summarizes a trace for reports and Table 2-style site counting.
 type Stats struct {
@@ -148,10 +205,10 @@ type Stats struct {
 	Objects      int
 	MemSites     int // unique static sites with MemOrder kinds
 	APISites     int // unique static sites with API kinds
-	InitEvents   int
-	UseEvents    int
-	DisposeEvent int
-	APIEvents    int
+	InitEvents    int
+	UseEvents     int
+	DisposeEvents int
+	APIEvents     int
 	End          sim.Time
 }
 
@@ -177,7 +234,7 @@ func (t *Trace) ComputeStats() Stats {
 		case KindUse:
 			s.UseEvents++
 		case KindDispose:
-			s.DisposeEvent++
+			s.DisposeEvents++
 		case KindAPIRead, KindAPIWrite:
 			s.APIEvents++
 		}

@@ -86,7 +86,7 @@ func TestComputeStats(t *testing.T) {
 	if s.MemSites != 3 || s.APISites != 1 {
 		t.Fatalf("site counts = %d mem, %d api", s.MemSites, s.APISites)
 	}
-	if s.InitEvents != 1 || s.UseEvents != 1 || s.DisposeEvent != 1 || s.APIEvents != 2 {
+	if s.InitEvents != 1 || s.UseEvents != 1 || s.DisposeEvents != 1 || s.APIEvents != 2 {
 		t.Fatalf("kind counts = %+v", s)
 	}
 }

@@ -143,6 +143,29 @@ func Ordered(a, b *Clock) bool {
 	return a.Leq(b) || b.Leq(a)
 }
 
+// Equal reports whether two clocks carry identical tuples and owner. Nil
+// clocks are equal only to nil. The pointer fast path matters in practice:
+// clocks are immutable and shared across every event a thread records
+// between two forks, so comparisons between a trace and a re-recording of
+// it usually short-circuit without touching the maps.
+func Equal(a, b *Clock) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.own != b.own || len(a.vals) != len(b.vals) {
+		return false
+	}
+	for tid, v := range a.vals {
+		if w, ok := b.vals[tid]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Concurrent reports the negation of Ordered for two non-nil clocks.
 func Concurrent(a, b *Clock) bool {
 	if a == nil || b == nil {
