@@ -1,0 +1,96 @@
+// Command waffle-server is the long-running campaign daemon: it accepts
+// detection-campaign jobs over HTTP, sweeps each job's generated corpus
+// through a pluggable detection engine on a shared worker pool, streams
+// incremental results, and journals progress so a killed server resumes
+// mid-corpus on restart.
+//
+//	waffle-server -addr :8080 -journal campaign.jsonl
+//
+//	curl -s localhost:8080/v1/jobs -d '{"corpus":{"seed":500,"programs":25},"engine":{"kind":"waffle"}}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s 'localhost:8080/v1/jobs/job-1/results?after=0&wait=30s'
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT drain gracefully: in-flight program waves finish, jobs
+// park resumable in the journal, the HTTP server shuts down cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"waffle/internal/obs"
+	"waffle/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		journal      = flag.String("journal", "", "JSONL journal path (empty: in-memory only, no restart resume)")
+		workers      = flag.Int("workers", 0, "global worker slots shared across jobs (0: GOMAXPROCS)")
+		maxActive    = flag.Int("max-active", 2, "jobs running concurrently; the rest queue by priority")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight waves")
+	)
+	flag.Parse()
+
+	reg := obs.New()
+	mgr, err := server.New(server.Options{
+		Journal:   *journal,
+		Workers:   *workers,
+		MaxActive: *maxActive,
+		Metrics:   reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waffle-server: %v\n", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", mgr.Handler())
+	mux.Handle("/metrics", reg.Handler())
+
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waffle-server: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("waffle-server: serving http://%s (journal %q)\n", ln.Addr(), *journal)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Printf("waffle-server: %v, draining (grace %v)\n", s, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "waffle-server: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then park the jobs: a client that
+	// got a 200 before shutdown has its data journaled already.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "waffle-server: http shutdown: %v\n", err)
+	}
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "waffle-server: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("waffle-server: drained")
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -40,7 +41,11 @@ func newMetricsConfig(out, addr string, linger time.Duration) *metricsConfig {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", mc.reg.Handler())
 		mux.Handle("/", mc.reg.Handler())
-		mc.srv = &http.Server{Handler: mux}
+		mc.srv = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		go mc.srv.Serve(ln)
 		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
 	}
@@ -74,6 +79,12 @@ func (mc *metricsConfig) finish() {
 			fmt.Printf("metrics: endpoint lingering %v for scrapes\n", mc.linger)
 			time.Sleep(mc.linger)
 		}
-		mc.srv.Close()
+		// Graceful: let an in-flight scrape finish rather than cutting
+		// its connection mid-response.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := mc.srv.Shutdown(ctx); err != nil {
+			mc.srv.Close()
+		}
 	}
 }

@@ -1,0 +1,124 @@
+// The engine adapters' identity contract: wrapping a detection tool in
+// an internal/engine Engine must change nothing. Over every built-in bug
+// input, sequentially and in parallel, an Engine's outcome — every run's
+// seed, end time, delay intervals, and classification, the bug report,
+// and (for Waffle) the final analysis plan — is byte-identical to
+// constructing the core.Session by hand, exactly as the pre-engine
+// harnesses did. The adapter is a naming layer, not a behavioral fork.
+package waffle_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"waffle/internal/apps"
+	"waffle/internal/core"
+	"waffle/internal/engine"
+	"waffle/internal/tsvd"
+	"waffle/internal/wafflebasic"
+)
+
+// directTool constructs the raw tool exactly as the pre-engine callers
+// (cmd/waffle, the eval harness) do for each kind.
+func directTool(kind string) core.Tool {
+	switch kind {
+	case engine.KindWaffle:
+		return core.NewWaffle(core.Options{})
+	case engine.KindWaffleBasic:
+		return wafflebasic.New(core.Options{})
+	case engine.KindTSVD:
+		return engine.NewTSVDTool(tsvd.New(tsvd.Options{}))
+	}
+	panic("unknown kind " + kind)
+}
+
+// directBytes drives a hand-built core.Session over the test program and
+// serializes everything observable about the result.
+func directBytes(t *testing.T, kind string, test *apps.Test, seed int64, maxRuns, workers int) []byte {
+	t.Helper()
+	tool := directTool(kind)
+	s := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: maxRuns, BaseSeed: seed}
+	var out *core.Outcome
+	if workers > 1 {
+		out = s.ExposeParallel(workers)
+	} else {
+		out = s.Expose()
+	}
+	wt, _ := tool.(*core.Waffle)
+	return outcomeBytes(t, out, wt)
+}
+
+// engineBytes drives the same search through the engine adapter.
+func engineBytes(t *testing.T, kind string, test *apps.Test, seed int64, maxRuns, workers int) []byte {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Kind: kind})
+	if err != nil {
+		t.Fatalf("New(%q): %v", kind, err)
+	}
+	if err := eng.Prepare(engine.Target{Prog: test.Prog, MaxRuns: maxRuns, BaseSeed: seed, Workers: workers}); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	out, err := eng.Expose(context.Background())
+	if err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	var wt *core.Waffle
+	if th, ok := eng.(interface{ Tool() core.Tool }); ok {
+		wt, _ = th.Tool().(*core.Waffle)
+	}
+	return outcomeBytes(t, out, wt)
+}
+
+// Over all built-in bugs × every simulated engine kind × sequential and
+// parallel drivers: adapter and direct invocation are byte-identical.
+// (The live engine is excluded by construction — wall-clock runs are
+// nondeterministic; its forwarding behavior is unit-tested in
+// internal/engine instead.)
+func TestEngineAdaptersByteIdenticalOnAllApps(t *testing.T) {
+	kinds := []string{engine.KindWaffle, engine.KindWaffleBasic, engine.KindTSVD}
+	for _, test := range apps.AllBugs() {
+		for _, kind := range kinds {
+			for _, workers := range []int{1, 4} {
+				mode := map[int]string{1: "sequential", 4: "parallel"}[workers]
+				direct := directBytes(t, kind, test, 13, 25, workers)
+				viaEngine := engineBytes(t, kind, test, 13, 25, workers)
+				if !bytes.Equal(direct, viaEngine) {
+					t.Errorf("%s/%s/%s: engine adapter diverged from direct session\n--- direct ---\n%s\n--- engine ---\n%s",
+						test.Name, kind, mode, direct, viaEngine)
+				}
+			}
+		}
+	}
+}
+
+// Config round-trip: an engine built from a Config with non-default core
+// options behaves identically to a session handed the same options —
+// the Config plumbing loses nothing.
+func TestEngineConfigCarriesOptions(t *testing.T) {
+	test := apps.AllBugs()[0]
+	opts := core.Options{Decay: 0.25, Alpha: 1.5}
+	tool := core.NewWaffle(opts)
+	s := &core.Session{Prog: test.Prog, Tool: tool, MaxRuns: 25, BaseSeed: 5}
+	direct := outcomeBytes(t, s.Expose(), tool)
+
+	eng, err := engine.New(engine.Config{Kind: engine.KindWaffle, Core: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Prepare(engine.Target{Prog: test.Prog, MaxRuns: 25, BaseSeed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Expose(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wt *core.Waffle
+	if th, ok := eng.(interface{ Tool() core.Tool }); ok {
+		wt, _ = th.Tool().(*core.Waffle)
+	}
+	viaEngine := outcomeBytes(t, out, wt)
+	if !bytes.Equal(direct, viaEngine) {
+		t.Fatalf("Config-carried options diverged:\n--- direct ---\n%s\n--- engine ---\n%s", direct, viaEngine)
+	}
+}

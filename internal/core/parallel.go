@@ -63,9 +63,20 @@ type specRun struct {
 // Tools that are not plan-driven (and worker counts below 2) fall back to
 // the sequential search.
 func (s *Session) ExposeParallel(workers int) *Outcome {
+	return s.ExposeParallelCtx(context.Background(), workers)
+}
+
+// ExposeParallelCtx is ExposeParallel under a caller context: preparation
+// stops at the first run boundary after ctx is done, detection stops at
+// the next wave boundary (a wave in flight when ctx dies is discarded —
+// its runs never commit, so a cancelled search's outcome holds exactly
+// the runs a sequential search would have completed before the cancel).
+// With a Background context the search is byte-identical to
+// ExposeParallel.
+func (s *Session) ExposeParallelCtx(ctx context.Context, workers int) *Outcome {
 	pd, ok := s.Tool.(PlanDriven)
 	if !ok || pd.PrepRunCount() < 0 || workers <= 1 {
-		return s.Expose()
+		return s.ExposeCtx(ctx)
 	}
 	maxRuns := s.MaxRuns
 	if maxRuns <= 0 {
@@ -87,6 +98,9 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 	defer func() { stopSpan() }()
 	curMax := maxRuns
 	for run := 1; run < firstDetection && run <= curMax; run++ {
+		if ctx.Err() != nil {
+			return out
+		}
 		if s.Tuner != nil {
 			var stop bool
 			curMax, stop = s.tuneBoundary(out, run, curMax, prev, false)
@@ -96,12 +110,15 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 		}
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
-		res := s.Prog.Execute(seed, hook)
+		res := s.execute(ctx, seed, hook)
 		rep, faulted := s.appendRun(out, run, seed, res, s.Tool.RunStats())
 		prev = rep
 		if faulted {
 			return out
 		}
+	}
+	if ctx.Err() != nil {
+		return out
 	}
 	// Boundary before the first detection run: the last chance to retune
 	// (or stop) before workers start speculating.
@@ -166,7 +183,7 @@ func (s *Session) ExposeParallel(workers int) *Outcome {
 		return true
 	}
 
-	sched.Run(sched.Pool{Workers: workers, Budget: s.RunBudget, Metrics: s.Metrics, Tune: s.PoolTune}, firstDetection, curMax, job, commit)
+	sched.RunCtx(ctx, sched.Pool{Workers: workers, Budget: s.RunBudget, Metrics: s.Metrics, Tune: s.PoolTune}, firstDetection, curMax, job, commit)
 	return out
 }
 

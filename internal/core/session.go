@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -244,6 +245,16 @@ type Session struct {
 // of other types (assertion failures in the harness itself) surface as the
 // final RunReport without a BugReport.
 func (s *Session) Expose() *Outcome {
+	return s.ExposeCtx(context.Background())
+}
+
+// ExposeCtx is Expose under a caller context: the search stops at the
+// first run boundary after ctx is done, returning the runs committed so
+// far, and the run in flight aborts early when the program honors
+// cancellation (ContextProgram). With a Background context the search is
+// byte-identical to Expose — Background's Done channel is nil, so the
+// simulator sees exactly the cancel-free configuration.
+func (s *Session) ExposeCtx(ctx context.Context) *Outcome {
 	out := &Outcome{Program: s.Prog.Name(), Tool: s.Tool.Name()}
 	defer s.trackRate(out)()
 	out.BaseTime = s.Baseline()
@@ -268,6 +279,9 @@ func (s *Session) Expose() *Outcome {
 	defer func() { stopSpan() }()
 
 	for run := 1; run <= maxRuns; run++ {
+		if ctx.Err() != nil {
+			return out
+		}
 		if s.Tuner != nil {
 			var stop bool
 			maxRuns, stop = s.tuneBoundary(out, run, maxRuns, prev, run > firstDetection)
@@ -281,7 +295,7 @@ func (s *Session) Expose() *Outcome {
 		}
 		seed := s.BaseSeed + int64(run) - 1
 		hook := s.Tool.HookForRun(run, prev)
-		res := s.Prog.Execute(seed, hook)
+		res := s.execute(ctx, seed, hook)
 		rep, faulted := s.appendRun(out, run, seed, res, s.Tool.RunStats())
 		prev = rep
 		if faulted {
@@ -289,6 +303,18 @@ func (s *Session) Expose() *Outcome {
 		}
 	}
 	return out
+}
+
+// execute performs one run, routing through the program's cancellable
+// entry point only when the context can actually fire (Done non-nil). An
+// uncancellable context — Background, the wrappers' default — takes the
+// plain Execute path, so Expose/ExposeParallel keep their exact historic
+// behavior even for programs whose ExecuteCtx differs from Execute.
+func (s *Session) execute(ctx context.Context, seed int64, hook memmodel.Hook) ExecResult {
+	if cp, ok := s.Prog.(ContextProgram); ok && ctx.Done() != nil {
+		return cp.ExecuteCtx(ctx, seed, hook)
+	}
+	return s.Prog.Execute(seed, hook)
 }
 
 // trackRate returns a stop function that publishes the session's

@@ -1,0 +1,169 @@
+// Package engine puts a common face on the repo's detection tools so a
+// long-running campaign service can drive any of them interchangeably:
+// Waffle (prepare → analyze → inject), WaffleBasic (online
+// identification), TSVD (thread-unsafe-API near-miss injection), and the
+// live wall-clock detector all become Engines selected by Config.
+//
+// The split mirrors the engine/executor architecture the roadmap points
+// at: an Engine owns the *detection logic* for one search (one program,
+// one budget); the executor — core.Session under the simulator, the job
+// manager in internal/server above it — owns scheduling, budgets, and
+// persistence. Adapters add nothing to the wrapped tools: an Engine's
+// outcome is byte-identical to constructing the tool and session by hand,
+// which the engine-equivalence property tests pin over every built-in
+// bug.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"waffle/internal/core"
+	"waffle/internal/live"
+	"waffle/internal/obs"
+	"waffle/internal/tsvd"
+	"waffle/internal/wafflebasic"
+)
+
+// Target is one unit of detection work: a program under test plus the
+// search parameters the executor grants it.
+type Target struct {
+	// Prog is the program under test (simulator-backed engines). Live
+	// engines take Scenario instead.
+	Prog core.Program
+	// Scenario is the live (real-goroutine) program under test; required
+	// by the live engine, ignored by the others.
+	Scenario *live.Scenario
+	// MaxRuns is the total run budget, preparation included. <= 0 means
+	// the engine's default.
+	MaxRuns int
+	// BaseSeed seeds run i with BaseSeed+i-1, exactly like core.Session.
+	BaseSeed int64
+	// RunBudget bounds each detection run's wall-clock time in parallel
+	// searches (core.Session.RunBudget). Zero means no budget.
+	RunBudget time.Duration
+	// Workers fans detection runs over a worker pool when the engine is
+	// plan-driven; <= 1 searches sequentially.
+	Workers int
+	// Metrics receives session-level campaign counters. Nil disables
+	// session instrumentation.
+	Metrics *obs.Registry
+	// Tuner, when non-nil, is consulted at run boundaries (the adaptive
+	// controller's seam).
+	Tuner core.Tuner
+}
+
+// Stats summarizes an engine's activity across the searches it ran —
+// the campaign-facing aggregate a job manager reports per session.
+type Stats struct {
+	Engine     string `json:"engine"`
+	Runs       int    `json:"runs"`
+	Delays     int    `json:"delays"`
+	DelayTicks int64  `json:"delay_ticks"`
+	Skipped    int    `json:"skipped"`
+	Exposed    int    `json:"exposed"`
+	// DelayFreeFaults counts runs that faulted with zero injected delays
+	// (surfaced, never reported as bugs — the zero-FP contract).
+	DelayFreeFaults int `json:"delay_free_faults"`
+	RunErrs         int `json:"run_errs"`
+}
+
+// observe folds one finished outcome into the aggregate.
+func (s *Stats) observe(out *core.Outcome) {
+	s.Runs += len(out.Runs)
+	for _, r := range out.Runs {
+		s.Delays += r.Stats.Count
+		s.DelayTicks += int64(r.Stats.Total)
+		s.Skipped += r.Stats.Skipped
+		if r.Err != nil {
+			s.RunErrs++
+		}
+	}
+	if out.Bug != nil {
+		s.Exposed++
+	}
+	s.DelayFreeFaults += len(out.DelayFreeFaults)
+}
+
+// Engine is a pluggable detection engine driving one search at a time.
+// The lifecycle is Prepare (bind a target, build tool state) then Expose
+// (run the search); Stats aggregates across every Expose the engine ran.
+// Engines are stateful exactly as the tools they wrap are: candidate
+// sets and probabilities persist across Expose calls on one engine, so a
+// fresh search wants a fresh engine.
+type Engine interface {
+	// Name identifies the engine for reports ("waffle", "wafflebasic",
+	// "tsvd", "waffle-live").
+	Name() string
+	// Prepare binds the engine to a target and builds the tool state the
+	// search needs. It must be called before Expose and may be called
+	// again to point the engine at a new target (tool state persists —
+	// the continuation semantics of reusing a core.Tool).
+	Prepare(t Target) error
+	// Expose runs the search until a bug manifests, the budget is
+	// exhausted, or ctx is cancelled (the partial outcome is returned, not
+	// an error — cancellation is an executor decision, not a failure).
+	Expose(ctx context.Context) (*core.Outcome, error)
+	// Stats aggregates the engine's activity over its lifetime.
+	Stats() Stats
+}
+
+// Engine kind names accepted by Config.Kind.
+const (
+	KindWaffle      = "waffle"
+	KindWaffleBasic = "wafflebasic"
+	KindTSVD        = "tsvd"
+	KindLive        = "live"
+)
+
+// Kinds lists the selectable engine kinds.
+func Kinds() []string {
+	return []string{KindWaffle, KindWaffleBasic, KindTSVD, KindLive}
+}
+
+// Config selects and parameterizes an engine. The zero value of each
+// options struct means that tool's defaults, so {Kind: "waffle"} is a
+// complete configuration.
+type Config struct {
+	// Kind selects the engine: waffle | wafflebasic | tsvd | live.
+	Kind string `json:"kind"`
+	// Core parameterizes the waffle and wafflebasic engines.
+	Core core.Options `json:"core,omitempty"`
+	// TSVD parameterizes the tsvd engine.
+	TSVD tsvd.Options `json:"tsvd,omitempty"`
+	// Live parameterizes the live engine.
+	Live live.Options `json:"-"`
+}
+
+// New builds the configured engine. The returned engine has no target
+// yet; call Prepare before Expose.
+func New(cfg Config) (Engine, error) {
+	switch cfg.Kind {
+	case KindWaffle:
+		opts := cfg.Core
+		return &sessionEngine{
+			name: KindWaffle,
+			mk:   func() core.Tool { return core.NewWaffle(opts) },
+		}, nil
+	case KindWaffleBasic:
+		opts := cfg.Core
+		return &sessionEngine{
+			name: KindWaffleBasic,
+			mk:   func() core.Tool { return wafflebasic.New(opts) },
+		}, nil
+	case KindTSVD:
+		opts := cfg.TSVD
+		return &sessionEngine{
+			name: KindTSVD,
+			mk:   func() core.Tool { return NewTSVDTool(tsvd.New(opts)) },
+		}, nil
+	case KindLive:
+		return &liveEngine{opts: cfg.Live}, nil
+	case "":
+		return nil, fmt.Errorf("engine: empty kind (want one of %v)", Kinds())
+	default:
+		return nil, fmt.Errorf("engine: unknown kind %q (want one of %v)", cfg.Kind, Kinds())
+	}
+}
+

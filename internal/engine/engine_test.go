@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/genprog"
+	"waffle/internal/live"
+	"waffle/internal/tsvd"
+)
+
+func armedTarget(t *testing.T, seed int64, maxRuns int) Target {
+	t.Helper()
+	p := genprog.Generate(genprog.SizeConfig(seed, genprog.SizeSmall))
+	return Target{Prog: p.ArmOnly(0).Prog(), MaxRuns: maxRuns, BaseSeed: 7}
+}
+
+func TestNewSelectsEveryKind(t *testing.T) {
+	for _, kind := range Kinds() {
+		eng, err := New(Config{Kind: kind})
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		want := kind
+		if kind == KindLive {
+			want = "waffle-live"
+		}
+		if eng.Name() != want {
+			t.Fatalf("New(%q).Name() = %q, want %q", kind, eng.Name(), want)
+		}
+	}
+}
+
+func TestNewRejectsBadKinds(t *testing.T) {
+	for _, kind := range []string{"", "bogus"} {
+		if _, err := New(Config{Kind: kind}); err == nil {
+			t.Fatalf("New(%q) succeeded, want error", kind)
+		}
+	}
+}
+
+func TestExposeBeforePrepareFails(t *testing.T) {
+	for _, kind := range Kinds() {
+		eng, err := New(Config{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Expose(context.Background()); err == nil {
+			t.Fatalf("%s: Expose before Prepare succeeded", kind)
+		} else if !strings.Contains(err.Error(), "before Prepare") {
+			t.Fatalf("%s: unexpected error %v", kind, err)
+		}
+	}
+}
+
+func TestPrepareValidatesTargetShape(t *testing.T) {
+	eng, _ := New(Config{Kind: KindWaffle})
+	if err := eng.Prepare(Target{}); err == nil {
+		t.Fatal("waffle: Prepare with no program succeeded")
+	}
+	lv, _ := New(Config{Kind: KindLive})
+	if err := lv.Prepare(Target{}); err == nil {
+		t.Fatal("live: Prepare with no scenario succeeded")
+	}
+}
+
+// Stats accumulate across Expose calls and re-Prepare keeps the tool
+// (continuation semantics: candidate probabilities persist, so the run
+// counter only ever grows).
+func TestStatsAggregateAcrossExposes(t *testing.T) {
+	eng, err := New(Config{Kind: KindWaffle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Prepare(armedTarget(t, 42, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Expose(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Stats()
+	if first.Engine != KindWaffle {
+		t.Fatalf("Stats.Engine = %q, want %q", first.Engine, KindWaffle)
+	}
+	if first.Runs == 0 {
+		t.Fatal("no runs recorded after Expose")
+	}
+	if err := eng.Prepare(armedTarget(t, 43, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Expose(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second := eng.Stats()
+	if second.Runs <= first.Runs {
+		t.Fatalf("Stats.Runs did not grow across Expose calls: %d -> %d", first.Runs, second.Runs)
+	}
+}
+
+// A disarmed program never yields a bug nor a delay-free fault through
+// any simulated engine — the zero-FP contract holds through the adapter.
+func TestDisarmedProgramExposesNothing(t *testing.T) {
+	p := genprog.Generate(genprog.SizeConfig(99, genprog.SizeSmall)).DisarmAll()
+	for _, kind := range []string{KindWaffle, KindWaffleBasic, KindTSVD} {
+		eng, err := New(Config{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Prepare(Target{Prog: p.Prog(), MaxRuns: 10, BaseSeed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.Expose(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Bug != nil {
+			t.Fatalf("%s: disarmed program exposed a bug", kind)
+		}
+		st := eng.Stats()
+		if st.Exposed != 0 || st.DelayFreeFaults != 0 {
+			t.Fatalf("%s: disarmed stats %+v", kind, st)
+		}
+	}
+}
+
+// The live adapter forwards to a real Detector: same scenario, budget,
+// and seed a direct caller would pass, and the Detector accessor exposes
+// the phases/plan surface.
+func TestLiveEngineForwardsToDetector(t *testing.T) {
+	p := genprog.Generate(genprog.SizeConfig(7, genprog.SizeSmall)).DisarmAll()
+	sc := live.Scenario{Name: "gen-live", Body: p.LiveBody()}
+	eng, err := New(Config{Kind: KindLive, Live: live.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Prepare(Target{Scenario: &sc, MaxRuns: 3, BaseSeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Expose(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Program != "gen-live" || out.Tool == "" {
+		t.Fatalf("unexpected outcome header: program=%q tool=%q", out.Program, out.Tool)
+	}
+	if out.Bug != nil {
+		t.Fatal("disarmed live scenario exposed a bug")
+	}
+	le, ok := eng.(*liveEngine)
+	if !ok || le.Detector() == nil {
+		t.Fatal("live engine has no detector after Prepare")
+	}
+	if eng.Stats().Runs == 0 {
+		t.Fatal("live engine recorded no runs")
+	}
+}
+
+// A pre-cancelled context returns an empty outcome without starting the
+// wall-clock search.
+func TestLiveEnginePreCancelled(t *testing.T) {
+	p := genprog.Generate(genprog.SizeConfig(7, genprog.SizeSmall)).DisarmAll()
+	sc := live.Scenario{Name: "gen-live", Body: p.LiveBody()}
+	eng, _ := New(Config{Kind: KindLive})
+	if err := eng.Prepare(Target{Scenario: &sc, MaxRuns: 3, BaseSeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := eng.Expose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 0 {
+		t.Fatalf("cancelled live Expose still ran %d runs", len(out.Runs))
+	}
+}
+
+// The TSVD adapter satisfies the tool-side interfaces the session driver
+// and the adaptive controller rely on.
+func TestTSVDToolInterfaces(t *testing.T) {
+	var tool core.Tool = NewTSVDTool(tsvd.New(tsvd.Options{}))
+	if tool.Name() != "tsvd" {
+		t.Fatalf("Name() = %q", tool.Name())
+	}
+	if _, ok := tool.(core.SiteProber); !ok {
+		t.Fatal("TSVDTool does not implement core.SiteProber")
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/live"
+)
+
+// liveEngine adapts live.Detector to the Engine interface. Live searches
+// run real goroutines on the wall clock, so unlike the simulated engines
+// they are nondeterministic run to run; the adapter forwards to the
+// detector unchanged (same Detector, same Expose arguments a direct
+// caller would pass). Reusing one liveEngine across Expose calls
+// continues the same search, exactly like reusing a Detector.
+type liveEngine struct {
+	opts live.Options
+	det  *live.Detector
+
+	sc      live.Scenario
+	maxRuns int
+	seed    int64
+	agg     Stats
+}
+
+func (e *liveEngine) Name() string { return "waffle-live" }
+
+// Prepare binds the engine to a live scenario. The Detector is built
+// once; re-Prepare retargets it (continuation semantics — probabilities
+// keep decaying).
+func (e *liveEngine) Prepare(t Target) error {
+	if t.Scenario == nil {
+		return fmt.Errorf("engine waffle-live: target has no live scenario")
+	}
+	if e.det == nil {
+		opts := e.opts
+		if t.Metrics != nil && opts.Metrics == nil {
+			opts.Metrics = t.Metrics
+		}
+		if t.Tuner != nil && opts.Tuner == nil {
+			opts.Tuner = t.Tuner
+		}
+		e.det = live.NewDetector(opts)
+	}
+	e.sc = *t.Scenario
+	e.maxRuns = t.MaxRuns
+	e.seed = t.BaseSeed
+	return nil
+}
+
+// Expose runs the live search. The context is honored between searches
+// only: a live run in flight cannot be killed (Go offers no way to stop
+// a goroutine), so cancellation takes effect at the per-run timeout the
+// detector already enforces via Options.RunTimeout.
+func (e *liveEngine) Expose(ctx context.Context) (*core.Outcome, error) {
+	if e.det == nil {
+		return nil, fmt.Errorf("engine waffle-live: Expose before Prepare")
+	}
+	if err := ctx.Err(); err != nil {
+		return &core.Outcome{Program: e.sc.Name, Tool: e.Name()}, nil
+	}
+	out := e.det.Expose(e.sc, e.maxRuns, e.seed)
+	e.agg.observe(out)
+	return out, nil
+}
+
+func (e *liveEngine) Stats() Stats {
+	s := e.agg
+	s.Engine = e.Name()
+	return s
+}
+
+// Detector exposes the wrapped live detector (plan, prep trace, phases).
+func (e *liveEngine) Detector() *live.Detector { return e.det }

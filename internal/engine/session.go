@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"waffle/internal/core"
+	"waffle/internal/memmodel"
+	"waffle/internal/trace"
+	"waffle/internal/tsvd"
+)
+
+// sessionEngine adapts any core.Tool-shaped detector (Waffle,
+// WaffleBasic, TSVD) to the Engine interface by building exactly the
+// core.Session a direct caller would: same field-for-field session, same
+// Expose/ExposeParallel entry points. The adapter adds no logic of its
+// own, which is what makes the byte-identity property testable.
+type sessionEngine struct {
+	name string
+	mk   func() core.Tool
+
+	tool    core.Tool
+	sess    *core.Session
+	workers int
+	agg     Stats
+}
+
+func (e *sessionEngine) Name() string { return e.name }
+
+// Prepare builds the tool (once — a re-Prepare retargets the same tool,
+// preserving its cross-run state, exactly like pointing an existing
+// core.Session at a new program) and the session around it.
+func (e *sessionEngine) Prepare(t Target) error {
+	if t.Prog == nil {
+		return fmt.Errorf("engine %s: target has no program", e.name)
+	}
+	if e.tool == nil {
+		e.tool = e.mk()
+	}
+	e.sess = &core.Session{
+		Prog:      t.Prog,
+		Tool:      e.tool,
+		MaxRuns:   t.MaxRuns,
+		BaseSeed:  t.BaseSeed,
+		RunBudget: t.RunBudget,
+		Metrics:   t.Metrics,
+		Tuner:     t.Tuner,
+	}
+	e.workers = t.Workers
+	return nil
+}
+
+func (e *sessionEngine) Expose(ctx context.Context) (*core.Outcome, error) {
+	if e.sess == nil {
+		return nil, fmt.Errorf("engine %s: Expose before Prepare", e.name)
+	}
+	var out *core.Outcome
+	if e.workers > 1 {
+		out = e.sess.ExposeParallelCtx(ctx, e.workers)
+	} else {
+		out = e.sess.ExposeCtx(ctx)
+	}
+	e.agg.Engine = e.name
+	e.agg.observe(out)
+	return out, nil
+}
+
+func (e *sessionEngine) Stats() Stats {
+	s := e.agg
+	s.Engine = e.name
+	return s
+}
+
+// Tool exposes the wrapped core.Tool (for equivalence tests and callers
+// that need the tool's own surface, e.g. Waffle's Plan).
+func (e *sessionEngine) Tool() core.Tool { return e.tool }
+
+// Plan returns the wrapped tool's analysis plan when it has one (the
+// Waffle adapter), nil otherwise.
+func (e *sessionEngine) Plan() *core.Plan {
+	if p, ok := e.tool.(interface{ Plan() *core.Plan }); ok {
+		return p.Plan()
+	}
+	return nil
+}
+
+// TSVDTool adapts the TSVD baseline — a memmodel.Hook with its own
+// BeginRun/Stats surface — to the core.Tool interface the session driver
+// expects. TSVD has no MemOrder candidate notion, so Candidates maps its
+// unordered TSV site pairs through core.Pair for report display only.
+// (This is the one adapter the diff harness also uses; it lives here so
+// eval and the server drive the identical code.)
+type TSVDTool struct{ t *tsvd.Tool }
+
+// NewTSVDTool wraps t for core.Session.
+func NewTSVDTool(t *tsvd.Tool) *TSVDTool { return &TSVDTool{t: t} }
+
+// Name implements core.Tool.
+func (a *TSVDTool) Name() string { return "tsvd" }
+
+// HookForRun implements core.Tool: every run identifies and injects.
+func (a *TSVDTool) HookForRun(run int, prev *core.RunReport) memmodel.Hook {
+	a.t.BeginRun()
+	return a.t
+}
+
+// RunStats implements core.Tool.
+func (a *TSVDTool) RunStats() core.DelayStats { return a.t.Stats() }
+
+// LiveSites implements core.SiteProber so the adaptive controller can
+// scale a quiet TSVD session to zero.
+func (a *TSVDTool) LiveSites() int { return a.t.LiveSiteCount() }
+
+// Candidates implements core.Tool.
+func (a *TSVDTool) Candidates(site trace.SiteID) []core.Pair {
+	var out []core.Pair
+	for _, pr := range a.t.Pairs() {
+		if pr[0] == site || pr[1] == site {
+			out = append(out, core.Pair{Delay: pr[0], Target: pr[1]})
+		}
+	}
+	return out
+}

@@ -9,8 +9,8 @@ import (
 
 	"waffle/internal/control"
 	"waffle/internal/core"
+	"waffle/internal/engine"
 	"waffle/internal/genprog"
-	"waffle/internal/memmodel"
 	"waffle/internal/obs"
 	"waffle/internal/sched"
 	"waffle/internal/stats"
@@ -80,6 +80,9 @@ func (o DiffOptions) withDefaults() DiffOptions {
 // DiffTools names the compared detectors in report order.
 var DiffTools = []string{"waffle", "wafflebasic", "tsvd"}
 
+// newDiffTool builds one comparison detector. The TSVD adapter is the
+// shared one in internal/engine, so the harness and the campaign server
+// drive byte-identical code.
 func newDiffTool(name string, metrics *obs.Registry) core.Tool {
 	switch name {
 	case "waffle":
@@ -87,38 +90,9 @@ func newDiffTool(name string, metrics *obs.Registry) core.Tool {
 	case "wafflebasic":
 		return wafflebasic.New(core.Options{Metrics: metrics})
 	case "tsvd":
-		return &tsvdTool{t: tsvd.New(tsvd.Options{})}
+		return engine.NewTSVDTool(tsvd.New(tsvd.Options{}))
 	}
 	panic("eval: unknown diff tool " + name)
-}
-
-// tsvdTool adapts the TSVD baseline — a memmodel.Hook with its own
-// BeginRun/Stats surface — to the core.Tool interface the session driver
-// expects. TSVD has no MemOrder candidate notion, so Candidates maps its
-// unordered TSV site pairs through core.Pair for report display only.
-type tsvdTool struct{ t *tsvd.Tool }
-
-func (a *tsvdTool) Name() string { return "tsvd" }
-
-func (a *tsvdTool) HookForRun(run int, prev *core.RunReport) memmodel.Hook {
-	a.t.BeginRun()
-	return a.t
-}
-
-func (a *tsvdTool) RunStats() core.DelayStats { return a.t.Stats() }
-
-// LiveSites implements core.SiteProber so the adaptive controller can
-// scale a quiet TSVD session to zero.
-func (a *tsvdTool) LiveSites() int { return a.t.LiveSiteCount() }
-
-func (a *tsvdTool) Candidates(site trace.SiteID) []core.Pair {
-	var out []core.Pair
-	for _, pr := range a.t.Pairs() {
-		if pr[0] == site || pr[1] == site {
-			out = append(out, core.Pair{Delay: pr[0], Target: pr[1]})
-		}
-	}
-	return out
 }
 
 // BugOutcome is one (bug, tool) cell of the differential table.
@@ -135,13 +109,13 @@ type BugOutcome struct {
 
 // ProgramDiff is one generated program's differential result.
 type ProgramDiff struct {
-	Program    string       `json:"program"`
-	Seed       int64        `json:"seed"`
-	Size       string       `json:"size"`
-	Bugs       int          `json:"bugs"`
-	Threads    int          `json:"threads"`
-	Objects    int          `json:"objects"`
-	Outcomes   []BugOutcome `json:"outcomes"`
+	Program  string       `json:"program"`
+	Seed     int64        `json:"seed"`
+	Size     string       `json:"size"`
+	Bugs     int          `json:"bugs"`
+	Threads  int          `json:"threads"`
+	Objects  int          `json:"objects"`
+	Outcomes []BugOutcome `json:"outcomes"`
 	// RunsUsed totals the runs each tool consumed on this program, armed
 	// and disarmed sessions included.
 	RunsUsed   map[string]int `json:"runs_used"`
@@ -206,6 +180,10 @@ type DiffReport struct {
 	// the sweep, present when DiffOptions.Metrics was set. Its delay and
 	// run counters cover every session the sweep drove.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Cancelled reports that the sweep's context died before the corpus
+	// finished: Results covers the committed prefix only, and the
+	// summaries describe that prefix, not the full corpus.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // ReanalysisStats is the corpus-wide repeated-campaign measurement: how
@@ -245,6 +223,16 @@ func (r *DiffReport) Summary(tool string) (ToolDiffSummary, bool) {
 // corpus fans out over a sched pool; per-program results are committed in
 // index order, so the report is deterministic for a fixed seed.
 func RunDifferential(o DiffOptions) *DiffReport {
+	return RunDifferentialCtx(context.Background(), o)
+}
+
+// RunDifferentialCtx is RunDifferential under a caller context: once ctx
+// is done no further program is scheduled, sessions in flight abort at
+// their next run boundary (the simulator cancels mid-run), and the wave
+// being executed when the context died is discarded — the report covers
+// exactly the committed prefix and is flagged Cancelled. With a
+// Background context the sweep is byte-identical to RunDifferential.
+func RunDifferentialCtx(ctx context.Context, o DiffOptions) *DiffReport {
 	o = o.withDefaults()
 	rep := &DiffReport{Seed: o.Seed, Programs: o.Programs, MaxRuns: o.MaxRuns, ReproOK: true}
 
@@ -262,8 +250,8 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	sessions := make(map[string]int)
 	var reanalyzeFull, reanalyzeInc int64
 
-	sched.Run(pool, 0, o.Programs-1, func(_ context.Context, i int) (*ProgramDiff, error) {
-		return o.diffProgram(i), nil
+	_, runErr := sched.RunCtx(ctx, pool, 0, o.Programs-1, func(jctx context.Context, i int) (*ProgramDiff, error) {
+		return o.diffProgram(jctx, i), nil
 	}, func(res sched.Result[*ProgramDiff]) bool {
 		if res.Err != nil {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("program %d: %v", res.Index, res.Err))
@@ -326,6 +314,9 @@ func RunDifferential(o DiffOptions) *DiffReport {
 		}
 		rep.Tools = append(rep.Tools, s)
 	}
+	if runErr != nil {
+		rep.Cancelled = true
+	}
 	if len(rep.Violations) > 0 {
 		rep.ReproOK = false
 	}
@@ -340,8 +331,10 @@ func RunDifferential(o DiffOptions) *DiffReport {
 	return rep
 }
 
-// diffProgram runs the full oracle for corpus index i.
-func (o DiffOptions) diffProgram(i int) *ProgramDiff {
+// diffProgram runs the full oracle for corpus index i. ctx aborts the
+// program's sessions at their next run boundary; an uncancellable ctx
+// leaves them byte-identical to the context-free harness.
+func (o DiffOptions) diffProgram(ctx context.Context, i int) *ProgramDiff {
 	size := o.Size
 	if o.Mixed {
 		size = genprog.Size(i % 3)
@@ -400,7 +393,7 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 			if tgt != nil {
 				s.Tuner = tgt
 			}
-			out := s.Expose()
+			out := s.ExposeCtx(ctx)
 			tgt.ObserveOutcome(out)
 			pd.RunsUsed[name] += len(out.Runs)
 			oc := BugOutcome{Bug: bug.Index, Kind: bug.Kind.String(), Tool: name}
@@ -436,7 +429,7 @@ func (o DiffOptions) diffProgram(i int) *ProgramDiff {
 		if tgt != nil {
 			s.Tuner = tgt
 		}
-		out := s.Expose()
+		out := s.ExposeCtx(ctx)
 		tgt.ObserveOutcome(out)
 		pd.RunsUsed[name] += len(out.Runs)
 		if out.Bug != nil {

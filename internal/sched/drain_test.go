@@ -1,0 +1,251 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Draining a quiet lifecycle rejects every later submission with
+// ErrDraining and commits nothing.
+func TestDrainRejectsNewSubmissions(t *testing.T) {
+	p := Pool{Workers: 2, Life: NewLifecycle()}
+	p.Drain()
+	if !p.Life.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	ran := 0
+	n, err := RunCtx(context.Background(), p, 0, 3, func(ctx context.Context, i int) (int, error) {
+		ran++
+		return i, nil
+	}, func(r Result[int]) bool { return true })
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("RunCtx after Drain: err = %v, want ErrDraining", err)
+	}
+	if n != 0 || ran != 0 {
+		t.Fatalf("RunCtx after Drain committed %d, ran %d jobs; want 0, 0", n, ran)
+	}
+}
+
+// Drain called while a Run is in flight blocks until that Run returns;
+// no job may still be executing when Drain comes back.
+func TestDrainWaitsForInflightRun(t *testing.T) {
+	p := Pool{Workers: 2, Life: NewLifecycle()}
+	var executing atomic.Int32
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		n, err := RunCtx(context.Background(), p, 0, 5, func(ctx context.Context, i int) (int, error) {
+			executing.Add(1)
+			<-release
+			executing.Add(-1)
+			return i, nil
+		}, func(r Result[int]) bool { return true })
+		if err != nil {
+			t.Errorf("in-flight RunCtx: %v", err)
+		}
+		done <- n
+	}()
+
+	// Wait for the first wave to be inside the job body, then drain
+	// concurrently with the release.
+	for executing.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	drained := make(chan struct{})
+	go func() {
+		p.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while jobs were still blocked inside the pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-drained
+	if got := executing.Load(); got != 0 {
+		t.Fatalf("%d jobs still executing after Drain returned", got)
+	}
+	if n := <-done; n != 6 {
+		t.Fatalf("in-flight Run committed %d results, want 6", n)
+	}
+}
+
+// The drain-while-submitting table: submitters race Drain at varying
+// concurrency. Every submission must either run to full completion or be
+// rejected atomically (ErrDraining, zero commits) — never a torn middle —
+// and after Drain returns no job is still executing.
+func TestDrainWhileSubmitting(t *testing.T) {
+	cases := []struct {
+		name       string
+		submitters int
+		jobs       int
+		workers    int
+	}{
+		{"one-submitter", 1, 8, 2},
+		{"competing-submitters", 4, 6, 2},
+		{"many-short", 8, 1, 1},
+		{"wide-pool", 3, 16, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			life := NewLifecycle()
+			var executing atomic.Int32
+			var wg sync.WaitGroup
+			type outcome struct {
+				n   int
+				err error
+			}
+			outcomes := make([]outcome, tc.submitters)
+			start := make(chan struct{})
+			for s := 0; s < tc.submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					<-start
+					p := Pool{Workers: tc.workers, Life: life}
+					n, err := RunCtx(context.Background(), p, 0, tc.jobs-1, func(ctx context.Context, i int) (int, error) {
+						executing.Add(1)
+						defer executing.Add(-1)
+						time.Sleep(100 * time.Microsecond)
+						return i, nil
+					}, func(r Result[int]) bool {
+						if r.Err != nil {
+							t.Errorf("submitter %d job %d: %v", s, r.Index, r.Err)
+						}
+						return true
+					})
+					outcomes[s] = outcome{n, err}
+				}(s)
+			}
+			close(start)
+			time.Sleep(time.Duration(tc.submitters) * 150 * time.Microsecond)
+			life.Drain()
+			if got := executing.Load(); got != 0 {
+				t.Fatalf("%d jobs executing after Drain returned", got)
+			}
+			wg.Wait()
+			for s, o := range outcomes {
+				switch {
+				case o.err == nil && o.n == tc.jobs:
+					// admitted before the drain and ran to completion
+				case errors.Is(o.err, ErrDraining) && o.n == 0:
+					// rejected atomically
+				default:
+					t.Errorf("submitter %d: committed %d err %v — neither fully run (%d, nil) nor fully rejected (0, ErrDraining)",
+						s, o.n, o.err, tc.jobs)
+				}
+			}
+			// The lifecycle stays closed.
+			if _, err := RunCtx(context.Background(), Pool{Workers: 1, Life: life}, 0, 0,
+				func(ctx context.Context, i int) (int, error) { return i, nil },
+				func(Result[int]) bool { return true }); !errors.Is(err, ErrDraining) {
+				t.Errorf("post-drain submission: err = %v, want ErrDraining", err)
+			}
+		})
+	}
+}
+
+// Cancelling the context mid-wave discards the wave: commits stop at the
+// last full wave boundary and RunCtx surfaces ctx's error. No result from
+// the cancelled wave reaches commit.
+func TestRunCtxCancelMidWaveDiscardsWave(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Pool{Workers: 2, Wave: 2}
+	var committed []int
+	n, err := RunCtx(ctx, p, 0, 9, func(ctx context.Context, i int) (int, error) {
+		if i >= 2 {
+			// Second wave: cancel and wait for it to be observed, so the
+			// wave is provably in flight when the context dies.
+			cancel()
+			<-ctx.Done()
+			return i, ctx.Err()
+		}
+		return i, nil
+	}, func(r Result[int]) bool {
+		committed = append(committed, r.Index)
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 2 || len(committed) != 2 || committed[0] != 0 || committed[1] != 1 {
+		t.Fatalf("committed %v (n=%d); want exactly wave 1's [0 1]", committed, n)
+	}
+}
+
+// A context cancelled before RunCtx starts commits nothing and runs no
+// jobs.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	n, err := RunCtx(ctx, Pool{Workers: 2}, 0, 3, func(ctx context.Context, i int) (int, error) {
+		ran++
+		return i, nil
+	}, func(Result[int]) bool { return true })
+	if !errors.Is(err, context.Canceled) || n != 0 || ran != 0 {
+		t.Fatalf("pre-cancelled RunCtx: n=%d ran=%d err=%v", n, ran, err)
+	}
+}
+
+// Two concurrent RunCtx calls sharing a semaphore never exceed its
+// capacity in simultaneously executing jobs, even though each call's own
+// worker cap would allow more.
+func TestSharedSemaphoreBoundsGlobalWorkers(t *testing.T) {
+	const cap = 2
+	shared := make(chan struct{}, cap)
+	var executing, peak atomic.Int32
+	job := func(ctx context.Context, i int) (int, error) {
+		cur := executing.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		executing.Add(-1)
+		return i, nil
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := Pool{Workers: 4, Shared: shared}
+			if _, err := RunCtx(context.Background(), p, 0, 7, job, func(Result[int]) bool { return true }); err != nil {
+				t.Errorf("RunCtx: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > cap {
+		t.Fatalf("peak concurrent jobs = %d, want <= shared capacity %d", got, cap)
+	}
+}
+
+// Run (the context-free wrapper) is unchanged by the lifecycle plumbing:
+// full range committed in order.
+func TestRunStillCommitsInOrder(t *testing.T) {
+	var got []int
+	n := Run(Pool{Workers: 4, Wave: 3}, 10, 20, func(ctx context.Context, i int) (string, error) {
+		return fmt.Sprint(i), nil
+	}, func(r Result[string]) bool {
+		got = append(got, r.Index)
+		return true
+	})
+	if n != 11 {
+		t.Fatalf("committed %d, want 11", n)
+	}
+	for k, idx := range got {
+		if idx != 10+k {
+			t.Fatalf("commit order broken at %d: %v", k, got)
+		}
+	}
+}

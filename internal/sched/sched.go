@@ -16,6 +16,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,77 @@ import (
 
 	"waffle/internal/obs"
 )
+
+// ErrDraining is returned by RunCtx when the pool's Lifecycle has begun
+// draining: the submission was rejected before any job started.
+var ErrDraining = errors.New("sched: pool is draining")
+
+// Lifecycle tracks in-flight Run calls on a shared pool so an owner (e.g.
+// a long-running server) can shut the pool down without orphaning workers:
+// Drain rejects every subsequent submission and blocks until the calls
+// already inside the pool have returned. Attach one Lifecycle to every
+// Pool value that shares a worker budget; Pool copies sharing the pointer
+// share the lifecycle.
+type Lifecycle struct {
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// NewLifecycle returns a lifecycle accepting submissions.
+func NewLifecycle() *Lifecycle { return &Lifecycle{} }
+
+// begin registers one Run call; it reports false (and registers nothing)
+// once draining has started. Nil-safe: a nil lifecycle always admits.
+func (l *Lifecycle) begin() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.draining {
+		return false
+	}
+	l.inflight.Add(1)
+	return true
+}
+
+// end unregisters one admitted Run call.
+func (l *Lifecycle) end() {
+	if l != nil {
+		l.inflight.Done()
+	}
+}
+
+// Draining reports whether Drain or Close has been called.
+func (l *Lifecycle) Draining() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.draining
+}
+
+// Drain rejects new submissions and blocks until every in-flight Run call
+// has returned. Idempotent and safe to call concurrently; every caller
+// blocks until the pool is quiet. Drain does not cancel running jobs —
+// pass a cancellable context to RunCtx for that and cancel it before (or
+// while) draining.
+func (l *Lifecycle) Drain() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.draining = true
+	l.mu.Unlock()
+	l.inflight.Wait()
+}
+
+// Close is Drain under the name conventionally paired with resource
+// teardown. A drained lifecycle stays closed: submissions are rejected
+// forever.
+func (l *Lifecycle) Close() { l.Drain() }
 
 // Pool configures a Run.
 type Pool struct {
@@ -49,7 +121,27 @@ type Pool struct {
 	// runs between waves, on the committing goroutine, so it can never
 	// race in-flight jobs.
 	Tune func(wave, committed int) int
+	// Life, when non-nil, attaches this pool to a shared lifecycle: RunCtx
+	// registers with it on entry and is rejected with ErrDraining once
+	// Drain/Close has been called. Pool values copied with the same Life
+	// pointer drain together.
+	Life *Lifecycle
+	// Shared, when non-nil, is a worker-slot semaphore shared across Pool
+	// values (a buffered channel; capacity = the global worker budget).
+	// Concurrent Run calls whose pools carry the same channel contend for
+	// the same slots, making the worker budget global instead of
+	// per-call. Workers still bounds this call's own concurrency (and
+	// sets the default wave size). Tune adjusts only the local bound; the
+	// shared capacity is fixed at creation.
+	Shared chan struct{}
 }
+
+// Drain drains the pool's lifecycle (no-op without one): new submissions
+// are rejected and the call blocks until in-flight Run calls return.
+func (p Pool) Drain() { p.Life.Drain() }
+
+// Close closes the pool's lifecycle (no-op without one).
+func (p Pool) Close() { p.Life.Close() }
 
 // Result carries one job's outcome to commit.
 type Result[R any] struct {
@@ -94,6 +186,24 @@ func (p Pool) wave() int {
 // come after the stopping index, exactly like iterations after a
 // sequential break). An empty range commits nothing.
 func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int) (R, error), commit func(Result[R]) bool) int {
+	n, _ := RunCtx(context.Background(), p, first, last, job, commit)
+	return n
+}
+
+// RunCtx is Run under a caller context. The context gates progress at
+// wave granularity and flows into every job (the per-job Budget, if any,
+// is layered on top of it): once ctx is done, no further wave launches,
+// the results of the wave in flight are DISCARDED — they never reach
+// commit, so a journal whose cursor advances only on commit can replay
+// them safely after a resume — and RunCtx returns the commits so far with
+// ctx's error. When the pool carries a draining Lifecycle the submission
+// is rejected up front with ErrDraining and zero commits.
+func RunCtx[R any](ctx context.Context, p Pool, first, last int, job func(ctx context.Context, index int) (R, error), commit func(Result[R]) bool) (int, error) {
+	if !p.Life.begin() {
+		return 0, ErrDraining
+	}
+	defer p.Life.end()
+
 	committed := 0
 	waveLen := p.wave()
 	workers := p.workers()
@@ -102,6 +212,9 @@ func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int
 	workerGauge.Set(float64(workers))
 	wave := 0
 	for lo := first; lo <= last; lo += waveLen {
+		if err := ctx.Err(); err != nil {
+			return committed, err
+		}
 		wave++
 		if p.Tune != nil {
 			if w := p.Tune(wave, committed); w > 0 {
@@ -114,20 +227,28 @@ func Run[R any](p Pool, first, last int, job func(ctx context.Context, index int
 		if hi > last {
 			hi = last
 		}
-		results := runWave(p, workers, lo, hi, job)
+		results := runWave(ctx, p, workers, lo, hi, job)
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-wave: the wave's results are speculative state
+			// the cancelled search must not observe. Discard them all — a
+			// partial commit here would let "cancel" mean "commit an
+			// unpredictable prefix of the wave".
+			return committed, err
+		}
 		for _, r := range results {
 			committed++
 			if !commit(r) {
-				return committed
+				return committed, nil
 			}
 		}
 	}
-	return committed
+	return committed, nil
 }
 
-// runWave executes jobs lo..hi concurrently, at most workers at a time,
-// and returns their results in index order.
-func runWave[R any](p Pool, workers, lo, hi int, job func(ctx context.Context, index int) (R, error)) []Result[R] {
+// runWave executes jobs lo..hi concurrently, at most workers at a time
+// locally (and bounded by the shared semaphore when the pool carries
+// one), returning results in index order.
+func runWave[R any](ctx context.Context, p Pool, workers, lo, hi int, job func(ctx context.Context, index int) (R, error)) []Result[R] {
 	n := hi - lo + 1
 	results := make([]Result[R], n)
 	sem := make(chan struct{}, workers)
@@ -136,20 +257,43 @@ func runWave[R any](p Pool, workers, lo, hi int, job func(ctx context.Context, i
 		wg.Add(1)
 		go func(off int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			index := lo + off
+			if !acquire(ctx, sem) {
+				results[off] = Result[R]{Index: index, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
-			results[off] = runJob(p, lo+off, job)
+			if p.Shared != nil {
+				// Local slot held, now the global one: holding the local
+				// slot first keeps a call from parking more goroutines on
+				// the shared channel than its own worker cap allows.
+				if !acquire(ctx, p.Shared) {
+					results[off] = Result[R]{Index: index, Err: ctx.Err()}
+					return
+				}
+				defer func() { <-p.Shared }()
+			}
+			results[off] = runJob(ctx, p, index, job)
 		}(i)
 	}
 	wg.Wait()
 	return results
 }
 
+// acquire takes one slot from sem, giving up when ctx is done first.
+func acquire(ctx context.Context, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // runJob executes one job under its budget, converting panics into
 // PanicError results.
-func runJob[R any](p Pool, index int, job func(ctx context.Context, index int) (R, error)) (res Result[R]) {
+func runJob[R any](ctx context.Context, p Pool, index int, job func(ctx context.Context, index int) (R, error)) (res Result[R]) {
 	res.Index = index
-	ctx := context.Background()
 	if p.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.Budget)

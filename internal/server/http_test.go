@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// api wraps an httptest server around a Manager.
+func api(t *testing.T, opts Options) (*Manager, *httptest.Server) {
+	t.Helper()
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		m.Drain(t.Context())
+	})
+	return m, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The full API round trip: submit, status, long-poll to done, list,
+// health.
+func TestHTTPSubmitPollComplete(t *testing.T) {
+	_, ts := api(t, Options{Workers: 2})
+
+	var st JobStatus
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", smallSpec(400, 3), &st)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status %d", code)
+	}
+	if st.ID == "" || st.Programs != 3 {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	// Long-poll the results to completion.
+	next, got := 0, 0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("poll never finished")
+		}
+		var page ResultsPage
+		url := fmt.Sprintf("%s/v1/jobs/%s/results?after=%d&wait=5s", ts.URL, st.ID, next)
+		if code := doJSON(t, "GET", url, nil, &page); code != http.StatusOK {
+			t.Fatalf("results status %d", code)
+		}
+		for _, pr := range page.Results {
+			if pr.Index != got {
+				t.Fatalf("streamed index %d, want %d", pr.Index, got)
+			}
+			got++
+		}
+		next = page.Next
+		if page.Done {
+			break
+		}
+	}
+	if got != 3 {
+		t.Fatalf("streamed %d results, want 3", got)
+	}
+
+	var fin JobStatus
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID, nil, &fin); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if fin.State != StateCompleted || fin.Cursor != 3 {
+		t.Fatalf("final status %+v", fin)
+	}
+
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs", nil, &list); code != http.StatusOK || len(list.Jobs) != 1 {
+		t.Fatalf("list code=%d jobs=%d", code, len(list.Jobs))
+	}
+
+	var health map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("health code=%d %v", code, health)
+	}
+}
+
+// DELETE cancels; API errors map to their status codes.
+func TestHTTPCancelAndErrors(t *testing.T) {
+	_, ts := api(t, Options{Workers: 1, MaxActive: 1, hook: func(id string, i int) {
+		time.Sleep(5 * time.Millisecond) // keep job-1 running long enough to cancel
+	}})
+
+	var st JobStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", smallSpec(410, 50), &st); code != http.StatusCreated {
+		t.Fatalf("submit status %d", code)
+	}
+	var cancelled JobStatus
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+st.ID, nil, &cancelled); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	// Cancellation lands at the next wave boundary.
+	deadline := time.Now().Add(30 * time.Second)
+	for cancelled.State != StateCancelled {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after cancel", cancelled.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID, nil, &cancelled)
+	}
+	if cancelled.Cursor >= 50 {
+		t.Fatal("cancelled job ran the whole corpus")
+	}
+
+	// Terminal job: DELETE again → 409.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+st.ID, nil, nil); code != http.StatusConflict {
+		t.Fatalf("re-cancel status %d, want 409", code)
+	}
+	// Unknown job → 404.
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Fatal("unknown job not 404")
+	}
+	// Malformed spec → 400.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader("{"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status %d", resp.StatusCode)
+	}
+	// Invalid spec (live engine) → 400.
+	bad := smallSpec(411, 1)
+	bad.Engine.Kind = "live"
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", bad, nil); code != http.StatusBadRequest {
+		t.Fatal("live-engine spec not rejected with 400")
+	}
+}
+
+// Draining: health reports it and submissions get 503.
+func TestHTTPDraining(t *testing.T) {
+	m, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+	if err := m.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	doJSON(t, "GET", ts.URL+"/healthz", nil, &health)
+	if health["status"] != "draining" {
+		t.Fatalf("health %v, want draining", health)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", smallSpec(420, 1), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", code)
+	}
+}

@@ -1,0 +1,182 @@
+// Package server is the long-running campaign daemon: a job manager
+// that accepts detection-campaign jobs over HTTP, fans each job's
+// generated corpus over the shared internal/sched pool through a
+// pluggable internal/engine detection engine, streams incremental
+// results, and journals every committed program to a JSONL file so a
+// killed server resumes mid-corpus on restart.
+//
+// The layering mirrors the engine/executor split: engines own detection
+// logic for one search; the manager here owns admission, priority,
+// budgets, persistence, and cancellation. Program results commit in
+// corpus order (internal/sched's in-order commit contract), so the
+// journal cursor is always a contiguous prefix and resume is exact —
+// no program reruns, none are skipped.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"waffle/internal/engine"
+	"waffle/internal/genprog"
+)
+
+// CorpusSpec names a generated ground-truth corpus: program i is
+// genprog.Generate(SizeConfig(Seed+i, Size)).
+type CorpusSpec struct {
+	// Seed is the corpus base seed.
+	Seed int64 `json:"seed"`
+	// Programs is the corpus size. <= 0 means 25.
+	Programs int `json:"programs"`
+	// Size is the per-program scale: small | medium | large | mixed
+	// (mixed cycles the three). Empty means small.
+	Size string `json:"size,omitempty"`
+}
+
+// sizeFor resolves the scale for corpus index i.
+func (c CorpusSpec) sizeFor(i int) (genprog.Size, error) {
+	switch c.Size {
+	case "", "small":
+		return genprog.SizeSmall, nil
+	case "medium":
+		return genprog.SizeMedium, nil
+	case "large":
+		return genprog.SizeLarge, nil
+	case "mixed":
+		return genprog.Size(i % 3), nil
+	}
+	return 0, fmt.Errorf("server: unknown corpus size %q (want small|medium|large|mixed)", c.Size)
+}
+
+// JobSpec is one campaign job as submitted over the API.
+type JobSpec struct {
+	// Corpus selects the generated programs the job sweeps.
+	Corpus CorpusSpec `json:"corpus"`
+	// Engine selects and parameterizes the detection engine. An empty
+	// Kind means waffle. The live engine is rejected: live scenarios are
+	// in-process closures and cannot be described in a JSON job.
+	Engine engine.Config `json:"engine"`
+	// MaxRuns bounds each armed session (preparation included). <= 0
+	// means 25.
+	MaxRuns int `json:"max_runs,omitempty"`
+	// DisarmRuns bounds the disarmed zero-FP control session per program.
+	// <= 0 means 12; negative disables the control entirely.
+	DisarmRuns int `json:"disarm_runs,omitempty"`
+	// Priority orders queued jobs: higher runs first, ties run in
+	// submission order.
+	Priority int `json:"priority,omitempty"`
+	// Adaptive attaches the campaign controller: each session gets a
+	// per-target tuner and the job reallocates budget as exposures
+	// accumulate.
+	Adaptive bool `json:"adaptive,omitempty"`
+}
+
+// withDefaults fills the documented defaults in.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Corpus.Programs <= 0 {
+		s.Corpus.Programs = 25
+	}
+	if s.MaxRuns <= 0 {
+		s.MaxRuns = 25
+	}
+	if s.DisarmRuns == 0 {
+		s.DisarmRuns = 12
+	}
+	if s.Engine.Kind == "" {
+		s.Engine.Kind = engine.KindWaffle
+	}
+	return s
+}
+
+// Validate rejects specs the manager cannot run. It is called on the
+// defaulted spec, so callers see the effective configuration's errors.
+func (s JobSpec) Validate() error {
+	if _, err := s.Corpus.sizeFor(0); err != nil {
+		return err
+	}
+	if s.Engine.Kind == engine.KindLive {
+		return fmt.Errorf("server: the live engine needs an in-process scenario and cannot run corpus jobs")
+	}
+	if _, err := engine.New(s.Engine); err != nil {
+		return err
+	}
+	if s.Corpus.Programs > 100000 {
+		return fmt.Errorf("server: corpus of %d programs exceeds the 100000 cap", s.Corpus.Programs)
+	}
+	return nil
+}
+
+// JobState is a job's lifecycle state. Transitions:
+//
+//	queued → running → completed
+//	queued → cancelled            (cancel before dispatch)
+//	running → cancelled           (cancel mid-corpus)
+//	running → failed              (internal error)
+//	running → queued              (server drain; the job resumes on restart)
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateCancelled JobState = "cancelled"
+	StateFailed    JobState = "failed"
+)
+
+// terminal reports whether the state is final (no resume, no restart).
+func (s JobState) terminal() bool {
+	return s == StateCompleted || s == StateCancelled || s == StateFailed
+}
+
+// BugResult is one (planted bug, engine) outcome inside a program.
+type BugResult struct {
+	Bug  int    `json:"bug"`
+	Kind string `json:"kind"`
+	// Runs is the 1-based run that exposed the bug, 0 on a miss.
+	Runs int `json:"runs"`
+	// Delays counts delays injected in the exposing run.
+	Delays int `json:"delays,omitempty"`
+}
+
+// ProgramResult is one committed corpus program: the unit of incremental
+// progress the journal persists and the results endpoint streams.
+type ProgramResult struct {
+	// Index is the program's corpus position; results commit in index
+	// order, so a job's results are always the contiguous prefix [0, N).
+	Index   int    `json:"index"`
+	Program string `json:"program"`
+	Seed    int64  `json:"seed"`
+	Size    string `json:"size"`
+	Bugs    int    `json:"bugs"`
+	// Outcomes has one entry per planted bug.
+	Outcomes []BugResult `json:"outcomes,omitempty"`
+	// RunsUsed totals the runs the engine consumed on this program,
+	// armed and disarmed sessions included.
+	RunsUsed int `json:"runs_used"`
+	// Violations lists oracle breaches: a report outside the manifest, a
+	// fault in the disarmed control, or an abnormal run. Empty on a
+	// healthy engine.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	// Cursor counts committed programs; the job's next program is
+	// Cursor. Equals Spec.Corpus.Programs on completion.
+	Cursor   int `json:"cursor"`
+	Programs int `json:"programs"`
+	// Exposed counts (bug, program) cells the engine exposed so far.
+	Exposed int `json:"exposed"`
+	// Violations counts oracle breaches so far (details ride on each
+	// ProgramResult).
+	Violations int `json:"violations"`
+	// Resumed reports the job was recovered from the journal after a
+	// restart with Cursor programs already committed.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error is set when State is failed.
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one JSONL journal line. Three record types cover the whole
+// job lifecycle:
+//
+//	{"type":"job","job":"job-1","spec":{...}}        job admitted
+//	{"type":"result","job":"job-1","index":3,...}    program 3 committed
+//	{"type":"state","job":"job-1","state":"..."}     terminal transition
+//
+// Result records for one job appear in strictly ascending contiguous
+// index order (the scheduler commits in order), so replay recovers the
+// cursor as the count of result lines. A job with no terminal state
+// record was queued or running when the process died; replay re-queues
+// it at its cursor. Nothing is ever rewritten: the journal is
+// append-only and one Write call per line, so a SIGKILL can lose at most
+// the final, partially written line — which replay tolerates and
+// discards.
+type Record struct {
+	Type   string         `json:"type"`
+	Job    string         `json:"job"`
+	Spec   *JobSpec       `json:"spec,omitempty"`
+	Index  int            `json:"index,omitempty"`
+	Result *ProgramResult `json:"result,omitempty"`
+	State  JobState       `json:"state,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// Journal is the append-only JSONL persistence layer. A nil *Journal is
+// valid and drops every append — the in-memory-only manager mode.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending and replays the records already present. Every record is
+// written newline-terminated in one Write, so a kill mid-write leaves at
+// most a torn tail after the last newline: that tail is truncated away
+// before replay. A line that survives truncation but does not parse is a
+// real integrity failure and errors out.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*Journal, []Record, error) {
+		f.Close()
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fail(err)
+	}
+	// Drop the torn tail: anything after the final newline was never
+	// fully appended. The newline is each record's last byte, so no
+	// partially written record can survive this cut.
+	if cut := bytes.LastIndexByte(data, '\n') + 1; cut < len(data) {
+		data = data[:cut]
+		if err := f.Truncate(int64(cut)); err != nil {
+			return fail(err)
+		}
+	}
+	var recs []Record
+	for lineno, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fail(fmt.Errorf("server: journal %s line %d corrupt: %w", path, lineno+1, err))
+		}
+		recs = append(recs, r)
+	}
+	// Reposition for appends: O_APPEND is not used so truncation and
+	// writes share one descriptor; seek to the (possibly cut) end.
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(err)
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// Append writes one record as a single line + write syscall, so a crash
+// between appends never leaves a half-record followed by more data.
+func (j *Journal) Append(r Record) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	_, err = j.f.Write(b)
+	return err
+}
+
+// Close flushes nothing (every Append is already durable in the page
+// cache) and releases the descriptor.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "j.jsonl")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := smallSpec(1, 2)
+	want := []Record{
+		{Type: "job", Job: "job-1", Spec: &spec},
+		{Type: "result", Job: "job-1", Index: 0, Result: &ProgramResult{Index: 0, Program: "p0"}},
+		{Type: "result", Job: "job-1", Index: 1, Result: &ProgramResult{Index: 1, Program: "p1"}},
+		{Type: "state", Job: "job-1", State: StateCompleted},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Type != want[i].Type || r.Job != want[i].Job || r.Index != want[i].Index || r.State != want[i].State {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if got[1].Result == nil || got[1].Result.Program != "p0" {
+		t.Fatal("result payload lost in round trip")
+	}
+}
+
+// A torn final line — the signature of a SIGKILL mid-write — is cut away
+// and the journal stays usable; fully written records survive.
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(1, 2)
+	if err := j.Append(Record{Type: "job", Job: "job-1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate the torn write: half a record, no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"result","job":"job-1","ind`)
+	f.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Type != "job" {
+		t.Fatalf("replayed %+v, want the one intact job record", recs)
+	}
+	// The journal must append cleanly after the cut.
+	if err := j2.Append(Record{Type: "state", Job: "job-1", State: StateCancelled}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].State != StateCancelled {
+		t.Fatalf("post-truncation append lost: %+v", recs)
+	}
+}
+
+// Corruption before the final newline is an integrity failure, not
+// something to silently skip.
+func TestJournalMidFileCorruptionErrors(t *testing.T) {
+	path := tmpJournal(t)
+	if err := os.WriteFile(path, []byte("not json\n{\"type\":\"job\",\"job\":\"job-1\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt journal opened: %v", err)
+	}
+}
+
+// A nil journal (in-memory mode) accepts appends and closes as no-ops.
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{Type: "state"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
