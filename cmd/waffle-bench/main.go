@@ -49,6 +49,7 @@ func main() {
 		detail   = flag.Bool("ablation-detail", false, "per-bug runs-to-expose under each Table 7 ablation")
 		gen      = flag.String("gen", "", "differential oracle over a generated corpus: seed,count,size (size: small|medium|large|mixed)")
 		genOut   = flag.String("gen-out", "BENCH_gen.json", "report file for -gen")
+		genTSO   = flag.Bool("tso", false, "with -gen: store-buffer (TSO) corpus of stale-read bugs; gates on 100% waffle exposure with manifest-matching fence proposals")
 
 		adaptive    = flag.Bool("adaptive", false, "with -gen: sweep the corpus twice (fixed, then under the adaptive campaign controller) and gate on exposure parity with strictly fewer runs")
 		adaptiveOut = flag.String("adaptive-out", "BENCH_adaptive.json", "report file for -adaptive")
@@ -97,6 +98,7 @@ func main() {
 		opt.MaxRuns = *maxRuns
 		opt.Workers = *parallel
 		opt.Metrics = reg
+		opt.TSO = *genTSO
 		if *adaptive {
 			err = runGenAdaptive(opt, *adaptiveOut, *adaptiveLog)
 		} else {
@@ -242,9 +244,13 @@ func parseGen(s string) (eval.DiffOptions, error) {
 func runGen(opt eval.DiffOptions, out string) error {
 	rep := eval.RunDifferential(opt)
 
+	mix := fmt.Sprintf("%d planted bugs: %d UBI + %d UAF", rep.PlantedUBI+rep.PlantedUAF, rep.PlantedUBI, rep.PlantedUAF)
+	if opt.TSO {
+		mix = fmt.Sprintf("%d planted stale reads, TSO", rep.PlantedStale)
+	}
 	t := report.NewTable(
-		fmt.Sprintf("Differential oracle: %d generated programs (seed %d, %d planted bugs: %d UBI + %d UAF)",
-			rep.Programs, rep.Seed, rep.PlantedUBI+rep.PlantedUAF, rep.PlantedUBI, rep.PlantedUAF),
+		fmt.Sprintf("Differential oracle: %d generated programs (seed %d, %s)",
+			rep.Programs, rep.Seed, mix),
 		"Tool", "Exposed", "Rate", "Mean runs", "±95% CI", "p50", "p90", "p99", "Delays")
 	for _, s := range rep.Tools {
 		t.Row(s.Tool, fmt.Sprintf("%d/%d", s.Exposed, s.Sessions),
@@ -273,6 +279,14 @@ func runGen(opt eval.DiffOptions, out string) error {
 	fmt.Printf("wrote %s\n", out)
 	if len(rep.Violations) > 0 {
 		return fmt.Errorf("%d oracle violations", len(rep.Violations))
+	}
+	if opt.TSO {
+		// A TSO corpus additionally gates on full exposure: the fence
+		// proposals (already manifest-checked per exposure) are only a
+		// complete repair map if every planted stale read was exposed.
+		if wf, ok := rep.Summary("waffle"); !ok || wf.Missed > 0 {
+			return fmt.Errorf("waffle missed %d of %d planted stale reads", wf.Missed, wf.Sessions)
+		}
 	}
 	return nil
 }

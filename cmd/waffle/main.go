@@ -160,7 +160,10 @@ func main() {
 		b := out.Bug
 		fmt.Printf("\nBUG EXPOSED: %s\n", b.Kind())
 		fmt.Printf("  input:     %s (seed %d, run %d)\n", b.Program, b.Seed, b.Run)
-		fmt.Printf("  fault:     %v\n", b.NullRef)
+		fmt.Printf("  fault:     %v\n", b.Fault.Err)
+		if b.Fence != nil {
+			fmt.Printf("  repair:    %v\n", b.Fence)
+		}
 		fmt.Printf("  at:        %v into the run\n", b.Fault.T)
 		fmt.Println("  threads:")
 		for _, s := range b.Fault.Stacks {
@@ -296,7 +299,7 @@ func runSuite(appName, toolName string, maxRuns int, seed int64, parallel, panal
 		if out.Bug != nil {
 			bugsFound++
 			fmt.Printf("  %-32s %v at %s (run %d, slowdown %.1fx)\n",
-				test.Name, out.Bug.Kind(), out.Bug.NullRef.Site, out.Bug.Run, out.Slowdown())
+				test.Name, out.Bug.Kind(), out.Bug.FaultSite(), out.Bug.Run, out.Slowdown())
 		}
 	}
 	fmt.Printf("%d test(s) exposed MemOrder bugs\n", bugsFound)

@@ -73,27 +73,45 @@ func nearMiss(e1, e2 *trace.Event, opts Options) (BugKind, bool) {
 // only observes; a nil counter restores plain nearMiss.
 func nearMissCounted(e1, e2 *trace.Event, opts Options, pruned *obs.Counter) (BugKind, bool) {
 	var kind BugKind
+	staleOnly := false // pair shape exists only as a TSO stale-read candidate
 	switch {
 	case e1.Kind == trace.KindInit && e2.Kind == trace.KindUse:
 		kind = UseBeforeInit
 	case e1.Kind == trace.KindUse && e2.Kind == trace.KindDispose:
 		kind = UseAfterFree
+	case opts.TSO && e1.Kind == trace.KindDispose && e2.Kind == trace.KindUse:
+		kind = StaleRead
+		staleOnly = true
 	default:
 		return 0, false
 	}
 	if e1.TID == e2.TID {
 		return 0, false
 	}
+	inWindow := func() bool {
+		gap := e2.T.Sub(e1.T)
+		return gap >= 0 && gap < opts.Window
+	}
 	if !opts.DisableParentChild && vclock.Ordered(e1.Clock, e2.Clock) {
+		// Fork-ordered pairs cannot reorder, so they are never UBI/UAF
+		// candidates — but under TSO an ordered cross-thread store→read
+		// within the window is exactly where a buffered store can be
+		// observed stale: the write commits late, not the write executes
+		// late. (Use→Dispose stays pruned: the first access is a read;
+		// there is no store whose visibility a flush delay could hold back.)
+		if opts.TSO && kind != UseAfterFree && inWindow() {
+			return StaleRead, true
+		}
 		// Count only instances the remaining rules would have admitted, so
 		// the metric reads as "work the pruning rule actually saved".
-		if gap := e2.T.Sub(e1.T); gap >= 0 && gap < opts.Window {
+		if !staleOnly && inWindow() {
 			pruned.Inc()
 		}
 		return 0, false
 	}
-	gap := e2.T.Sub(e1.T)
-	if gap < 0 || gap >= opts.Window {
+	if staleOnly || !inWindow() {
+		// Unordered dispose→use is a plain race the SC rules already
+		// model; the TSO shape is only meaningful on ordered pairs.
 		return 0, false
 	}
 	return kind, true

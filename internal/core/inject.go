@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"waffle/internal/memmodel"
 	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
@@ -100,18 +101,32 @@ type Injector struct {
 	active map[trace.SiteID]int
 	// activeTotal avoids scanning when nothing is in flight.
 	activeTotal int
+
+	// flushSites are the delay sites of the plan's StaleRead pairs: stores
+	// whose *visibility* is delayed (memmodel.AddFlushDelay) instead of
+	// the issuing thread. Empty outside TSO mode.
+	flushSites map[trace.SiteID]bool
 }
 
 // NewInjector returns a detection hook for plan. The plan's Probs map is
 // mutated by probability decay as the run proceeds.
 func NewInjector(plan *Plan, opts Options) *Injector {
 	opts = opts.WithDefaults()
-	return &Injector{
+	in := &Injector{
 		opts:   opts,
 		plan:   plan,
 		met:    newInjectMetrics(opts.Metrics),
 		active: make(map[trace.SiteID]int),
 	}
+	for _, p := range plan.Pairs {
+		if p.Kind == StaleRead {
+			if in.flushSites == nil {
+				in.flushSites = make(map[trace.SiteID]bool)
+			}
+			in.flushSites[p.Delay] = true
+		}
+	}
+	return in
 }
 
 // Stats returns the injection activity recorded so far. The returned copy
@@ -123,9 +138,62 @@ func (in *Injector) Stats() DelayStats {
 	return in.stats.Clone()
 }
 
-// OnAccess implements memmodel.Hook — the simulator entry point.
+// OnAccess implements memmodel.Hook — the simulator entry point. Stores at
+// a StaleRead candidate site take the flush-delay path: the delay lands on
+// the store's commit, not on the thread, because every StaleRead pair is
+// fork-ordered — sleeping the writer would shift the whole forked subtree
+// (reader included) and never widen the stale window.
 func (in *Injector) OnAccess(t *sim.Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind, dur sim.Duration) {
+	if len(in.flushSites) > 0 && (kind == trace.KindInit || kind == trace.KindDispose) && in.flushSites[site] {
+		in.flushAccess(t, site)
+		return
+	}
 	in.Access(t, site, obj, kind, dur)
+}
+
+// flushAccess injects a visibility delay: the thread's next buffered store
+// (the very access being hooked) commits opts.Alpha·gap later than its
+// drawn latency. Probability decays immediately — the sleep-path decay
+// waits out the delay to learn whether it exposed, but a flush delay never
+// blocks this thread, so there is nothing to wait for; a run it exposes
+// ends the search before the decayed value is ever consulted. Flush delays
+// skip interference bookkeeping: they occupy no thread time, so they
+// cannot cancel (or be cancelled by) any concurrent delay — §4.4's
+// blocked-thread hazard has no analog here.
+func (in *Injector) flushAccess(t *sim.Thread, site trace.SiteID) {
+	if in.opts.InstrCost > 0 {
+		t.Sleep(in.opts.InstrCost)
+	}
+	in.mu.Lock()
+	gapLen, isCandidate := in.plan.DelayLen[site]
+	if !isCandidate {
+		in.mu.Unlock()
+		return
+	}
+	p := in.plan.Probs[site]
+	if p <= 0 {
+		in.mu.Unlock()
+		return
+	}
+	if t.Rand() >= p {
+		in.mu.Unlock()
+		return
+	}
+	d := in.opts.delayFor(gapLen)
+	now := t.Now()
+	iv := Interval{Site: site, Start: now, End: now.Add(d)}
+	in.stats.add(iv)
+	np := p - in.opts.Decay
+	if np < 0 {
+		np = 0
+	}
+	if np == 0 && p > 0 {
+		in.met.floorHits.Inc()
+	}
+	in.plan.Probs[site] = np
+	in.mu.Unlock()
+	in.met.observeDelay(iv)
+	memmodel.AddFlushDelay(t, d)
 }
 
 // Access is the clock-agnostic hook body: charge instrumentation overhead,

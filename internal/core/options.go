@@ -62,6 +62,14 @@ type Options struct {
 	// search at 50 runs (§6.2).
 	MaxDetectionRuns int
 
+	// TSO enables weak-memory analysis: programs run with per-thread store
+	// buffers (SimProgram.TSO), the analyzer admits fork-ordered
+	// write→read pairs as StaleRead candidates — order cannot invert, but
+	// a buffered store can still be observed stale — and the injector
+	// delays those stores' *visibility* (flush delays) instead of the
+	// issuing thread. Off by default; every SC code path is untouched.
+	TSO bool
+
 	// AnalyzeWorkers shards trace analysis across this many workers (the
 	// per-object pass-1 shards and per-instance pass-3 shards of
 	// AnalyzeParallel). Zero or one means sequential analysis; the sharded

@@ -20,6 +20,12 @@ const (
 	// UseAfterFree: an access may execute after the object's disposal if
 	// the access is delayed.
 	UseAfterFree
+	// StaleRead: a TSO-mode candidate — the pair is fork-ordered, so the
+	// accesses can never reorder, but the first access is a store whose
+	// buffered value the second access may observe stale if the store's
+	// commit is delayed. Delay injects into the store's visibility, not
+	// the thread (see Options.TSO).
+	StaleRead
 )
 
 // String names the bug kind.
@@ -29,6 +35,8 @@ func (k BugKind) String() string {
 		return "use-before-init"
 	case UseAfterFree:
 		return "use-after-free"
+	case StaleRead:
+		return "stale-read"
 	default:
 		return fmt.Sprintf("bugkind(%d)", uint8(k))
 	}

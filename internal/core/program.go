@@ -38,6 +38,12 @@ type SimProgram struct {
 	// observer for every run — the hook lock-order tools ride. Mutually
 	// exclusive with FullHB (which installs its own observer).
 	SyncObs sim.SyncObserver
+	// TSO, when non-nil, runs every execution under store-buffer (TSO)
+	// semantics: the heap buffers Init/Dispose transitions per thread with
+	// seeded flush timing. The flush RNG is seeded TSO.Seed⊕f(run seed) so
+	// commit latencies vary across runs like scheduling does, while equal
+	// (config, seed) pairs stay bit-reproducible.
+	TSO *memmodel.TSOConfig
 	// FullHB installs complete happens-before tracking for the run: the
 	// simulator's release/acquire edges (locks, queues, events, joins)
 	// fold into the thread clocks, so recorded traces carry the full
@@ -80,6 +86,11 @@ func (p *SimProgram) execute(cancel <-chan struct{}, seed int64, hook memmodel.H
 	h := memmodel.NewHeap()
 	if p.OpCost > 0 {
 		h.SetOpCost(p.OpCost)
+	}
+	if p.TSO != nil {
+		c := *p.TSO
+		c.Seed ^= seed * 0x9E3779B9
+		h.EnableTSO(c)
 	}
 	h.SetHook(hook)
 	err := w.Run(func(root *sim.Thread) {

@@ -20,6 +20,7 @@ type ReplayResult struct {
 	Reproduced bool
 	Fault      *sim.Fault
 	NullRef    *memmodel.NullRefError
+	Stale      *memmodel.StaleReadError // set when the replayed fault is a stale read
 	Delays     DelayStats
 	End        sim.Time
 }
@@ -45,11 +46,18 @@ func MinimalPlan(bug *BugReport, opts Options) *Plan {
 		// exposing run avoided.
 		switch bug.Kind() {
 		case UseAfterFree:
-			if p.Kind != UseAfterFree || p.Delay != bug.NullRef.Site {
+			if p.Kind != UseAfterFree || p.Delay != bug.FaultSite() {
 				continue
 			}
 		case UseBeforeInit:
-			if p.Kind != UseBeforeInit || p.Target != bug.NullRef.Site {
+			if p.Kind != UseBeforeInit || p.Target != bug.FaultSite() {
+				continue
+			}
+		case StaleRead:
+			// The faulting access is the stale read — the target of the
+			// candidate pair whose delay site is the buffered store the
+			// proposal fences.
+			if p.Kind != StaleRead || p.Target != bug.FaultSite() {
 				continue
 			}
 		}
@@ -85,8 +93,10 @@ func Replay(prog Program, bug *BugReport, opts Options) ReplayResult {
 	if res.Fault != nil {
 		if nre, ok := faultNullRef(res.Fault); ok {
 			out.NullRef = nre
-			out.Reproduced = nre.Site == bug.NullRef.Site && nre.Obj == bug.NullRef.Obj ||
-				nre.Site == bug.NullRef.Site
+			out.Reproduced = nre.Site == bug.FaultSite()
+		} else if sre, ok := res.Fault.Err.(*memmodel.StaleReadError); ok {
+			out.Stale = sre
+			out.Reproduced = sre.Site == bug.FaultSite()
 		}
 	}
 	return out
@@ -101,7 +111,11 @@ func faultNullRef(f *sim.Fault) (*memmodel.NullRefError, bool) {
 // String renders the replay verdict.
 func (r ReplayResult) String() string {
 	if r.Reproduced {
-		return fmt.Sprintf("reproduced: %v after %d delay(s) (%v total)", r.NullRef, r.Delays.Count, r.Delays.Total)
+		var ferr error = r.NullRef
+		if r.Stale != nil {
+			ferr = r.Stale
+		}
+		return fmt.Sprintf("reproduced: %v after %d delay(s) (%v total)", ferr, r.Delays.Count, r.Delays.Total)
 	}
 	if r.Fault != nil {
 		return fmt.Sprintf("different fault: %v", r.Fault)

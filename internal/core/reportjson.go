@@ -33,7 +33,18 @@ type bugReportJSON struct {
 		Object   int64    `json:"object"`
 		ObjName  string   `json:"object_name"`
 		RefState string   `json:"ref_state"`
+
+		// Stale-read extras (TSO mode only; absent on SC reports, keeping
+		// the sequential-consistency wire form byte-identical).
+		CoherentState string `json:"coherent_state,omitempty"`
+		PendingSite   string `json:"pending_site,omitempty"`
+		PendingKind   string `json:"pending_kind,omitempty"`
+		PendingTID    int    `json:"pending_tid,omitempty"`
+		VisibleAtUS   int64  `json:"visible_at_us,omitempty"`
 	} `json:"fault"`
+
+	// Fence is the stale-read repair proposal (TSO mode only).
+	Fence *FenceProposal `json:"fence,omitempty"`
 
 	Candidates []Pair `json:"candidates"`
 
@@ -66,6 +77,18 @@ func (b *BugReport) WriteJSON(w io.Writer) error {
 		out.Fault.ObjName = b.NullRef.Name
 		out.Fault.RefState = b.NullRef.State.String()
 	}
+	if b.Stale != nil {
+		out.Fault.Site = string(b.Stale.Site)
+		out.Fault.Object = int64(b.Stale.Obj)
+		out.Fault.ObjName = b.Stale.Name
+		out.Fault.RefState = b.Stale.Observed.String()
+		out.Fault.CoherentState = b.Stale.Coherent.String()
+		out.Fault.PendingSite = string(b.Stale.PendingSite)
+		out.Fault.PendingKind = b.Stale.PendingKind.String()
+		out.Fault.PendingTID = b.Stale.PendingTID
+		out.Fault.VisibleAtUS = int64(b.Stale.VisibleAt)
+	}
+	out.Fence = b.Fence
 	out.Candidates = b.Candidates
 	out.Delays.Count = b.Delays.Count
 	out.Delays.TotalUS = int64(b.Delays.Total)
@@ -91,18 +114,32 @@ func ReadBugReportJSON(r io.Reader) (*BugReport, error) {
 		Seed:       in.Seed,
 		Candidates: in.Candidates,
 	}
-	state := memmodel.StateNil
-	if in.Fault.RefState == memmodel.StateDisposed.String() {
-		state = memmodel.StateDisposed
-	}
-	b.NullRef = &memmodel.NullRefError{
-		Obj:   trace.ObjID(in.Fault.Object),
-		Name:  in.Fault.ObjName,
-		Site:  trace.SiteID(in.Fault.Site),
-		State: state,
+	var faultErr error
+	if in.Kind == StaleRead.String() {
+		b.Stale = &memmodel.StaleReadError{
+			Obj:         trace.ObjID(in.Fault.Object),
+			Name:        in.Fault.ObjName,
+			Site:        trace.SiteID(in.Fault.Site),
+			Observed:    stateFromString(in.Fault.RefState),
+			Coherent:    stateFromString(in.Fault.CoherentState),
+			PendingSite: trace.SiteID(in.Fault.PendingSite),
+			PendingKind: kindFromString(in.Fault.PendingKind),
+			PendingTID:  in.Fault.PendingTID,
+			VisibleAt:   sim.Time(in.Fault.VisibleAtUS),
+		}
+		b.Fence = in.Fence
+		faultErr = b.Stale
+	} else {
+		b.NullRef = &memmodel.NullRefError{
+			Obj:   trace.ObjID(in.Fault.Object),
+			Name:  in.Fault.ObjName,
+			Site:  trace.SiteID(in.Fault.Site),
+			State: stateFromString(in.Fault.RefState),
+		}
+		faultErr = b.NullRef
 	}
 	b.Fault = &sim.Fault{
-		Err:    b.NullRef,
+		Err:    faultErr,
 		Thread: in.Fault.Thread,
 		Name:   in.Fault.Name,
 		T:      sim.Time(in.Fault.AtUS),
@@ -115,4 +152,26 @@ func ReadBugReportJSON(r io.Reader) (*BugReport, error) {
 		Skipped: in.Delays.Skipped,
 	}
 	return b, nil
+}
+
+// stateFromString parses a lifecycle state rendered by State.String.
+func stateFromString(s string) memmodel.State {
+	switch s {
+	case memmodel.StateLive.String():
+		return memmodel.StateLive
+	case memmodel.StateDisposed.String():
+		return memmodel.StateDisposed
+	default:
+		return memmodel.StateNil
+	}
+}
+
+// kindFromString parses an access kind rendered by Kind.String.
+func kindFromString(s string) trace.Kind {
+	for k := trace.KindInit; k <= trace.KindAPIWrite; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return trace.KindInit
 }

@@ -119,9 +119,32 @@ type RunReport struct {
 	WallDur   time.Duration
 }
 
+// FenceProposal is the machine-checkable repair emitted with every
+// confirmed stale-read bug: a full fence (store-buffer drain) placed
+// after the buffered write and ordered before the stale read forbids the
+// exposing schedule — and every schedule like it — outright. The pair is
+// derived from the exposing run itself: the StaleReadError names the
+// still-buffered store the faulting read observed around, so (After,
+// Before) is exactly the ordering edge the program is missing ("Don't sit
+// on the fence"'s placement question answered by the witness schedule).
+type FenceProposal struct {
+	// After is the store site whose buffered value went stale: the fence
+	// goes immediately after this write.
+	After trace.SiteID `json:"after"`
+	// Before is the read site that observed the stale state: the fence
+	// must order the committed write before it.
+	Before trace.SiteID `json:"before"`
+}
+
+// String renders the proposal as an actionable edit.
+func (f *FenceProposal) String() string {
+	return fmt.Sprintf("insert fence after %s (orders the write before %s)", f.After, f.Before)
+}
+
 // BugReport is emitted when a delay-injection run manifests a NULL
 // reference fault (§5: faulty input, candidate locations involved, stack
-// traces, and delay information).
+// traces, and delay information) — or, in TSO mode, a stale-read fault.
+// Exactly one of NullRef and Stale is set.
 type BugReport struct {
 	Program    string
 	Tool       string
@@ -129,22 +152,55 @@ type BugReport struct {
 	Seed       int64 // seed of the exposing run
 	Fault      *sim.Fault
 	NullRef    *memmodel.NullRefError
-	Candidates []Pair     // plan pairs involving the faulting site
-	Delays     DelayStats // delays injected in the exposing run
+	Stale      *memmodel.StaleReadError // TSO stale-read manifestation
+	Fence      *FenceProposal           // repair proposal; set iff Stale is
+	Candidates []Pair                   // plan pairs involving the faulting site
+	Delays     DelayStats               // delays injected in the exposing run
 }
 
-// Kind reports the bug class, derived from the faulting reference state.
+// Kind reports the bug class, derived from the fault.
 func (b *BugReport) Kind() BugKind {
+	if b.Stale != nil {
+		return StaleRead
+	}
 	if b.NullRef != nil && b.NullRef.State == memmodel.StateDisposed {
 		return UseAfterFree
 	}
 	return UseBeforeInit
 }
 
+// ObjName returns the faulting object's declared name, whichever fault
+// class manifested.
+func (b *BugReport) ObjName() string {
+	if b.Stale != nil {
+		return b.Stale.Name
+	}
+	if b.NullRef != nil {
+		return b.NullRef.Name
+	}
+	return ""
+}
+
+// FaultSite returns the site of the faulting access, whichever fault class
+// manifested.
+func (b *BugReport) FaultSite() trace.SiteID {
+	if b.Stale != nil {
+		return b.Stale.Site
+	}
+	if b.NullRef != nil {
+		return b.NullRef.Site
+	}
+	return ""
+}
+
 // String renders a one-line summary.
 func (b *BugReport) String() string {
-	return fmt.Sprintf("%s: %s exposed %s at %s in run %d (seed %d)",
-		b.Program, b.Tool, b.Kind(), b.NullRef.Site, b.Run, b.Seed)
+	s := fmt.Sprintf("%s: %s exposed %s at %s in run %d (seed %d)",
+		b.Program, b.Tool, b.Kind(), b.FaultSite(), b.Run, b.Seed)
+	if b.Fence != nil {
+		s += " — " + b.Fence.String()
+	}
+	return s
 }
 
 // Outcome is the result of a full Expose search.
@@ -367,23 +423,41 @@ func (s *Session) appendRun(out *Outcome, run int, seed int64, res ExecResult, s
 	rep = &out.Runs[len(out.Runs)-1]
 
 	if res.Fault != nil {
-		var nre *memmodel.NullRefError
-		if errors.As(res.Fault.Err, &nre) {
-			if stats.Count > 0 {
-				rep.Outcome = RunFaultBug
-				out.Bug = &BugReport{
-					Program:    s.Prog.Name(),
-					Tool:       s.Tool.Name(),
-					Run:        run,
-					Seed:       seed,
-					Fault:      res.Fault,
-					NullRef:    nre,
-					Candidates: s.Tool.Candidates(nre.Site),
-					Delays:     rep.Stats,
-				}
-			} else {
+		// report assembles the BugReport skeleton when the fault is
+		// attributable to delay injection (stats.Count counts flush delays
+		// too — a visibility delay is an injection like any other); a fault
+		// in a delay-free run takes the zero-false-positive path whichever
+		// fault class it belongs to.
+		report := func(site trace.SiteID) *BugReport {
+			if stats.Count == 0 {
 				rep.Outcome = RunFaultDelayFree
 				out.DelayFreeFaults = append(out.DelayFreeFaults, run)
+				return nil
+			}
+			rep.Outcome = RunFaultBug
+			return &BugReport{
+				Program:    s.Prog.Name(),
+				Tool:       s.Tool.Name(),
+				Run:        run,
+				Seed:       seed,
+				Fault:      res.Fault,
+				Candidates: s.Tool.Candidates(site),
+				Delays:     rep.Stats,
+			}
+		}
+		var nre *memmodel.NullRefError
+		var sre *memmodel.StaleReadError
+		switch {
+		case errors.As(res.Fault.Err, &nre):
+			if b := report(nre.Site); b != nil {
+				b.NullRef = nre
+				out.Bug = b
+			}
+		case errors.As(res.Fault.Err, &sre):
+			if b := report(sre.Site); b != nil {
+				b.Stale = sre
+				b.Fence = &FenceProposal{After: sre.PendingSite, Before: sre.Site}
+				out.Bug = b
 			}
 		}
 		s.meterRun(out, rep)

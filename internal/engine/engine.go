@@ -66,7 +66,10 @@ type Stats struct {
 	// DelayFreeFaults counts runs that faulted with zero injected delays
 	// (surfaced, never reported as bugs — the zero-FP contract).
 	DelayFreeFaults int `json:"delay_free_faults"`
-	RunErrs         int `json:"run_errs"`
+	// FenceProposals counts exposed bugs that carried a fence-repair
+	// proposal (stale reads under TSO mode).
+	FenceProposals int `json:"fence_proposals,omitempty"`
+	RunErrs        int `json:"run_errs"`
 }
 
 // observe folds one finished outcome into the aggregate.
@@ -82,6 +85,9 @@ func (s *Stats) observe(out *core.Outcome) {
 	}
 	if out.Bug != nil {
 		s.Exposed++
+		if out.Bug.Fence != nil {
+			s.FenceProposals++
+		}
 	}
 	s.DelayFreeFaults += len(out.DelayFreeFaults)
 }

@@ -30,6 +30,15 @@ type DiffOptions struct {
 	Size genprog.Size
 	// Mixed cycles small/medium/large across the corpus.
 	Mixed bool
+	// TSO generates store-buffer corpora: programs run under TSO semantics
+	// with planted stale-read bugs (genprog.TSOSizeConfig), and the waffle
+	// tool's analysis admits fork-ordered write→read pairs as StaleRead
+	// candidates. The oracle additionally checks each exposure's fence
+	// proposal against the manifest and verifies the repair — replaying
+	// the exposing schedule on a fenced variant must run clean. The
+	// baselines run unchanged (SC analysis, thread delays), quantifying
+	// that visibility-delay injection is what exposes this class.
+	TSO bool
 	// MaxRuns bounds each armed Waffle/WaffleBasic session (preparation
 	// included). <= 0 means 25.
 	MaxRuns int
@@ -83,10 +92,10 @@ var DiffTools = []string{"waffle", "wafflebasic", "tsvd"}
 // newDiffTool builds one comparison detector. The TSVD adapter is the
 // shared one in internal/engine, so the harness and the campaign server
 // drive byte-identical code.
-func newDiffTool(name string, metrics *obs.Registry) core.Tool {
+func newDiffTool(name string, metrics *obs.Registry, tso bool) core.Tool {
 	switch name {
 	case "waffle":
-		return core.NewWaffle(core.Options{Metrics: metrics})
+		return core.NewWaffle(core.Options{Metrics: metrics, TSO: tso})
 	case "wafflebasic":
 		return wafflebasic.New(core.Options{Metrics: metrics})
 	case "tsvd":
@@ -156,13 +165,15 @@ type ToolDiffSummary struct {
 // DiffReport is the full differential-oracle result: the payload of
 // BENCH_gen.json and the object the acceptance tests assert on.
 type DiffReport struct {
-	Seed       int64             `json:"seed"`
-	Programs   int               `json:"programs"`
-	MaxRuns    int               `json:"max_runs"`
-	PlantedUBI int               `json:"planted_ubi"`
-	PlantedUAF int               `json:"planted_uaf"`
-	Tools      []ToolDiffSummary `json:"tools"`
-	Results    []ProgramDiff     `json:"results"`
+	Seed       int64 `json:"seed"`
+	Programs   int   `json:"programs"`
+	MaxRuns    int   `json:"max_runs"`
+	PlantedUBI int   `json:"planted_ubi"`
+	PlantedUAF int   `json:"planted_uaf"`
+	// PlantedStale counts planted stale-read bugs (TSO corpora only).
+	PlantedStale int               `json:"planted_stale,omitempty"`
+	Tools        []ToolDiffSummary `json:"tools"`
+	Results      []ProgramDiff     `json:"results"`
 	// Violations aggregates every oracle breach across the corpus: a
 	// report outside a manifest, a fault in a disarmed program, an
 	// abnormal run, or a reproducibility divergence. Empty on a healthy
@@ -268,9 +279,12 @@ func RunDifferentialCtx(ctx context.Context, o DiffOptions) *DiffReport {
 		for _, out := range pd.Outcomes {
 			sessions[out.Tool]++
 			if out.Tool == DiffTools[0] {
-				if out.Kind == core.UseBeforeInit.String() {
+				switch out.Kind {
+				case core.UseBeforeInit.String():
 					rep.PlantedUBI++
-				} else {
+				case core.StaleRead.String():
+					rep.PlantedStale++
+				default:
 					rep.PlantedUAF++
 				}
 			}
@@ -340,6 +354,9 @@ func (o DiffOptions) diffProgram(ctx context.Context, i int) *ProgramDiff {
 		size = genprog.Size(i % 3)
 	}
 	cfg := genprog.SizeConfig(o.Seed+int64(i), size)
+	if o.TSO {
+		cfg = genprog.TSOSizeConfig(o.Seed+int64(i), size)
+	}
 	p := genprog.Generate(cfg)
 	m := p.Manifest()
 	pd := &ProgramDiff{
@@ -362,10 +379,10 @@ func (o DiffOptions) diffProgram(ctx context.Context, i int) *ProgramDiff {
 	adaptiveTool := func(name, target string) (core.Tool, *control.Target) {
 		if o.Controller != nil {
 			if tgt := o.Controller.TargetWithRegistry(target, obs.New()); tgt != nil {
-				return newDiffTool(name, tgt.Registry()), tgt
+				return newDiffTool(name, tgt.Registry(), o.TSO), tgt
 			}
 		}
-		return newDiffTool(name, o.Metrics), nil
+		return newDiffTool(name, o.Metrics, o.TSO), nil
 	}
 
 	fullNS, incNS, err := checkReproducible(p, cfg)
@@ -400,11 +417,26 @@ func (o DiffOptions) diffProgram(ctx context.Context, i int) *ProgramDiff {
 			if out.Bug != nil {
 				if err := m.Check(out.Bug); err != nil {
 					fail("tool %s, bug %d armed: %v", name, bug.Index, err)
-				} else if out.Bug.NullRef.Name != bug.Obj {
-					fail("tool %s, bug %d armed: exposed %s, want %s", name, bug.Index, out.Bug.NullRef.Name, bug.Obj)
+				} else if out.Bug.ObjName() != bug.Obj {
+					fail("tool %s, bug %d armed: exposed %s, want %s", name, bug.Index, out.Bug.ObjName(), bug.Obj)
 				} else {
 					oc.Runs = out.Bug.Run
 					oc.Delays = out.Bug.Delays.Count
+					if bug.Kind == core.StaleRead && out.Bug.Fence != nil {
+						// Repair verification: apply the proposed fence and
+						// replay the exposing schedule — the stale read must
+						// be gone, and nothing else may fault.
+						fenced := p.ArmOnly(bug.Index).WithFence(out.Bug.Fence.After).Prog()
+						if rr := core.Replay(fenced, out.Bug, core.Options{}); rr.Fault != nil {
+							fail("tool %s, bug %d armed: fence at %s does not repair: %v",
+								name, bug.Index, out.Bug.Fence.After, rr.Fault.Err)
+						}
+						// And without the fence the same schedule reproduces.
+						if rr := core.Replay(variant, out.Bug, core.Options{}); !rr.Reproduced {
+							fail("tool %s, bug %d armed: exposing schedule did not replay: %s",
+								name, bug.Index, rr.String())
+						}
+					}
 				}
 			}
 			for _, err := range out.RunErrs() {
@@ -451,6 +483,7 @@ func (o DiffOptions) diffProgram(ctx context.Context, i int) *ProgramDiff {
 // from-scratch Analyze of the second trace against an incremental
 // re-analysis seeded by the first campaign's plan.
 func checkReproducible(p *genprog.Program, cfg genprog.Config) (fullNS, incNS int64, err error) {
+	aopts := core.Options{TSO: cfg.TSO}
 	q := genprog.Generate(cfg)
 	if p.Fingerprint() != q.Fingerprint() {
 		return 0, 0, fmt.Errorf("regeneration diverged for seed %d", cfg.Seed)
@@ -484,12 +517,12 @@ func checkReproducible(p *genprog.Program, cfg genprog.Config) (fullNS, incNS in
 		err := plan.WriteJSON(&buf)
 		return buf.Bytes(), err
 	}
-	boot := core.AnalyzeIncremental(nil, nil, tr1, core.Options{})
-	want, err := encode(core.Analyze(tr1, core.Options{}))
+	boot := core.AnalyzeIncremental(nil, nil, tr1, aopts)
+	want, err := encode(core.Analyze(tr1, aopts))
 	if err != nil {
 		return 0, 0, err
 	}
-	par, err := encode(core.AnalyzeParallel(tr1, core.Options{}, 4))
+	par, err := encode(core.AnalyzeParallel(tr1, aopts, 4))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -500,7 +533,7 @@ func checkReproducible(p *genprog.Program, cfg genprog.Config) (fullNS, incNS in
 	if err := tr1.WriteStream(&stream); err != nil {
 		return 0, 0, fmt.Errorf("write stream: %w", err)
 	}
-	sp, err := core.AnalyzeStream(bytes.NewReader(stream.Bytes()), core.Options{})
+	sp, err := core.AnalyzeStream(bytes.NewReader(stream.Bytes()), aopts)
 	if err != nil {
 		return 0, 0, fmt.Errorf("streaming analysis: %w", err)
 	}
@@ -522,10 +555,10 @@ func checkReproducible(p *genprog.Program, cfg genprog.Config) (fullNS, incNS in
 	// Second campaign over the re-recorded trace: from-scratch vs
 	// incremental, timed, and still byte-identical.
 	t0 := time.Now()
-	fullPlan := core.Analyze(tr2, core.Options{})
+	fullPlan := core.Analyze(tr2, aopts)
 	fullNS = time.Since(t0).Nanoseconds()
 	t1 := time.Now()
-	incPlan := core.AnalyzeIncremental(boot, tr1, tr2, core.Options{})
+	incPlan := core.AnalyzeIncremental(boot, tr1, tr2, aopts)
 	incNS = time.Since(t1).Nanoseconds()
 	want2, err := encode(fullPlan)
 	if err != nil {

@@ -75,6 +75,13 @@ type Config struct {
 	// bug's spawner thread (1 = root spawns the spawner directly).
 	// <= 0 means 2.
 	Depth int
+	// TSO plants stale-read bugs instead of order violations: programs run
+	// under store-buffer semantics (the rendered SimProgram enables
+	// memmodel TSO mode) and every racy pair is a fork-ordered write→read
+	// whose exposure requires delaying the write's *visibility*. Manifests
+	// carry the expected fence-repair pair. JoinDecoys and APINoise are
+	// ignored in TSO layouts.
+	TSO bool
 	// Name labels the program in reports. Empty means "gen-s<Seed>".
 	Name string
 }
@@ -168,6 +175,23 @@ func SizeConfig(seed int64, s Size) Config {
 	return c
 }
 
+// TSOSizeConfig returns the preset TSO-corpus Config for a seed at a given
+// scale: stale-read bugs with fence decoys (fork-ordered write→guarded-read
+// pairs that are StaleRead candidates but can never fault) in place of the
+// SC decoy mix.
+func TSOSizeConfig(seed int64, s Size) Config {
+	c := Config{Seed: seed, TSO: true, Name: fmt.Sprintf("gen-tso-%s-s%d", s, seed)}
+	switch s {
+	case SizeLarge:
+		c.Bugs, c.DecoysPerThread, c.HBDecoys = 3, 5, 3
+	case SizeMedium:
+		c.Bugs, c.DecoysPerThread, c.HBDecoys = 2, 3, 2
+	default:
+		c.Bugs, c.DecoysPerThread, c.HBDecoys = 1, 2, 1
+	}
+	return c
+}
+
 // opCode is one instrumented action in the generated script.
 type opCode uint8
 
@@ -177,6 +201,11 @@ const (
 	opDispose
 	opAPIRead
 	opAPIWrite
+	// opUseGuard always renders as UseIfLive regardless of arming: a read
+	// that tolerates both absent and stale state. TSO layouts use it for
+	// fence-decoy reads, which may genuinely observe a buffered (stale)
+	// store when the injector delays the decoy write's visibility.
+	opUseGuard
 )
 
 func (c opCode) String() string {
@@ -191,6 +220,8 @@ func (c opCode) String() string {
 		return "apiread"
 	case opAPIWrite:
 		return "apiwrite"
+	case opUseGuard:
+		return "useguard"
 	}
 	return "?"
 }
@@ -232,7 +263,10 @@ type Program struct {
 	objs    []string // object names, index = op.Obj
 	bugs    []PlantedBug
 	armed   []bool
-	lastAt  sim.Time // latest scheduled op time
+	// fenceAfter, when set on a variant (WithFence), drains the acting
+	// thread's store buffer immediately after every access at that site.
+	fenceAfter trace.SiteID
+	lastAt     sim.Time // latest scheduled op time
 }
 
 // band spacing keeps bug subtrees far enough apart that no cross-subtree
@@ -257,9 +291,15 @@ func Generate(cfg Config) *Program {
 	g.addThread("main") // index 0
 
 	for b := 0; b < cfg.Bugs; b++ {
-		g.plantBug(b)
+		if cfg.TSO {
+			g.plantTSOBug(b)
+		} else {
+			g.plantBug(b)
+		}
 	}
-	g.apiNoise()
+	if !cfg.TSO {
+		g.apiNoise()
+	}
 
 	// Randomize the root's spawn order: thread IDs (and so tie-breaking
 	// and fork-clock component order) vary across seeds without touching
@@ -436,6 +476,120 @@ func (g *gen) plantBug(b int) {
 	}
 }
 
+// TSO banding. Stale-read subtrees sit on a wider grid because the
+// dispose flavor plants its initialization tsoEarlyInitLead before the
+// racy instant: far enough that the (init, probe) distance exceeds the
+// 100ms analysis window, so the dispose alone is blamed for the stale
+// read, yet still inside the band.
+const (
+	tsoFirstBandAt   = 220 * sim.Millisecond
+	tsoBandSpacing   = 400 * sim.Millisecond
+	tsoEarlyInitLead = 150 * sim.Millisecond
+)
+
+// plantTSOBug emits bug b's subtree for a TSO layout: [relay →] writer →
+// reader. The writer performs the racy write — an Init, or a Dispose of
+// an object initialized tsoEarlyInitLead earlier — in its preamble and
+// only then forks the reader, so the pair is fork-clock ORDERED and can
+// never invert under sequential consistency: no thread delay exposes it.
+// Exposure requires delaying the write's *visibility*: the injector's
+// flush delay keeps the store in the writer's buffer past the reader's
+// probe, which then observes the stale pre-write state. The probe
+// renders as UseFresh when armed (faults iff stale) and UseIfLive when
+// not; both record KindUse, keeping traces arming-invariant.
+//
+// Around the pair:
+//
+//   - fence decoys: hb objects initialized in the writer's preamble and
+//     read by the reader through guarded reads placed after the probe —
+//     more ordered write→read StaleRead candidates that soak up flush
+//     delays but are structurally unable to fault;
+//   - private decoys: thread-local reader traffic squeezed between the
+//     fork and the probe (sub-2ms spacing fits under the minimum gap).
+func (g *gen) plantTSOBug(b int) {
+	cfg := g.cfg
+	at := sim.Time(tsoFirstBandAt + sim.Duration(b)*tsoBandSpacing +
+		sim.Duration(g.rng.Int63n(10))*sim.Millisecond)
+	gapSteps := int64(cfg.GapMax-cfg.GapMin)/int64(100*sim.Microsecond) + 1
+	gap := cfg.GapMin + sim.Duration(g.rng.Int63n(gapSteps))*100*sim.Microsecond
+	disposeFlavor := g.rng.Intn(2) == 1
+
+	pfx := fmt.Sprintf("b%d", b)
+	writer := g.addThread(pfx + ".writer")
+	reader := g.addThread(pfx + ".reader")
+	g.p.threads[writer].Children = []int{reader}
+
+	top := writer
+	for d := 1 + g.rng.Intn(cfg.Depth); d > 1; d-- {
+		relay := g.addThread(fmt.Sprintf("%s.relay%d", pfx, d-1))
+		g.p.threads[relay].Children = []int{top}
+		top = relay
+	}
+	root := &g.p.threads[0]
+	root.Children = append(root.Children, top)
+
+	obj := g.addObj(pfx + ".obj")
+	wt := &g.p.threads[writer]
+
+	// Fence-decoy initializations, 2ms apart, ending just before the racy
+	// write. Their guarded reads land after the probe, still within the
+	// analysis window of these inits.
+	hb := make([]int, cfg.HBDecoys)
+	preAt := at.Add(-2 * sim.Duration(cfg.HBDecoys) * sim.Millisecond)
+	for j := range hb {
+		hb[j] = g.addObj(fmt.Sprintf("%s.hb%d", pfx, j))
+		wt.Pre = append(wt.Pre, op{Code: opInit, At: g.note(preAt), Obj: hb[j],
+			Site: trace.SiteID(fmt.Sprintf("%s.hb%d.init", pfx, j)), Bug: -1})
+		preAt = preAt.Add(2 * sim.Millisecond)
+	}
+
+	// The racy write.
+	delaySite := trace.SiteID(pfx + ".obj.init")
+	if disposeFlavor {
+		wt.Pre = append(wt.Pre, op{Code: opInit, At: g.note(at.Add(-tsoEarlyInitLead)),
+			Obj: obj, Site: delaySite, Bug: -1})
+		delaySite = trace.SiteID(pfx + ".obj.dispose")
+		wt.Pre = append(wt.Pre, op{Code: opDispose, At: g.note(at), Obj: obj, Site: delaySite, Bug: -1})
+	} else {
+		wt.Pre = append(wt.Pre, op{Code: opInit, At: g.note(at), Obj: obj, Site: delaySite, Bug: -1})
+	}
+
+	// Reader: private decoys between fork and probe, the probe at the
+	// planted gap, then the fence-decoy reads.
+	rt := &g.p.threads[reader]
+	pd := g.addObj(pfx + ".pa")
+	pdAt := at.Add(130 * sim.Microsecond)
+	rt.Ops = append(rt.Ops, op{Code: opInit, At: g.note(pdAt), Obj: pd,
+		Site: trace.SiteID(pfx + ".pa.init"), Bug: -1})
+	for j := 0; j < cfg.DecoysPerThread; j++ {
+		pdAt = pdAt.Add(330 * sim.Microsecond)
+		rt.Ops = append(rt.Ops, op{Code: opUse, At: g.note(pdAt), Obj: pd,
+			Site: trace.SiteID(fmt.Sprintf("%s.pa.u%d", pfx, j)), Bug: -1})
+	}
+	readSite := trace.SiteID(pfx + ".obj.read")
+	rt.Ops = append(rt.Ops, op{Code: opUse, At: g.note(at.Add(gap)), Obj: obj, Site: readSite, Bug: b})
+	for j, o := range hb {
+		readAt := at.Add(gap + sim.Duration(1+2*j)*sim.Millisecond)
+		rt.Ops = append(rt.Ops, op{Code: opUseGuard, At: g.note(readAt), Obj: o,
+			Site: trace.SiteID(fmt.Sprintf("%s.hb%d.read", pfx, j)), Bug: -1})
+	}
+
+	g.p.bugs = append(g.p.bugs, PlantedBug{
+		Index:       b,
+		Kind:        core.StaleRead,
+		Obj:         g.p.objs[obj],
+		DelaySite:   delaySite,
+		TargetSite:  readSite,
+		FaultSite:   readSite,
+		Gap:         gap,
+		At:          at,
+		DelayThread: g.p.threads[writer].Name,
+		FaultThread: g.p.threads[reader].Name,
+		FenceAfter:  delaySite,
+		FenceBefore: readSite,
+	})
+}
+
 // privateDecoys emits a thread-local object with an init and
 // cfg.DecoysPerThread uses starting at start, spaced apart; a trailing
 // use is added at tail when nonzero.
@@ -536,4 +690,15 @@ func (p *Program) ArmAll() *Program {
 // control: no delay schedule whatsoever may fault it.
 func (p *Program) DisarmAll() *Program {
 	return p.arming(make([]bool, len(p.bugs)))
+}
+
+// WithFence returns a variant that executes a store-buffer fence
+// immediately after every access at the given site — the repair a
+// FenceProposal names. Applying the proposed fence and re-running the
+// exposing schedule must not fault: the oracle's repair-verification
+// step. No-op outside TSO mode (the fence drains an empty buffer).
+func (p *Program) WithFence(after trace.SiteID) *Program {
+	cp := *p
+	cp.fenceAfter = after
+	return &cp
 }

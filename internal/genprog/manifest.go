@@ -38,6 +38,11 @@ type PlantedBug struct {
 	// access and the faulting access.
 	DelayThread string `json:"delay_thread"`
 	FaultThread string `json:"fault_thread"`
+	// FenceAfter and FenceBefore are the expected repair for a stale-read
+	// bug: a store-buffer fence after the write at FenceAfter orders its
+	// visibility before the read at FenceBefore. Empty for SC bugs.
+	FenceAfter  trace.SiteID `json:"fence_after,omitempty"`
+	FenceBefore trace.SiteID `json:"fence_before,omitempty"`
 }
 
 func (b PlantedBug) String() string {
@@ -81,8 +86,8 @@ func (m *Manifest) JSON() []byte {
 	return append(b, '\n')
 }
 
-// Allows reports whether a NullRefError on object objName at site matches
-// a planted bug, returning the matching entry. The zero-FP oracle: every
+// Allows reports whether a fault on object objName at site matches a
+// planted bug, returning the matching entry. The zero-FP oracle: every
 // fault outside this predicate is a generator or detector defect.
 func (m *Manifest) Allows(objName string, site trace.SiteID) (PlantedBug, bool) {
 	for _, b := range m.Bugs {
@@ -94,19 +99,30 @@ func (m *Manifest) Allows(objName string, site trace.SiteID) (PlantedBug, bool) 
 }
 
 // Check judges a BugReport against the manifest: nil for a correct
-// report, an error describing the violation otherwise.
+// report, an error describing the violation otherwise. For stale-read
+// bugs the report must additionally carry the planted fence-repair pair
+// — a proposal naming any other site would "fix" the wrong store.
 func (m *Manifest) Check(rep *core.BugReport) error {
-	if rep == nil || rep.NullRef == nil {
-		return fmt.Errorf("genprog: report without a NULL-reference fault")
+	if rep == nil || (rep.NullRef == nil && rep.Stale == nil) {
+		return fmt.Errorf("genprog: report without a fault")
 	}
-	b, ok := m.Allows(rep.NullRef.Name, rep.NullRef.Site)
+	b, ok := m.Allows(rep.ObjName(), rep.FaultSite())
 	if !ok {
 		return fmt.Errorf("genprog: fault outside the manifest: obj %q at %s (%s)",
-			rep.NullRef.Name, rep.NullRef.Site, rep.Kind())
+			rep.ObjName(), rep.FaultSite(), rep.Kind())
 	}
 	if rep.Kind() != b.Kind {
 		return fmt.Errorf("genprog: fault at %s manifested as %s, planted as %s",
-			rep.NullRef.Site, rep.Kind(), b.Kind)
+			rep.FaultSite(), rep.Kind(), b.Kind)
+	}
+	if b.Kind == core.StaleRead {
+		switch {
+		case rep.Fence == nil:
+			return fmt.Errorf("genprog: stale-read report at %s without a fence proposal", rep.FaultSite())
+		case rep.Fence.After != b.FenceAfter || rep.Fence.Before != b.FenceBefore:
+			return fmt.Errorf("genprog: fence proposal (after %s, before %s) does not match planted (after %s, before %s)",
+				rep.Fence.After, rep.Fence.Before, b.FenceAfter, b.FenceBefore)
+		}
 	}
 	return nil
 }

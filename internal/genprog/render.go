@@ -13,7 +13,7 @@ import (
 // heap and ref set; the script itself is shared and read-only, so
 // variants and parallel sessions can execute concurrently.
 func (p *Program) Prog() *core.SimProgram {
-	return &core.SimProgram{
+	sp := &core.SimProgram{
 		Label:   p.cfg.Name,
 		MaxTime: sim.Duration(p.lastAt) + 10*sim.Second,
 		Body: func(root *sim.Thread, h *memmodel.Heap) {
@@ -21,33 +21,40 @@ func (p *Program) Prog() *core.SimProgram {
 			for i, name := range p.objs {
 				refs[i] = h.NewRef(name)
 			}
-			p.execThread(root, 0, refs)
+			p.execThread(root, 0, h, refs)
 		},
 	}
+	if p.cfg.TSO {
+		// Flush timing derives from the program seed (XORed with the run
+		// seed per execution), so equal configs stay byte-reproducible
+		// while commit latencies still vary across runs.
+		sp.TSO = &memmodel.TSOConfig{Seed: p.cfg.Seed}
+	}
+	return sp
 }
 
 // execThread interprets one threadSpec: timed preamble, forks, timed ops,
 // joins, immediate epilogue.
-func (p *Program) execThread(t *sim.Thread, idx int, refs []*memmodel.Ref) {
+func (p *Program) execThread(t *sim.Thread, idx int, h *memmodel.Heap, refs []*memmodel.Ref) {
 	ts := &p.threads[idx]
 	for _, o := range ts.Pre {
-		p.do(t, o, refs)
+		p.do(t, h, o, refs)
 	}
 	kids := make([]*sim.Thread, len(ts.Children))
 	for i, c := range ts.Children {
 		c := c
 		kids[i] = t.Spawn(p.threads[c].Name, func(ct *sim.Thread) {
-			p.execThread(ct, c, refs)
+			p.execThread(ct, c, h, refs)
 		})
 	}
 	for _, o := range ts.Ops {
-		p.do(t, o, refs)
+		p.do(t, h, o, refs)
 	}
 	for _, k := range kids {
 		t.Join(k)
 	}
 	for _, o := range ts.Post {
-		p.do(t, o, refs)
+		p.do(t, h, o, refs)
 	}
 }
 
@@ -56,7 +63,7 @@ func (p *Program) execThread(t *sim.Thread, idx int, refs []*memmodel.Ref) {
 // access self-positioning: instrumentation overhead charged earlier in
 // the thread is absorbed by a shorter sleep, so the planted gaps survive
 // hook costs unchanged as long as ops are spaced wider than one hook.
-func (p *Program) do(t *sim.Thread, o op, refs []*memmodel.Ref) {
+func (p *Program) do(t *sim.Thread, h *memmodel.Heap, o op, refs []*memmodel.Ref) {
 	if o.At >= 0 {
 		if now := t.Now(); o.At > now {
 			t.Sleep(o.At.Sub(now))
@@ -67,17 +74,28 @@ func (p *Program) do(t *sim.Thread, o op, refs []*memmodel.Ref) {
 	case opInit:
 		r.Init(t, o.Site)
 	case opUse:
-		if o.Bug >= 0 && !p.armed[o.Bug] {
+		switch {
+		case o.Bug >= 0 && !p.armed[o.Bug]:
 			r.UseIfLive(t, o.Site)
-		} else {
+		case o.Bug >= 0 && p.cfg.TSO:
+			// The armed TSO probe faults iff the read observes a stale
+			// state — committed-but-disposed is fine, buffered-but-unseen
+			// is the bug.
+			r.UseFresh(t, o.Site)
+		default:
 			r.Use(t, o.Site)
 		}
+	case opUseGuard:
+		r.UseIfLive(t, o.Site)
 	case opDispose:
 		r.Dispose(t, o.Site)
 	case opAPIRead:
 		r.APICall(t, o.Site, false, o.Dur)
 	case opAPIWrite:
 		r.APICall(t, o.Site, true, o.Dur)
+	}
+	if p.fenceAfter != "" && o.Site == p.fenceAfter {
+		h.Fence(t)
 	}
 }
 
@@ -88,6 +106,9 @@ func (p *Program) do(t *sim.Thread, o op, refs []*memmodel.Ref) {
 func (p *Program) Fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "program %s seed %d\n", p.cfg.Name, p.cfg.Seed)
+	if p.cfg.TSO {
+		sb.WriteString("memmodel tso\n")
+	}
 	dump := func(label string, ops []op) {
 		for _, o := range ops {
 			fmt.Fprintf(&sb, "  %s %s at=%d obj=%s site=%s dur=%d bug=%d\n",

@@ -1,0 +1,75 @@
+package genprog
+
+import (
+	"testing"
+
+	"waffle/internal/core"
+	"waffle/internal/sim"
+)
+
+// FuzzTSOGenerate is FuzzGenerate's weak-memory twin: over the TSO
+// layout's config space it asserts that generation stays deterministic,
+// that every planted bug is a StaleRead whose manifest carries the
+// ground-truth fence pair (DelaySite/FaultSite), and that an armed,
+// unperturbed program never faults — natural flush latency tops out at
+// 200µs while the planted read gap is at least a millisecond, so only an
+// injected visibility delay may expose the probe. A faulting
+// seed/config combination would poison the differential oracle exactly
+// like an SC one would.
+//
+// CI runs this briefly (`go test -fuzz=FuzzTSOGenerate -fuzztime=10s`);
+// the seed corpus covers every preset size plus degenerate decoy knobs.
+func FuzzTSOGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(2), uint8(1), uint16(2), uint16(60), uint8(1))
+	f.Add(int64(2), uint8(2), uint8(3), uint8(2), uint16(5), uint16(40), uint8(2))
+	f.Add(int64(3), uint8(3), uint8(5), uint8(3), uint16(2), uint16(90), uint8(3))
+	f.Add(int64(99), uint8(4), uint8(0), uint8(0), uint16(1), uint16(1), uint8(1))
+	f.Add(int64(-7), uint8(1), uint8(1), uint8(0), uint16(150), uint16(400), uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, bugs, decoys, hb uint8, gapMinMs, gapMaxMs uint16, depth uint8) {
+		cfg := Config{
+			Seed:            seed,
+			TSO:             true,
+			Bugs:            int(bugs%4) + 1,
+			DecoysPerThread: int(decoys % 8),
+			HBDecoys:        int(hb % 5),
+			JoinDecoys:      -1,
+			APINoise:        -1,
+			GapMin:          sim.Duration(gapMinMs%500+1) * sim.Millisecond,
+			GapMax:          sim.Duration(gapMaxMs%500) * sim.Millisecond,
+			Depth:           int(depth%4) + 1,
+		}
+		p := Generate(cfg)
+		if p.Fingerprint() != Generate(cfg).Fingerprint() {
+			t.Fatal("generation is not deterministic")
+		}
+
+		for _, b := range p.Bugs() {
+			if b.Kind != core.StaleRead {
+				t.Fatalf("bug %d kind = %v, want StaleRead", b.Index, b.Kind)
+			}
+			if b.FenceAfter == "" || b.FenceAfter != b.DelaySite {
+				t.Fatalf("bug %d fence_after = %q, want delay site %q", b.Index, b.FenceAfter, b.DelaySite)
+			}
+			if b.FenceBefore == "" || b.FenceBefore != b.FaultSite {
+				t.Fatalf("bug %d fence_before = %q, want fault site %q", b.Index, b.FenceBefore, b.FaultSite)
+			}
+		}
+
+		armed := p.ArmAll()
+		if res := armed.Prog().Execute(seed, nil); res.Fault != nil || res.Err != nil || res.TimedOut {
+			t.Fatalf("unperturbed armed run abnormal: fault=%v err=%v timedOut=%v",
+				res.Fault, res.Err, res.TimedOut)
+		}
+
+		// The delay-free preparation run adds per-access instrumentation
+		// cost; the flush deadlines and absolute-time positioning must
+		// absorb it without a natural stale read.
+		wf := core.NewWaffle(core.Options{TSO: true})
+		hook := wf.HookForRun(1, nil)
+		if res := armed.Prog().Execute(seed+1, hook); res.Fault != nil || res.Err != nil || res.TimedOut {
+			t.Fatalf("instrumented preparation run abnormal: fault=%v err=%v timedOut=%v",
+				res.Fault, res.Err, res.TimedOut)
+		}
+	})
+}

@@ -107,10 +107,12 @@ type TSV struct {
 
 // Heap allocates reference cells and owns the active hook.
 type Heap struct {
-	hook   Hook
-	nextID trace.ObjID
-	opCost sim.Duration
-	refs   []*Ref
+	hook     Hook
+	nextID   trace.ObjID
+	opCost   sim.Duration
+	refs     []*Ref
+	tso      *tsoState // non-nil after EnableTSO: store-buffer semantics
+	accessed bool      // an instrumented access has executed
 
 	active map[trace.ObjID][]apiWindow
 	tsvs   []TSV
@@ -144,8 +146,17 @@ func NewHeap() *Heap {
 }
 
 // SetHook installs the active instrumentation hook (nil for an
-// uninstrumented baseline run).
-func (h *Heap) SetHook(hook Hook) { h.hook = hook }
+// uninstrumented baseline run). It panics once the first instrumented
+// access has executed — the same install-before-use contract as
+// trace.Recorder's post-Finish panic: a mid-run swap would silently drop
+// accesses from whichever hook the caller thought was active, and in TSO
+// mode would let an injector's flush bookkeeping vanish without a trace.
+func (h *Heap) SetHook(hook Hook) {
+	if h.accessed {
+		panic("memmodel: SetHook after the first instrumented access")
+	}
+	h.hook = hook
+}
 
 // SetOpCost overrides the intrinsic per-operation cost.
 func (h *Heap) SetOpCost(d sim.Duration) { h.opCost = d }
@@ -183,7 +194,10 @@ type Ref struct {
 	heap  *Heap
 	id    trace.ObjID
 	name  string
-	state State
+	state State // shared-memory (committed) state
+	// pending holds buffered-but-uncommitted state transitions in issue
+	// order; always empty outside TSO mode.
+	pending []pendingStore
 }
 
 // ID returns the cell's object id.
@@ -202,6 +216,7 @@ func (r *Ref) IsLive() bool { return r.state == StateLive }
 // enter runs the hook and charges the intrinsic op cost.
 func (r *Ref) enter(t *sim.Thread, site trace.SiteID, kind trace.Kind, dur sim.Duration) {
 	t.SetOp(fmt.Sprintf("%s %s @ %s", kind, r.name, site))
+	r.heap.accessed = true
 	if r.heap.hook != nil {
 		r.heap.hook.OnAccess(t, site, r.id, kind, dur)
 	}
@@ -210,22 +225,41 @@ func (r *Ref) enter(t *sim.Thread, site trace.SiteID, kind trace.Kind, dur sim.D
 	}
 }
 
+// view resolves the state an access by thread t reads: under TSO, mature
+// buffered stores commit first, then store-to-load forwarding applies;
+// under SC it is simply the cell's state.
+func (r *Ref) view(t *sim.Thread) State {
+	if r.heap.tso == nil {
+		return r.state
+	}
+	r.commitMature(t.Now())
+	return r.observed(t.ID())
+}
+
 // Init executes an object initialization at site: the reference goes from
 // NULL (or disposed) to live. Initializations never fault; re-initializing
-// a live reference models reassignment and is permitted.
+// a live reference models reassignment and is permitted. Under TSO the
+// transition enters the thread's store buffer rather than shared memory.
 func (r *Ref) Init(t *sim.Thread, site trace.SiteID) {
 	r.enter(t, site, trace.KindInit, 0)
+	if r.heap.tso != nil {
+		r.commitMature(t.Now())
+		r.buffer(t, site, trace.KindInit, StateLive)
+		return
+	}
 	r.state = StateLive
 }
 
 // Use executes a member-field access or member-method call at site. If the
 // reference is not live the thread raises a NullRefError — the
 // manifestation of a MemOrder bug (use-before-init when StateNil and never
-// initialized; use-after-free when StateDisposed or nulled).
+// initialized; use-after-free when StateDisposed or nulled). Under TSO the
+// check runs against the thread's observed state (shared memory plus its
+// own buffered stores).
 func (r *Ref) Use(t *sim.Thread, site trace.SiteID) {
 	r.enter(t, site, trace.KindUse, 0)
-	if r.state != StateLive {
-		t.Throw(&NullRefError{Obj: r.id, Name: r.name, Site: site, Kind: trace.KindUse, State: r.state})
+	if st := r.view(t); st != StateLive {
+		t.Throw(&NullRefError{Obj: r.id, Name: r.name, Site: site, Kind: trace.KindUse, State: st})
 	}
 }
 
@@ -235,16 +269,21 @@ func (r *Ref) Use(t *sim.Thread, site trace.SiteID) {
 // still visible to tools as a candidate location.
 func (r *Ref) UseIfLive(t *sim.Thread, site trace.SiteID) bool {
 	r.enter(t, site, trace.KindUse, 0)
-	return r.state == StateLive
+	return r.view(t) == StateLive
 }
 
 // Dispose executes an object disposal at site (explicit Dispose() or
 // nulling the reference). Disposing a non-live reference raises the same
-// NULL-reference fault a double-dispose raises in C#.
+// NULL-reference fault a double-dispose raises in C#. Under TSO the check
+// runs against the observed state and the transition is buffered.
 func (r *Ref) Dispose(t *sim.Thread, site trace.SiteID) {
 	r.enter(t, site, trace.KindDispose, 0)
-	if r.state != StateLive {
-		t.Throw(&NullRefError{Obj: r.id, Name: r.name, Site: site, Kind: trace.KindDispose, State: r.state})
+	if st := r.view(t); st != StateLive {
+		t.Throw(&NullRefError{Obj: r.id, Name: r.name, Site: site, Kind: trace.KindDispose, State: st})
+	}
+	if r.heap.tso != nil {
+		r.buffer(t, site, trace.KindDispose, StateDisposed)
+		return
 	}
 	r.state = StateDisposed
 }

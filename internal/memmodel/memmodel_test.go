@@ -190,25 +190,67 @@ func TestHookDelayChangesOutcome(t *testing.T) {
 }
 
 func TestMultiHookOrder(t *testing.T) {
-	var order []string
-	mk := func(name string) Hook {
-		return HookFunc(func(*sim.Thread, trace.SiteID, trace.ObjID, trace.Kind, sim.Duration) {
-			order = append(order, name)
+	// MultiHook.OnAccess must invoke its hooks in slice order, every one
+	// exactly once per access, including the degenerate empty and
+	// single-element forms.
+	cases := []struct {
+		name  string
+		hooks []string
+	}{
+		{"empty", nil},
+		{"single", []string{"only"}},
+		{"pair", []string{"first", "second"}},
+		{"triple", []string{"first", "second", "third"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var order []string
+			mh := make(MultiHook, 0, len(tc.hooks))
+			for _, name := range tc.hooks {
+				name := name
+				mh = append(mh, HookFunc(func(*sim.Thread, trace.SiteID, trace.ObjID, trace.Kind, sim.Duration) {
+					order = append(order, name)
+				}))
+			}
+			h := NewHeap()
+			h.SetHook(mh)
+			w := sim.NewWorld(sim.Config{Seed: 1})
+			err := w.Run(func(th *sim.Thread) {
+				r := h.NewRef("r")
+				r.Init(th, "s")
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(order) != len(tc.hooks) {
+				t.Fatalf("hooks fired %d times, want %d (%v)", len(order), len(tc.hooks), order)
+			}
+			for i, name := range tc.hooks {
+				if order[i] != name {
+					t.Fatalf("order = %v, want %v", order, tc.hooks)
+				}
+			}
 		})
 	}
+}
+
+func TestSetHookAfterAccessPanics(t *testing.T) {
+	// The hook is part of a run's deterministic identity: installing one
+	// after accesses were already performed un-instrumented would make the
+	// trace and the schedule disagree, so SetHook must refuse.
 	h := NewHeap()
-	h.SetHook(MultiHook{mk("first"), mk("second")})
 	w := sim.NewWorld(sim.Config{Seed: 1})
-	err := w.Run(func(th *sim.Thread) {
-		r := h.NewRef("r")
-		r.Init(th, "s")
-	})
-	if err != nil {
+	if err := w.Run(func(th *sim.Thread) {
+		h.NewRef("r").Init(th, "s")
+	}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
-		t.Fatalf("order = %v", order)
-	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetHook after the first access did not panic")
+		}
+	}()
+	h.SetHook(HookFunc(func(*sim.Thread, trace.SiteID, trace.ObjID, trace.Kind, sim.Duration) {}))
 }
 
 func TestTSVDetectedOnOverlappingWrites(t *testing.T) {

@@ -1,0 +1,253 @@
+package memmodel
+
+import (
+	"errors"
+	"testing"
+
+	"waffle/internal/sim"
+	"waffle/internal/trace"
+)
+
+// runTSO executes body in a fresh world over a TSO heap.
+func runTSO(seed int64, cfg TSOConfig, body func(*sim.Thread, *Heap)) error {
+	h := NewHeap()
+	h.EnableTSO(cfg)
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	return w.Run(func(root *sim.Thread) { body(root, h) })
+}
+
+// pinned returns a config with a fixed commit latency — every store takes
+// exactly lat to drain, so tests can position reads deterministically.
+func pinned(lat sim.Duration) TSOConfig {
+	return TSOConfig{Seed: 1, FlushMin: lat, FlushMax: lat}
+}
+
+func staleReadOf(t *testing.T, err error) *StaleReadError {
+	t.Helper()
+	var f *sim.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+	var sre *StaleReadError
+	if !errors.As(f.Err, &sre) {
+		t.Fatalf("fault err = %v, want StaleReadError", f.Err)
+	}
+	return sre
+}
+
+// The issuing thread reads its own buffered store (store-to-load
+// forwarding): Use right after Init must not fault even though the store
+// has not committed to shared memory yet.
+func TestTSOForwardsOwnBufferedStore(t *testing.T) {
+	err := runTSO(1, pinned(5*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		r.Init(root, "init")
+		r.Use(root, "use") // forwarded: sees the pending Live
+	})
+	if err != nil {
+		t.Fatalf("own buffered store not forwarded: %v", err)
+	}
+}
+
+// Other threads keep observing the pre-store state until the commit
+// deadline passes, then see the store.
+func TestTSOForeignReadObservesCommitDeadline(t *testing.T) {
+	err := runTSO(1, pinned(5*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		r.Init(root, "init") // commits at +5ms
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			th.Sleep(2 * sim.Millisecond)
+			if r.UseIfLive(th, "early") { // 5ms latency still pending
+				th.Throw(errors.New("read observed an uncommitted store"))
+			}
+			th.Sleep(4 * sim.Millisecond)
+			if !r.UseIfLive(th, "late") { // past the deadline
+				th.Throw(errors.New("committed store still invisible"))
+			}
+		})
+		root.Join(reader)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-thread FIFO: a later store never drains ahead of an earlier one
+// from the same thread, even when the earlier one's visibility was
+// stretched past the later one's natural deadline.
+func TestTSOStoresCommitInIssueOrder(t *testing.T) {
+	err := runTSO(1, pinned(5*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		AddFlushDelay(root, 10*sim.Millisecond)
+		r.Init(root, "init") // vis = +15ms
+		root.Sleep(1 * sim.Millisecond)
+		r.Dispose(root, "dispose") // natural vis +6ms, clamped to >= 15ms
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			th.Sleep(7 * sim.Millisecond) // past the dispose's natural deadline
+			if r.UseIfLive(th, "mid") {
+				th.Throw(errors.New("saw a state before both stores committed"))
+			}
+			th.Sleep(10 * sim.Millisecond) // past both deadlines
+			if r.UseIfLive(th, "after") {
+				// FIFO drain must leave the dispose last: Live here means the
+				// init overwrote the dispose — commit order inverted.
+				th.Throw(errors.New("stores committed out of issue order"))
+			}
+		})
+		root.Join(reader)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// UseFresh faults on a stale view and blames the oldest foreign buffered
+// store, carrying everything a fence proposal needs.
+func TestUseFreshThrowsStaleReadWithBlame(t *testing.T) {
+	var writerID int
+	err := runTSO(1, pinned(5*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		writerID = root.ID()
+		r := h.NewRef("conn")
+		r.Init(root, "writer.init")
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			th.Sleep(1 * sim.Millisecond)
+			r.UseFresh(th, "reader.use")
+		})
+		root.Join(reader)
+	})
+	sre := staleReadOf(t, err)
+	if sre.Name != "conn" || sre.Site != "reader.use" {
+		t.Errorf("fault names %q at %s, want conn at reader.use", sre.Name, sre.Site)
+	}
+	if sre.Observed != StateNil || sre.Coherent != StateLive {
+		t.Errorf("observed %s coherent %s, want nil/live", sre.Observed, sre.Coherent)
+	}
+	if sre.PendingSite != "writer.init" || sre.PendingKind != trace.KindInit {
+		t.Errorf("blamed %s %s, want init at writer.init", sre.PendingKind, sre.PendingSite)
+	}
+	if sre.PendingTID != writerID {
+		t.Errorf("blamed thread %d, want writer %d", sre.PendingTID, writerID)
+	}
+}
+
+// A committed dispose is not staleness: UseFresh on a coherently disposed
+// object is a guarded miss, never a fault.
+func TestUseFreshToleratesCommittedDispose(t *testing.T) {
+	err := runTSO(1, pinned(1*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		r.Init(root, "init")
+		root.Sleep(2 * sim.Millisecond)
+		r.Dispose(root, "dispose")
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			th.Sleep(2 * sim.Millisecond) // dispose committed
+			if r.UseFresh(th, "use") {
+				th.Throw(errors.New("UseFresh reported a disposed object live"))
+			}
+		})
+		root.Join(reader)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fence drains the calling thread's buffer: after it, other threads see
+// the store immediately.
+func TestFenceDrainsOwnBuffer(t *testing.T) {
+	err := runTSO(1, pinned(50*sim.Millisecond), func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		r.Init(root, "init") // would commit at +50ms
+		h.Fence(root)        // commits now
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			r.UseFresh(th, "use") // fresh: nothing buffered
+		})
+		root.Join(reader)
+	})
+	if err != nil {
+		t.Fatalf("fenced store still stale: %v", err)
+	}
+}
+
+// Zero-latency TSO (FlushMin < 0) applies stores immediately — no pending
+// entries, raw state up to date: the degenerate store buffer the SC
+// equivalence suite relies on.
+func TestZeroLatencyTSOAppliesImmediately(t *testing.T) {
+	err := runTSO(1, TSOConfig{Seed: 1, FlushMin: -1}, func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		r.Init(root, "init")
+		if r.State() != StateLive {
+			root.Throw(errors.New("zero-latency store left raw state behind"))
+		}
+		if len(r.pending) != 0 {
+			root.Throw(errors.New("zero-latency store was buffered"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AddFlushDelay stretches only the next store's visibility, even under a
+// zero-latency config — the injector's seam in isolation.
+func TestAddFlushDelayStretchesNextStore(t *testing.T) {
+	err := runTSO(1, TSOConfig{Seed: 1, FlushMin: -1}, func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		AddFlushDelay(root, 3*sim.Millisecond)
+		AddFlushDelay(root, 2*sim.Millisecond) // accumulates: 5ms total
+		r.Init(root, "init")                   // vis = +5ms despite zero latency
+		reader := root.Spawn("reader", func(th *sim.Thread) {
+			th.Sleep(1 * sim.Millisecond)
+			if r.UseIfLive(th, "early") {
+				th.Throw(errors.New("flush delay ignored"))
+			}
+			th.Sleep(5 * sim.Millisecond)
+			if !r.UseIfLive(th, "late") {
+				th.Throw(errors.New("delayed store never committed"))
+			}
+		})
+		root.Join(reader)
+		r.Dispose(root, "dispose") // the extra was consumed: applies instantly
+		if r.State() != StateDisposed {
+			root.Throw(errors.New("flush extra leaked into a second store"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without TSO mode UseFresh degenerates to UseIfLive exactly.
+func TestUseFreshWithoutTSOIsUseIfLive(t *testing.T) {
+	err := run(1, func(root *sim.Thread, h *Heap) {
+		r := h.NewRef("x")
+		if r.UseFresh(root, "before") {
+			root.Throw(errors.New("uninitialized reported live"))
+		}
+		r.Init(root, "init")
+		if !r.UseFresh(root, "after") {
+			root.Throw(errors.New("live reported dead"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EnableTSO is a construction-time switch, like SetHook: flipping memory
+// semantics after accesses were already performed under SC would corrupt
+// the run, so it must panic.
+func TestEnableTSOAfterAccessPanics(t *testing.T) {
+	h := NewHeap()
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	if err := w.Run(func(root *sim.Thread) {
+		h.NewRef("x").Init(root, "init")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableTSO after an access did not panic")
+		}
+	}()
+	h.EnableTSO(TSOConfig{Seed: 1})
+}

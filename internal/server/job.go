@@ -31,6 +31,11 @@ type CorpusSpec struct {
 	// Size is the per-program scale: small | medium | large | mixed
 	// (mixed cycles the three). Empty means small.
 	Size string `json:"size,omitempty"`
+	// TSO generates store-buffer corpora (genprog.TSOSizeConfig): programs
+	// run under TSO semantics with planted stale-read bugs, and the job's
+	// core engine options get TSO analysis enabled so exposures carry
+	// fence-repair proposals.
+	TSO bool `json:"tso,omitempty"`
 }
 
 // sizeFor resolves the scale for corpus index i.
@@ -85,6 +90,11 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.Engine.Kind == "" {
 		s.Engine.Kind = engine.KindWaffle
 	}
+	if s.Corpus.TSO {
+		// A TSO corpus implies TSO analysis for the core-driven engines;
+		// the flag is a no-op for tsvd (its options are separate).
+		s.Engine.Core.TSO = true
+	}
 	return s
 }
 
@@ -136,6 +146,11 @@ type BugResult struct {
 	Runs int `json:"runs"`
 	// Delays counts delays injected in the exposing run.
 	Delays int `json:"delays,omitempty"`
+	// FenceAfter and FenceBefore carry the exposure's fence-repair
+	// proposal (stale-read bugs only): insert a store-buffer fence after
+	// the write at FenceAfter to order it before the read at FenceBefore.
+	FenceAfter  string `json:"fence_after,omitempty"`
+	FenceBefore string `json:"fence_before,omitempty"`
 }
 
 // ProgramResult is one committed corpus program: the unit of incremental

@@ -28,6 +28,9 @@ func runProgram(ctx context.Context, spec JobSpec, i int, ctl *control.Controlle
 		panic(err)
 	}
 	cfg := genprog.SizeConfig(spec.Corpus.Seed+int64(i), size)
+	if spec.Corpus.TSO {
+		cfg = genprog.TSOSizeConfig(spec.Corpus.Seed+int64(i), size)
+	}
 	p := genprog.Generate(cfg)
 	m := p.Manifest()
 	pr := &ProgramResult{
@@ -96,11 +99,15 @@ func runProgram(ctx context.Context, spec JobSpec, i int, ctl *control.Controlle
 		if out.Bug != nil {
 			if err := m.Check(out.Bug); err != nil {
 				fail("bug %d armed: %v", bug.Index, err)
-			} else if out.Bug.NullRef.Name != bug.Obj {
-				fail("bug %d armed: exposed %s, want %s", bug.Index, out.Bug.NullRef.Name, bug.Obj)
+			} else if out.Bug.ObjName() != bug.Obj {
+				fail("bug %d armed: exposed %s, want %s", bug.Index, out.Bug.ObjName(), bug.Obj)
 			} else {
 				br.Runs = out.Bug.Run
 				br.Delays = out.Bug.Delays.Count
+				if out.Bug.Fence != nil {
+					br.FenceAfter = string(out.Bug.Fence.After)
+					br.FenceBefore = string(out.Bug.Fence.Before)
+				}
 			}
 		}
 		for _, err := range out.RunErrs() {
@@ -122,7 +129,7 @@ func runProgram(ctx context.Context, spec JobSpec, i int, ctl *control.Controlle
 		} else {
 			pr.RunsUsed += len(out.Runs)
 			if out.Bug != nil {
-				fail("disarmed control reported a bug at %s — false positive", out.Bug.NullRef.Site)
+				fail("disarmed control reported a bug at %s — false positive", out.Bug.FaultSite())
 			}
 			if n := len(out.DelayFreeFaults); n > 0 {
 				fail("disarmed control faulted delay-free in %d runs", n)
