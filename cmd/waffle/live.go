@@ -40,6 +40,17 @@ func rejectSimOnlyFlags() {
 	}
 }
 
+// didSet reports whether a flag was explicitly set on the command line.
+func didSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func listDemos() {
 	fmt.Println("live demos (real goroutines, wall-clock time):")
 	for _, d := range live.Demos() {
@@ -57,14 +68,18 @@ type liveBench struct {
 }
 
 // runLive drives the live detector against a built-in demo.
-func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath, benchPath string, mc *metricsConfig, ctrl *control.Controller) {
+func runLive(name string, maxRuns, panalyze int, sample float64, reportPath, planPath, tracePath, benchPath string, mc *metricsConfig, ctrl *control.Controller) {
 	demo, ok := live.FindDemo(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "waffle: unknown live demo %q (try -live-list)\n", name)
 		os.Exit(1)
 	}
+	if sample <= 0 || sample > 1 {
+		fmt.Fprintf(os.Stderr, "waffle: -live-sample %g out of range (0, 1]\n", sample)
+		os.Exit(2)
+	}
 
-	opts := live.Options{AnalyzeWorkers: panalyze, Metrics: mc.reg}
+	opts := live.Options{AnalyzeWorkers: panalyze, SampleRate: sample, Metrics: mc.reg}
 	tgt := ctrl.Target(name + "/waffle-live")
 	if tgt != nil {
 		opts.Tuner = tgt
@@ -93,6 +108,8 @@ func runLive(name string, maxRuns, panalyze int, reportPath, planPath, tracePath
 			status = "FAULT"
 		case r.TimedOut:
 			status = "timeout"
+		case r.SampledOut:
+			status = "sampled-out"
 		}
 		fmt.Printf("run %2d (%s, started %s): wall=%v delays=%d (%v total, %d skipped) %s\n",
 			r.Run, kind, r.WallStart.Format("15:04:05.000"), r.WallDur,

@@ -45,9 +45,10 @@ func main() {
 		planOut  = flag.String("plan", "", "write the analyzed plan (candidate set S, interference set I, delay lengths) as JSON")
 		traceOut = flag.String("trace", "", "write the preparation-run trace (binary)")
 
-		liveName  = flag.String("live", "", "run the live (wall-clock, real-goroutine) detector against a built-in demo; see -live-list")
-		liveList  = flag.Bool("live-list", false, "list the live demos")
-		liveBench = flag.String("live-bench", "", "with -live: write per-phase wall-time JSON (BENCH_live.json) to this path")
+		liveName   = flag.String("live", "", "run the live (wall-clock, real-goroutine) detector against a built-in demo; see -live-list")
+		liveList   = flag.Bool("live-list", false, "list the live demos")
+		liveBench  = flag.String("live-bench", "", "with -live: write per-phase wall-time JSON (BENCH_live.json) to this path")
+		liveSample = flag.Float64("live-sample", 1.0, "with -live: fraction of detection runs admitted by sampling (0, 1]; sampled-out runs execute uninstrumented")
 
 		metricsOut    = flag.String("metrics", "", "write the campaign metrics snapshot (JSON, waffle.metrics/v1) to this path; '-' for stdout")
 		metricsAddr   = flag.String("metrics-addr", "", "serve the live metrics snapshot over HTTP at this address during the campaign (e.g. 127.0.0.1:8321)")
@@ -79,12 +80,16 @@ func main() {
 	}
 	if *liveName != "" {
 		rejectSimOnlyFlags()
-		runLive(*liveName, *maxRuns, *panalyze, *jsonOut, *planOut, *traceOut, *liveBench, mc, ctrl)
+		runLive(*liveName, *maxRuns, *panalyze, *liveSample, *jsonOut, *planOut, *traceOut, *liveBench, mc, ctrl)
 		ctrlDone()
 		return
 	}
 	if *liveBench != "" {
 		fmt.Fprintln(os.Stderr, "waffle: -live-bench requires -live")
+		os.Exit(2)
+	}
+	if didSet("live-sample") {
+		fmt.Fprintln(os.Stderr, "waffle: -live-sample requires -live")
 		os.Exit(2)
 	}
 	if *suite != "" {

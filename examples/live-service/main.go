@@ -1,0 +1,175 @@
+// Live service: an HTTP service with always-on sampled memory-ordering
+// detection, built to be load-tested.
+//
+//	go run ./examples/live-service -addr :8080 -metrics-addr :8321 -sample 0.25 -slo 1.0
+//
+// Every request body runs under a live.Monitor: a fraction (-sample) of
+// requests per path are admitted to the WAFFLE pipeline — the first
+// admitted request records the path's preparation trace, later ones run
+// with active delay injection capped by an SLO-derived budget (-slo, a
+// fraction of the baseline p99) — while the rest serve plain. Two
+// endpoints carry planted bugs the campaign should expose; two serve the
+// generated fault-free workload as the false-positive control.
+//
+//	GET /checkout  planted use-after-free (a worker's send races a close)
+//	GET /profile   planted use-before-init (a reader races a lazy init)
+//	GET /browse    clean generated workload (workload.Spec.LiveBody)
+//	GET /search    clean generated workload, heavier mix
+//	GET /healthz   liveness probe (never monitored)
+//
+// The metrics listener (-metrics-addr) serves /metrics (the obs snapshot,
+// waffle.metrics/v1) and the live control plane:
+//
+//	POST /v1/live/start | /v1/live/stop | /v1/live/tune
+//	GET  /v1/live/status
+//
+// so detection can be toggled and retuned mid-load without a restart —
+// the load-smoke CI job does exactly that.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"waffle/internal/control"
+	"waffle/internal/live"
+	"waffle/internal/obs"
+	"waffle/internal/workload"
+)
+
+// service bundles the monitor, its metrics registry, and the two muxes
+// (application + metrics/control) so main and the load-smoke test build
+// the exact same wiring.
+type service struct {
+	mon     *live.Monitor
+	reg     *obs.Registry
+	app     *http.ServeMux
+	control *http.ServeMux
+}
+
+// checkoutBody plants a use-after-free: the fulfillment worker's send on
+// the payment session naturally beats the handler's close by ~4ms — wide
+// enough that the delay-free run never faults, narrow enough that an
+// injected delay at the use site flips the order quickly.
+func checkoutBody(t *live.Thread, h *live.Heap) {
+	sess := h.NewRef("payment-session")
+	sess.Init(t, "checkout.OpenSession")
+	w := t.Spawn("fulfillment", func(w *live.Thread) {
+		w.Sleep(1 * time.Millisecond) // assemble the order
+		sess.Use(w, "checkout.fulfillment.Charge")
+	})
+	t.Sleep(5 * time.Millisecond) // confirmation page render
+	sess.Dispose(t, "checkout.CloseSession")
+	t.Join(w)
+}
+
+// profileBody plants the mirror-image use-before-init: the avatar loader
+// lazily initializes the cache ~1ms in, the renderer reads it at ~6ms.
+// Delaying the init past the read exposes the missing ready-check.
+func profileBody(t *live.Thread, h *live.Heap) {
+	cache := h.NewRef("avatar-cache")
+	w := t.Spawn("loader", func(w *live.Thread) {
+		w.Sleep(1 * time.Millisecond) // fetch from blob store
+		cache.Init(w, "profile.loader.Fill")
+	})
+	t.Sleep(6 * time.Millisecond) // template pipeline
+	cache.Use(t, "profile.Render")
+	t.Join(w)
+	cache.Dispose(t, "profile.Evict")
+}
+
+// requestResponse is the JSON body every monitored endpoint returns.
+type requestResponse struct {
+	Path       string `json:"path"`
+	Seq        int64  `json:"seq"`
+	Admitted   bool   `json:"admitted"`
+	SampledOut bool   `json:"sampled_out"`
+	Delays     int    `json:"delays"`
+	Fault      string `json:"fault,omitempty"`
+	DurUS      int64  `json:"dur_us"`
+}
+
+func newService(seed int64, opts live.Options) *service {
+	if opts.Metrics == nil {
+		opts.Metrics = obs.New()
+	}
+	s := &service{
+		mon:     live.NewMonitor(seed, opts),
+		reg:     opts.Metrics,
+		app:     http.NewServeMux(),
+		control: http.NewServeMux(),
+	}
+
+	browse := workload.Spec{
+		Prefix: "browse", Threads: 2, LocalObjs: 1, LocalOps: 2,
+		SharedObjs: 2, SharedUses: 2, PreForkObjs: 1, Spacing: 100,
+	}.LiveBody()
+	search := workload.Spec{
+		Prefix: "search", Threads: 3, LocalObjs: 2, LocalOps: 2,
+		SharedObjs: 3, SharedUses: 2, SyncedObjs: 1, Spacing: 100,
+	}.LiveBody()
+
+	monitored := func(path string, body func(*live.Thread, *live.Heap)) {
+		s.app.HandleFunc("GET "+path, func(w http.ResponseWriter, r *http.Request) {
+			rep := s.mon.Do(path, body)
+			resp := requestResponse{
+				Path: rep.Path, Seq: rep.Seq, Admitted: rep.Admitted,
+				SampledOut: rep.SampledOut, Delays: rep.Delays,
+				DurUS: rep.Dur.Microseconds(),
+			}
+			code := http.StatusOK
+			if rep.Failed() {
+				// The fault IS the finding: the monitor recovered the
+				// panic, the request degrades to a 500 instead of
+				// crashing the process, and the bug report (if the fault
+				// coincided with injected delays) is in /v1/live/status.
+				resp.Fault = rep.Fault.Err.Error()
+				code = http.StatusInternalServerError
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(resp)
+		})
+	}
+	monitored("/checkout", checkoutBody)
+	monitored("/profile", profileBody)
+	monitored("/browse", browse)
+	monitored("/search", search)
+	s.app.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	s.control.Handle("/metrics", s.reg.Handler())
+	(&control.LivePlane{Mon: s.mon}).Mount(s.control)
+	return s
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "application listen address")
+		metricsAddr = flag.String("metrics-addr", "127.0.0.1:8321", "metrics + live control-plane listen address")
+		sample      = flag.Float64("sample", 0.25, "fraction of requests per path admitted to detection (0,1]")
+		slo         = flag.Float64("slo", 1.0, "injected-delay budget as a fraction of baseline p99 latency; <=0 unbounded")
+		seed        = flag.Int64("seed", 1, "sampling-admission and injection seed")
+	)
+	flag.Parse()
+
+	s := newService(*seed, live.Options{SampleRate: *sample, SLO: *slo})
+	go func() {
+		if err := http.ListenAndServe(*metricsAddr, s.control); err != nil {
+			fmt.Fprintf(os.Stderr, "live-service: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("live-service: serving on %s (metrics+control on %s), sample=%g slo=%g\n",
+		*addr, *metricsAddr, *sample, *slo)
+	if err := http.ListenAndServe(*addr, s.app); err != nil {
+		fmt.Fprintf(os.Stderr, "live-service: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -379,13 +379,13 @@ func (t *Target) TuneRun(ctx core.TuneContext) core.TuneDecision {
 
 	// Budget reallocation: once the campaign has seen enough same-tool
 	// exposures, cap this still-searching session's budget at a margin
-	// above the observed tail. A +Inf quantile (exposures in the
-	// histogram's overflow bucket) disables the cap — the tail is not
-	// actually known.
+	// above the observed tail. A saturated quantile (exposures in the
+	// histogram's overflow bucket) disables the cap — the saturated
+	// value is only a lower bound, and the tail is not actually known.
 	if !t.budgetCapped {
 		hname := "control.runs_to_exposure." + ctx.Tool
 		if h := t.c.camp.Histogram(hname, obs.RunBuckets); h.Count() >= int64(cfg.MinExposures) {
-			if q, ok := t.c.camp.Snapshot().HistogramQuantile(hname, cfg.BudgetQuantile); ok && !math.IsInf(q, 1) {
+			if q, sat, ok := t.c.camp.Snapshot().HistogramQuantileInfo(hname, cfg.BudgetQuantile); ok && !sat {
 				budget := int(math.Ceil(q * cfg.BudgetMargin))
 				if budget < cfg.MinBudget {
 					budget = cfg.MinBudget
@@ -417,7 +417,7 @@ func (t *Target) TuneRun(ctx core.TuneContext) core.TuneDecision {
 		opts := ctx.Opts
 		newAlpha := math.Min(opts.Alpha*cfg.AlphaStep, cfg.MaxAlpha)
 		newDecay := math.Min(opts.Decay*cfg.DecayStep, cfg.MaxDecay)
-		if q, ok := t.c.camp.Snapshot().HistogramQuantile("control.delay_ticks", 99); ok && math.IsInf(q, 1) {
+		if _, sat, ok := t.c.camp.Snapshot().HistogramQuantileInfo("control.delay_ticks", 99); ok && sat {
 			newAlpha = opts.Alpha
 		}
 		if newAlpha != opts.Alpha || newDecay != opts.Decay {

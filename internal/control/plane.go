@@ -1,0 +1,64 @@
+package control
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"waffle/internal/live"
+)
+
+// LivePlane is the HTTP control plane for an embedded live.Monitor: it
+// mounts toggle/retune/status endpoints on the same mux that already
+// serves /metrics (the -metrics-addr listener), so a deployed service's
+// detection is operable without a restart:
+//
+//	POST /v1/live/start   enable detection (resumes retained state)
+//	POST /v1/live/stop    disable detection (plans and bugs retained)
+//	POST /v1/live/tune    partial retune {"sample_rate","object_rate","slo","alpha","decay"}
+//	GET  /v1/live/status  full MonitorStatus JSON
+//
+// Tune rides the same seam as core.Tuner-driven retunes: options swap at
+// a request boundary, in-flight requests keep the options (and injector
+// option copies) they started with, so a retune can never race a running
+// injection. Every response is JSON; validation failures return 400 with
+// {"error": "..."}.
+type LivePlane struct {
+	Mon *live.Monitor
+}
+
+// Mount registers the control-plane routes on mux.
+func (p *LivePlane) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/live/start", func(w http.ResponseWriter, r *http.Request) {
+		p.Mon.Start()
+		planeJSON(w, http.StatusOK, p.Mon.Status())
+	})
+	mux.HandleFunc("POST /v1/live/stop", func(w http.ResponseWriter, r *http.Request) {
+		p.Mon.Stop()
+		planeJSON(w, http.StatusOK, p.Mon.Status())
+	})
+	mux.HandleFunc("POST /v1/live/tune", func(w http.ResponseWriter, r *http.Request) {
+		var req live.TuneRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			planeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad tune request: " + err.Error()})
+			return
+		}
+		if err := p.Mon.Tune(req); err != nil {
+			planeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		planeJSON(w, http.StatusOK, p.Mon.Status())
+	})
+	mux.HandleFunc("GET /v1/live/status", func(w http.ResponseWriter, r *http.Request) {
+		planeJSON(w, http.StatusOK, p.Mon.Status())
+	})
+}
+
+func planeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

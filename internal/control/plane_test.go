@@ -1,0 +1,101 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"waffle/internal/live"
+)
+
+func planeServer(t *testing.T) (*live.Monitor, *httptest.Server) {
+	t.Helper()
+	mon := live.NewMonitor(1, live.Options{SampleRate: 0.5})
+	mux := http.NewServeMux()
+	(&LivePlane{Mon: mon}).Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return mon, ts
+}
+
+func planeDo(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestLivePlaneStartStopStatus(t *testing.T) {
+	mon, ts := planeServer(t)
+
+	var st live.MonitorStatus
+	if code := planeDo(t, "GET", ts.URL+"/v1/live/status", nil, &st); code != 200 || !st.Enabled {
+		t.Fatalf("status = %d, enabled %v", code, st.Enabled)
+	}
+	if st.SampleRate != 0.5 {
+		t.Fatalf("sample_rate = %g, want 0.5", st.SampleRate)
+	}
+
+	if code := planeDo(t, "POST", ts.URL+"/v1/live/stop", nil, &st); code != 200 || st.Enabled {
+		t.Fatalf("stop = %d, enabled %v", code, st.Enabled)
+	}
+	if mon.Enabled() {
+		t.Fatal("monitor still enabled after /v1/live/stop")
+	}
+	if code := planeDo(t, "POST", ts.URL+"/v1/live/start", nil, &st); code != 200 || !st.Enabled {
+		t.Fatalf("start = %d, enabled %v", code, st.Enabled)
+	}
+	if !mon.Enabled() {
+		t.Fatal("monitor not enabled after /v1/live/start")
+	}
+}
+
+func TestLivePlaneTune(t *testing.T) {
+	mon, ts := planeServer(t)
+
+	var st live.MonitorStatus
+	code := planeDo(t, "POST", ts.URL+"/v1/live/tune",
+		map[string]float64{"sample_rate": 0.25, "slo": 2.0, "alpha": 1.5}, &st)
+	if code != 200 {
+		t.Fatalf("tune = %d", code)
+	}
+	if got := mon.Options(); got.SampleRate != 0.25 || got.SLO != 2.0 || got.Alpha != 1.5 {
+		t.Fatalf("tune not applied: %+v", got)
+	}
+	if st.SampleRate != 0.25 || st.SLO != 2.0 {
+		t.Fatalf("tune response stale: %+v", st)
+	}
+
+	var errResp map[string]string
+	if code := planeDo(t, "POST", ts.URL+"/v1/live/tune",
+		map[string]float64{"sample_rate": 7}, &errResp); code != 400 || errResp["error"] == "" {
+		t.Fatalf("out-of-range tune = %d, %v; want 400 with error", code, errResp)
+	}
+	if code := planeDo(t, "POST", ts.URL+"/v1/live/tune",
+		map[string]float64{"bogus_knob": 1}, &errResp); code != 400 {
+		t.Fatalf("unknown-field tune = %d, want 400", code)
+	}
+	if got := mon.Options().SampleRate; got != 0.25 {
+		t.Fatalf("failed tunes mutated options: sample_rate = %g", got)
+	}
+}

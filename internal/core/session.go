@@ -112,6 +112,12 @@ type RunReport struct {
 	Stats    DelayStats // delay activity during the run
 	Outcome  RunOutcome // how the run ended (distinguishes delay-free faults)
 
+	// SampledOut marks a live detection run that sampling admission left
+	// uninstrumented: the body executed plain, with no recording and no
+	// injection, so the run can observe a delay-free fault but can never
+	// produce a BugReport.
+	SampledOut bool
+
 	// WallStart and WallDur stamp the run's physical start time and
 	// duration. They are set only by the live runtime, where latencies are
 	// wall-clock real; simulated runs leave them zero.

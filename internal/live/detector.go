@@ -99,7 +99,10 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 		// A faulted or timed-out baseline is no overhead denominator: its
 		// truncated duration would understate BaseTime and inflate every
 		// overhead ratio, so record nothing and surface the abnormality.
-		base := runOnce(s.Name, baseSeed, s.Body, nil, false, d.opts.RunTimeout)
+		base := execRun(runSpec{
+			label: s.Name, seed: baseSeed, body: s.Body,
+			timeout: d.opts.RunTimeout, metrics: d.opts.Metrics,
+		})
 		d.baseDone = true
 		switch {
 		case base.timedOut:
@@ -145,11 +148,18 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 		seed := baseSeed + int64(run) - 1
 		var res runResult
 		var stats core.DelayStats
-		if d.plan == nil {
+		sampledOut := false
+		switch {
+		case d.plan == nil:
 			// Preparation: record, never inject. A prep run that faults or
 			// times out yields no usable trace; the plan stays nil and the
-			// next iteration prepares again.
-			res = runOnce(s.Name, seed, s.Body, recordAccess, true, d.opts.RunTimeout)
+			// next iteration prepares again. Preparation is never sampled
+			// out — without it there is no plan to sample against.
+			res = execRun(runSpec{
+				label: s.Name, seed: seed, body: s.Body,
+				access: recordAccess, recording: true,
+				timeout: d.opts.RunTimeout, metrics: m,
+			})
 			d.phases.Prepare += res.wallDur
 			d.phases.PrepRuns++
 			m.Span("phase.prepare").Observe(res.wallDur)
@@ -161,7 +171,20 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 				d.phases.Events = len(res.trace.Events)
 				d.phases.Pairs = len(d.plan.Pairs)
 			}
-		} else {
+		case !admitRun(baseSeed, run, d.opts.SampleRate):
+			// Sampled out: the body runs plain — no hook, no recording, no
+			// injector, no RNG draw for the admission itself (it is a
+			// deterministic hash of (baseSeed, run)). The run still counts
+			// against maxRuns: sampling trades detection opportunities for
+			// overhead, it does not extend the budget.
+			sampledOut = true
+			res = execRun(runSpec{
+				label: s.Name, seed: seed, body: s.Body,
+				timeout: d.opts.RunTimeout, metrics: m,
+			})
+			d.phases.Detect += res.wallDur
+			m.Counter("session.runs_sampled_out").Inc()
+		default:
 			// Each detection run injects from a private clone of the plan:
 			// a timed-out run leaks its goroutines (Go cannot kill them),
 			// and the leaked threads keep calling this run's injector,
@@ -176,7 +199,20 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 			hook := func(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
 				inj.Access(t.ex, site, obj, kind, 0)
 			}
-			res = runOnce(s.Name, seed, s.Body, hook, false, d.opts.RunTimeout)
+			if d.opts.ObjectRate < 1 {
+				// Per-object admission wraps the hook only when active, so
+				// the full-rate path stays literally the same code.
+				inner := hook
+				hook = func(t *Thread, site trace.SiteID, obj trace.ObjID, kind trace.Kind) {
+					if admitObj(baseSeed, uint64(obj), d.opts.ObjectRate) {
+						inner(t, site, obj, kind)
+					}
+				}
+			}
+			res = execRun(runSpec{
+				label: s.Name, seed: seed, body: s.Body,
+				access: hook, timeout: d.opts.RunTimeout, metrics: m,
+			})
 			stats = inj.Stats()
 			d.phases.Detect += res.wallDur
 			d.phases.DetectRuns++
@@ -190,6 +226,7 @@ func (d *Detector) Expose(s Scenario, maxRuns int, baseSeed int64) *core.Outcome
 			Run: run, Seed: seed, End: res.end,
 			TimedOut: res.timedOut, Fault: res.fault, Stats: stats,
 			WallStart: res.wallStart, WallDur: res.wallDur,
+			SampledOut: sampledOut,
 		}
 		if res.fault == nil && !res.timedOut {
 			rep.Err = res.err
@@ -316,7 +353,11 @@ func (d *Detector) trackRate(out *core.Outcome) func() {
 // Useful for measuring the preparation phase in isolation and for the
 // "prep alone does not expose" control runs.
 func (d *Detector) Prepare(s Scenario, seed int64) (*core.Plan, *core.RunReport) {
-	res := runOnce(s.Name, seed, s.Body, recordAccess, true, d.opts.RunTimeout)
+	res := execRun(runSpec{
+		label: s.Name, seed: seed, body: s.Body,
+		access: recordAccess, recording: true,
+		timeout: d.opts.RunTimeout, metrics: d.opts.Metrics,
+	})
 	d.phases.Prepare += res.wallDur
 	d.phases.PrepRuns++
 	rep := &core.RunReport{

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 )
@@ -60,6 +61,19 @@ type runState struct {
 	access    accessFn // nil for uninstrumented baseline runs
 	recording bool     // preparation run: threads buffer event shards
 
+	// merge streams sealed shard chunks into per-thread sequences while
+	// the run executes; non-nil only on recording runs.
+	merge *merger
+
+	// abandonedCtr counts events dropped after abandonment (the
+	// live.abandoned_events counter); resolved once so leaked goroutines
+	// never touch the registry's mutex. Nil-safe.
+	abandonedCtr *obs.Counter
+
+	// abandoned marks a timed-out, walked-away-from run: threads
+	// registered after the fence seal their shards immediately.
+	abandoned atomic.Bool
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -73,13 +87,17 @@ type runState struct {
 	threads  []*Thread
 }
 
-func newRunState(label string, seed int64, access accessFn, recording bool) *runState {
+func newRunState(spec runSpec) *runState {
 	rt := &runState{
-		label:     label,
-		start:     time.Now(),
-		access:    access,
-		recording: recording,
-		rng:       rand.New(rand.NewSource(seed)),
+		label:        spec.label,
+		start:        time.Now(),
+		access:       spec.access,
+		recording:    spec.recording,
+		abandonedCtr: spec.metrics.Counter("live.abandoned_events"),
+		rng:          rand.New(rand.NewSource(spec.seed)),
+	}
+	if spec.recording {
+		rt.merge = newMerger()
 	}
 	return rt
 }
@@ -98,12 +116,49 @@ func (rt *runState) randFloat() float64 {
 	return rt.rng.Float64()
 }
 
-// register adds a thread to the run's registry (its shard is collected
-// into the preparation trace at run end).
+// register adds a thread to the run's registry and wires its shard into
+// the streaming merge (recording runs). A thread registered after the run
+// was abandoned — a leaked goroutine spawning — starts sealed: its events
+// would never be collected, so they are dropped and counted instead of
+// buffered forever.
 func (rt *runState) register(t *Thread) {
+	if rt.recording {
+		t.events.OnDrop = rt.abandonedCtr.Inc
+		if rt.merge != nil {
+			spilled := false
+			tid, mg := t.id, rt.merge
+			t.events.OnChunk = func(c []trace.Event) {
+				mg.offer(chunk{tid: tid, evs: c}, &spilled)
+			}
+		}
+	}
 	rt.threadMu.Lock()
 	rt.threads = append(rt.threads, t)
 	rt.threadMu.Unlock()
+	// Checked after the registry append: a concurrent abandon either sees
+	// this thread in the list and seals it there, or set the flag first
+	// and it is sealed here — no interleaving leaves it unsealed.
+	if rt.abandoned.Load() {
+		t.events.Seal()
+	}
+}
+
+// abandon fences off a timed-out run the detector is walking away from:
+// every registered shard is sealed (leaked writers' later appends are
+// dropped and counted via live.abandoned_events), and the merger — whose
+// output no one will read — is told to exit. Never blocks: it runs on the
+// detector's goroutine while the run's goroutines are still live.
+func (rt *runState) abandon() {
+	rt.abandoned.Store(true)
+	rt.threadMu.Lock()
+	threads := rt.threads
+	rt.threadMu.Unlock()
+	for _, t := range threads {
+		t.events.Seal()
+	}
+	if rt.merge != nil {
+		rt.merge.abandon()
+	}
 }
 
 // recoverFault converts a goroutine panic into the run's fault, keeping
@@ -132,17 +187,33 @@ func (rt *runState) recoverFault(t *Thread) {
 	rt.faultMu.Unlock()
 }
 
-// collectTrace merges the per-thread event shards into one time-sorted
-// trace — the lock-sharded recording scheme: each thread appends to its
-// own shard with no synchronization on the hot path, and the merge runs
-// strictly after every shard writer has finished.
+// collectTrace finalizes the streaming merge into one time-sorted trace.
+// While the run executed, shard writers emitted every filled chunk through
+// the lock-free ring to the merger goroutine, which folded them into
+// per-thread sequences concurrently with the run — the continuous
+// counterpart of the old post-join batch merge. Here, strictly after every
+// shard writer has finished, the partial tail chunks are flushed, the
+// merger is stopped and drained, and the per-thread sequences (in thread
+// registration order, exactly as the batch AppendTo loop walked them) are
+// stably sorted into the analyzer's global order.
 func (rt *runState) collectTrace(seed int64, end sim.Time) *trace.Trace {
 	rt.threadMu.Lock()
 	threads := rt.threads
 	rt.threadMu.Unlock()
 	var evs []trace.Event
-	for _, t := range threads {
-		evs = t.events.AppendTo(evs)
+	if rt.merge != nil {
+		for _, t := range threads {
+			t.events.Flush() // writers joined: the tail chunk is safe to emit
+		}
+		rt.merge.stop()
+		perTID := rt.merge.collected()
+		for _, t := range threads {
+			evs = append(evs, perTID[t.id]...)
+		}
+	} else {
+		for _, t := range threads {
+			evs = t.events.AppendTo(evs)
+		}
 	}
 	// The analyzer requires nondecreasing timestamps; shards are merged by
 	// wall-clock stamp with thread id as the (stable) tiebreaker.
@@ -172,12 +243,33 @@ type runResult struct {
 	trace     *trace.Trace // recorded trace (preparation runs only)
 }
 
-// runOnce executes one live run: the root body on a fresh goroutine plus
-// everything it spawns, bounded by timeout. A timed-out run leaks its
-// goroutines — they cannot be killed in Go — so its shards are NOT
-// collected (writers may still be live) and its state is abandoned.
+// runSpec parameterizes one live run.
+type runSpec struct {
+	label     string
+	seed      int64
+	body      func(*Thread, *Heap)
+	access    accessFn      // nil for uninstrumented runs
+	recording bool          // stream event shards into a preparation trace
+	timeout   time.Duration // wall-clock budget; <= 0 means DefaultRunTimeout
+	metrics   *obs.Registry // abandonment accounting; nil disables
+}
+
+// runOnce executes one live run with the positional signature the package
+// has always had; execRun is the full-spec form.
 func runOnce(label string, seed int64, body func(*Thread, *Heap), access accessFn, recording bool, timeout time.Duration) runResult {
-	rt := newRunState(label, seed, access, recording)
+	return execRun(runSpec{
+		label: label, seed: seed, body: body,
+		access: access, recording: recording, timeout: timeout,
+	})
+}
+
+// execRun executes one live run: the root body on a fresh goroutine plus
+// everything it spawns, bounded by the spec's timeout. A timed-out run
+// leaks its goroutines — they cannot be killed in Go — so its state is
+// abandoned: every shard is sealed (later appends from leaked writers are
+// dropped and counted, never merged) and no trace is collected.
+func execRun(spec runSpec) runResult {
+	rt := newRunState(spec)
 	root := newThread(rt, int(rt.nextTID.Add(1)), "main")
 	heap := &Heap{rt: rt}
 
@@ -186,9 +278,10 @@ func runOnce(label string, seed int64, body func(*Thread, *Heap), access accessF
 		defer close(done)
 		defer rt.wg.Wait()
 		defer rt.recoverFault(root)
-		body(root, heap)
+		spec.body(root, heap)
 	}()
 
+	timeout := spec.timeout
 	if timeout <= 0 {
 		timeout = DefaultRunTimeout
 	}
@@ -197,6 +290,7 @@ func runOnce(label string, seed int64, body func(*Thread, *Heap), access accessF
 	select {
 	case <-done:
 	case <-timer.C:
+		rt.abandon()
 		return runResult{
 			end: rt.now(), timedOut: true, err: errRunTimeout,
 			wallStart: rt.start, wallDur: time.Since(rt.start),
@@ -210,8 +304,8 @@ func runOnce(label string, seed int64, body func(*Thread, *Heap), access accessF
 		wallStart: rt.start,
 		wallDur:   time.Since(rt.start),
 	}
-	if recording {
-		res.trace = rt.collectTrace(seed, end)
+	if spec.recording {
+		res.trace = rt.collectTrace(spec.seed, end)
 	}
 	return res
 }

@@ -60,8 +60,34 @@ type Options struct {
 
 	// RunTimeout bounds each run's wall-clock time. A timed-out run leaks
 	// its goroutines (Go cannot kill them); the detector records the run
-	// as timed out and abandons its state.
+	// as timed out and abandons its state: every shard is sealed so the
+	// leaked writers' later events are dropped (counted by the
+	// live.abandoned_events counter) instead of written into state the
+	// detector has walked away from.
 	RunTimeout time.Duration
+
+	// SampleRate is the fraction of detection runs (requests, under the
+	// Monitor) that execute instrumented; the rest run the plain body
+	// uninstrumented and are marked RunReport.SampledOut. Admission is a
+	// deterministic hash of (seed, run index) and never consumes injector
+	// randomness, so 1.0 — the default, and the meaning of the zero value
+	// — is bit-identical to an unsampled build. Values outside (0, 1] mean
+	// 1.0.
+	SampleRate float64
+
+	// ObjectRate sub-samples objects within admitted runs: an accessed
+	// object is instrumented only if its id passes a second deterministic
+	// hash at this rate. 1.0 (and the zero value) instruments every
+	// object.
+	ObjectRate float64
+
+	// SLO is the Monitor's overhead budget as a fraction of the baseline
+	// p99 request latency: per admitted request, injected delays are
+	// capped at SLO × p99(uninstrumented latency), so detection provably
+	// cannot push the sampled p99 past (1 + SLO) × baseline p99 plus
+	// scheduler noise. <= 0 disables the budget (unbounded injection).
+	// Detector.Expose ignores SLO; it is enforced by the Monitor.
+	SLO float64
 
 	// Metrics receives campaign observability counters from the detector
 	// and the engines it drives; the Registry's HTTP handler makes them
@@ -102,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RunTimeout <= 0 {
 		o.RunTimeout = DefaultRunTimeout
+	}
+	if o.SampleRate <= 0 || o.SampleRate > 1 {
+		o.SampleRate = 1
+	}
+	if o.ObjectRate <= 0 || o.ObjectRate > 1 {
+		o.ObjectRate = 1
 	}
 	return o
 }

@@ -1,0 +1,199 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waffle/internal/trace"
+)
+
+// chunk is one sealed shard chunk in flight from a writer goroutine to the
+// merger: the owning thread id plus the events, still in that thread's
+// append order.
+type chunk struct {
+	tid int
+	evs []trace.Event
+}
+
+// ringSize is the chunk ring capacity (must be a power of two). 256 slots
+// of 1024-event chunks buffer ~256k events of merger lag before producers
+// fall back to the spill path — far beyond what a recording run emits
+// between two merger wakeups.
+const ringSize = 256
+
+// chunkRing is a bounded lock-free MPMC queue of chunks (Vyukov's array
+// queue): each slot carries a sequence number that tickets producers and
+// consumers, so a push and a pop touch only their own slot plus one shared
+// cursor CAS each — no locks anywhere on the handoff path.
+type chunkRing struct {
+	slots [ringSize]ringSlot
+	_     [64]byte // keep the cursors off the slots' cache lines
+	enq   atomic.Uint64
+	_     [64]byte // and off each other's
+	deq   atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	c   chunk
+}
+
+func newChunkRing() *chunkRing {
+	r := &chunkRing{}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues c, returning false when the ring is full (the producer
+// then takes the spill path; it must NOT retry, or chunk order within its
+// thread would invert).
+func (r *chunkRing) push(c chunk) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&(ringSize-1)]
+		dif := int64(slot.seq.Load()) - int64(pos)
+		switch {
+		case dif == 0: // slot free for this ticket
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.c = c
+				slot.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = r.enq.Load()
+		case dif < 0: // consumer hasn't freed the slot: full
+			return false
+		default: // another producer took this ticket
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues the oldest chunk, returning ok == false when the ring is
+// empty.
+func (r *chunkRing) pop() (chunk, bool) {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&(ringSize-1)]
+		dif := int64(slot.seq.Load()) - int64(pos+1)
+		switch {
+		case dif == 0: // slot published for this ticket
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				c := slot.c
+				slot.c = chunk{} // release the events for GC
+				slot.seq.Store(pos + ringSize)
+				return c, true
+			}
+			pos = r.deq.Load()
+		case dif < 0: // producer hasn't published yet: empty
+			return chunk{}, false
+		default: // another consumer took this ticket
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// merger is the continuous streaming merge of a recording run: shard
+// writers hand sealed chunks through the lock-free ring, and one merger
+// goroutine folds them into per-thread event sequences while the run is
+// still executing. By the time the run joins, almost all of the merge work
+// has already happened — finalization only flushes the partial tail
+// chunks, drains whatever is left, and sorts.
+//
+// Ordering argument: within one thread, chunks are emitted in append order
+// from a single goroutine, and both the ring (FIFO) and the spill list
+// (append-order, and a spilled shard never returns to the ring) preserve
+// that order per tid; the merger buckets strictly per tid, so each
+// perTID[t] is exactly that thread's shard content in append order —
+// identical to what a post-join batch AppendTo would have produced. The
+// final stable sort by (T, TID) then reproduces the batch merge
+// byte-for-byte.
+type merger struct {
+	ring *chunkRing
+
+	perTID map[int][]trace.Event // merger-goroutine-owned until done closes
+
+	spillMu sync.Mutex
+	spill   []chunk
+
+	closing atomic.Bool
+	done    chan struct{}
+}
+
+func newMerger() *merger {
+	m := &merger{
+		ring:   newChunkRing(),
+		perTID: make(map[int][]trace.Event),
+		done:   make(chan struct{}),
+	}
+	go m.run()
+	return m
+}
+
+// offer hands one chunk to the merger from a writer goroutine. spilled is
+// the caller's per-shard sticky flag: once a shard's chunk misses the ring,
+// every later chunk of that shard must also spill, or the merger could
+// observe them out of append order.
+func (m *merger) offer(c chunk, spilled *bool) {
+	if !*spilled && m.ring.push(c) {
+		return
+	}
+	*spilled = true
+	m.spillMu.Lock()
+	m.spill = append(m.spill, c)
+	m.spillMu.Unlock()
+}
+
+// run is the merger goroutine: drain the ring into perTID until closed,
+// then drain once more (entries can land between a failed pop and the
+// closing check) and exit.
+func (m *merger) run() {
+	defer close(m.done)
+	for {
+		if c, ok := m.ring.pop(); ok {
+			m.perTID[c.tid] = append(m.perTID[c.tid], c.evs...)
+			continue
+		}
+		if m.closing.Load() {
+			for {
+				c, ok := m.ring.pop()
+				if !ok {
+					return
+				}
+				m.perTID[c.tid] = append(m.perTID[c.tid], c.evs...)
+			}
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// stop shuts the merger down and waits for its goroutine to exit. After
+// stop returns, perTID (plus the spill list) is safe to read from the
+// caller's goroutine.
+func (m *merger) stop() {
+	m.closing.Store(true)
+	<-m.done
+}
+
+// abandon shuts the merger down without waiting: the abandonment path of a
+// timed-out run must not block on anything, and the merger goroutine will
+// observe the flag and exit on its own. Chunks still offered by leaked
+// writers after this land in the spill list (or a dead ring) and are
+// simply garbage-collected with the run state.
+func (m *merger) abandon() { m.closing.Store(true) }
+
+// collected returns the merged per-thread sequences after stop: ring
+// deliveries first (all of them arrived before any spill for a given tid —
+// the spill flag is sticky), then the spilled chunks in emission order.
+func (m *merger) collected() map[int][]trace.Event {
+	m.spillMu.Lock()
+	spill := m.spill
+	m.spill = nil
+	m.spillMu.Unlock()
+	for _, c := range spill {
+		m.perTID[c.tid] = append(m.perTID[c.tid], c.evs...)
+	}
+	return m.perTID
+}

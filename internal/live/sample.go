@@ -1,0 +1,66 @@
+package live
+
+// Sampling admission: the always-on deployment story (ROADMAP item 4,
+// mirroring TSVD's production sampling) instruments only a budgeted
+// fraction of requests. Admission must satisfy three properties:
+//
+//  1. Deterministic in (seed, index): the same campaign replays the same
+//     admission schedule, so a sampled run's report can name the exact
+//     requests that were instrumented.
+//  2. Independent of the injector's random stream: admission NEVER draws
+//     from the run RNG, so a SampleRate of 1.0 is not merely "admits
+//     everything" — it executes the exact same code path, RNG state and
+//     all, as a build without sampling (property-tested in
+//     sample_test.go).
+//  3. Uniform: admitted indices are spread evenly, not clustered, so the
+//     instrumented fraction of a load window converges to the rate.
+//
+// A splitmix64 hash of the (seed, index) pair provides all three: it is a
+// stateless bijection with full avalanche, so consecutive indices map to
+// independent-looking uniform points in [0, 1).
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap
+// stateless bijection on uint64 with full avalanche.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit maps (seed, index) to a uniform point in [0, 1).
+func hashUnit(seed int64, index uint64) float64 {
+	h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 ^ index)
+	return float64(h>>11) / (1 << 53) // top 53 bits → [0,1) exactly
+}
+
+// admitRun decides whether run index `run` under `seed` is instrumented at
+// `rate`. rate >= 1 admits unconditionally WITHOUT hashing — the rate-1.0
+// path must be bit-identical to an unsampled build; rate <= 0 never
+// admits.
+func admitRun(seed int64, run int, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	return hashUnit(seed, uint64(run)) < rate
+}
+
+// admitObj decides whether object obj is instrumented within an admitted
+// run — the second, finer admission layer: at high request rates even an
+// admitted request may only afford instrumenting a fraction of its
+// objects. Same contract as admitRun: rate >= 1 admits without hashing.
+func admitObj(seed int64, obj uint64, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	// A different stream than admitRun's (obj indices and run indices
+	// overlap numerically): offset the seed so the two hash families are
+	// independent.
+	return hashUnit(seed^0x5851f42d4c957f2d, obj) < rate
+}

@@ -1,9 +1,11 @@
 package live
 
 import (
+	"sync/atomic"
 	"time"
 
 	"waffle/internal/core"
+	"waffle/internal/obs"
 	"waffle/internal/sim"
 	"waffle/internal/trace"
 	"waffle/internal/vclock"
@@ -31,6 +33,11 @@ type Thread struct {
 	// ex is the core.Exec view of this thread, built once to keep the
 	// per-access hook call allocation-free.
 	ex core.Exec
+
+	// bex caches the budget-capped Exec the Monitor wraps around ex, for
+	// the same reason: built on first use by the owning goroutine, then
+	// reused for every later access of the request.
+	bex core.Exec
 }
 
 func newThread(rt *runState, id int, name string) *Thread {
@@ -115,3 +122,57 @@ func (e execView) Rand() float64 { return e.t.rt.randFloat() }
 
 // ForkClock implements core.ClockedExec.
 func (e execView) ForkClock() *vclock.Clock { return e.t.clock }
+
+// budgeted returns this thread's budget-capped Exec: identical to the
+// plain view except that Sleep draws down the request-wide budget and
+// truncates at zero. Cached on the thread (single-writer: only the owning
+// goroutine calls this), so the per-access cost after the first call is
+// one nil-check.
+func (t *Thread) budgeted(left *atomic.Int64, trunc *obs.Counter) core.Exec {
+	if t.bex == nil {
+		t.bex = &budgetExec{t: t, left: left, trunc: trunc}
+	}
+	return t.bex
+}
+
+// budgetExec caps a request's total injected delay at its SLO budget. The
+// budget is one atomic shared by every thread of the request: each
+// injected Sleep CASes its length out of the remainder and sleeps only
+// what it got; a Sleep arriving after exhaustion is skipped entirely.
+// Truncations and skips are counted (live.truncated_delays) — they are
+// the price of the overhead bound, visible in the status payload.
+type budgetExec struct {
+	t     *Thread
+	left  *atomic.Int64
+	trunc *obs.Counter
+}
+
+func (b *budgetExec) ID() int                  { return b.t.id }
+func (b *budgetExec) Now() sim.Time            { return b.t.rt.now() }
+func (b *budgetExec) Rand() float64            { return b.t.rt.randFloat() }
+func (b *budgetExec) ForkClock() *vclock.Clock { return b.t.clock }
+
+func (b *budgetExec) Sleep(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	want := int64(d) // live ticks are nanoseconds
+	for {
+		cur := b.left.Load()
+		if cur <= 0 {
+			b.trunc.Inc()
+			return
+		}
+		take := want
+		if take > cur {
+			take = cur
+		}
+		if b.left.CompareAndSwap(cur, cur-take) {
+			if take < want {
+				b.trunc.Inc()
+			}
+			time.Sleep(time.Duration(take))
+			return
+		}
+	}
+}

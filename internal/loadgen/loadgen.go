@@ -1,0 +1,274 @@
+// Package loadgen is a deterministic-seeded HTTP load emulator: the
+// synthetic user population that drives the always-on live monitor in
+// the load-smoke experiment. Given a seed, the full request plan — which
+// path each request hits, in which order — is fixed before the first
+// request is issued, so two campaigns with the same seed exercise the
+// same traffic mix even though wall-clock scheduling differs.
+//
+// The generator supports two driving modes. With no Stages, workers
+// issue requests back-to-back as fast as the service answers (closed
+// loop, Concurrency outstanding). With Stages, a pacer releases requests
+// at each stage's RPS for its duration (open loop with a concurrency
+// cap), which is how ramp profiles — warm-up, plateau, spike — are
+// expressed.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waffle/internal/obs"
+)
+
+// Stage is one segment of an RPS ramp: issue at RPS for Duration.
+type Stage struct {
+	RPS      float64
+	Duration time.Duration
+}
+
+// PathWeight weights one request path in the traffic mix.
+type PathWeight struct {
+	Path   string
+	Weight int
+}
+
+// Options configures one load campaign.
+type Options struct {
+	// Seed fixes the request plan (the path sequence). Same seed, same
+	// Mix, same Requests → identical plan.
+	Seed int64
+
+	// Requests is the total request count. Zero with Stages set derives
+	// the total from the ramp (sum of RPS×Duration per stage).
+	Requests int
+
+	// Concurrency is the number of worker goroutines (default 4). In
+	// closed-loop mode it is the number of outstanding requests; in paced
+	// mode it caps how many released requests can be in flight.
+	Concurrency int
+
+	// Stages, when non-empty, paces the campaign as an RPS ramp instead
+	// of the closed loop.
+	Stages []Stage
+
+	// Mix is the weighted path mix; empty means every request hits "/".
+	Mix []PathWeight
+
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+
+	// Metrics, when non-nil, receives loadgen.requests / loadgen.errors
+	// counters and the loadgen.latency_us histogram.
+	Metrics *obs.Registry
+
+	// Hook, when non-nil, is called after every completed request with
+	// the number of requests completed so far (1-based, monotonic). It is
+	// called from worker goroutines under a mutex — completions are
+	// serialized through it — so it may drive mid-load control actions
+	// (e.g. POST /v1/live/stop at N/3) without its own locking.
+	Hook func(completed int)
+}
+
+// Report summarizes a finished campaign.
+type Report struct {
+	Requests int            // completed requests
+	Errors   int            // transport failures and non-2xx responses
+	ByPath   map[string]int // completed requests per path
+	P50      time.Duration  // latency quantiles over completed requests
+	P99      time.Duration
+	Max      time.Duration
+	Elapsed  time.Duration // wall time of the whole campaign
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if len(o.Mix) == 0 {
+		o.Mix = []PathWeight{{Path: "/", Weight: 1}}
+	}
+	return o
+}
+
+// plan builds the deterministic path sequence: one weighted draw per
+// request from a rand.Rand seeded with Options.Seed. The plan depends
+// only on (Seed, Mix, total) — never on scheduling.
+func plan(seed int64, mix []PathWeight, total int) ([]string, error) {
+	weightSum := 0
+	for _, pw := range mix {
+		if pw.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: negative weight %d for %q", pw.Weight, pw.Path)
+		}
+		weightSum += pw.Weight
+	}
+	if weightSum == 0 {
+		return nil, errors.New("loadgen: mix has zero total weight")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	paths := make([]string, total)
+	for i := range paths {
+		draw := rng.Intn(weightSum)
+		for _, pw := range mix {
+			if draw < pw.Weight {
+				paths[i] = pw.Path
+				break
+			}
+			draw -= pw.Weight
+		}
+	}
+	return paths, nil
+}
+
+// total resolves the campaign's request count from Requests and Stages.
+func (o Options) total() (int, error) {
+	if o.Requests > 0 {
+		return o.Requests, nil
+	}
+	if len(o.Stages) == 0 {
+		return 0, errors.New("loadgen: need Requests > 0 or at least one Stage")
+	}
+	n := 0
+	for _, s := range o.Stages {
+		if s.RPS <= 0 || s.Duration <= 0 {
+			return 0, fmt.Errorf("loadgen: stage %+v needs positive RPS and Duration", s)
+		}
+		n += int(s.RPS * s.Duration.Seconds())
+	}
+	if n == 0 {
+		return 0, errors.New("loadgen: ramp releases zero requests")
+	}
+	return n, nil
+}
+
+// Run drives the campaign against baseURL (no trailing slash) and blocks
+// until every planned request has completed.
+func Run(baseURL string, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	total, err := opts.total()
+	if err != nil {
+		return Report{}, err
+	}
+	paths, err := plan(opts.Seed, opts.Mix, total)
+	if err != nil {
+		return Report{}, err
+	}
+
+	reqCtr := opts.Metrics.Counter("loadgen.requests")
+	errCtr := opts.Metrics.Counter("loadgen.errors")
+	latHist := opts.Metrics.Histogram("loadgen.latency_us", obs.LatencyBuckets)
+
+	client := &http.Client{Timeout: opts.Timeout}
+	latencies := make([]time.Duration, total) // one slot per request, no contention
+	var errCount, done atomic.Int64
+	byPath := make(map[string]int, len(opts.Mix))
+	var pathMu sync.Mutex
+	var hookMu sync.Mutex
+
+	// In paced mode the pacer feeds request indices through tokens at the
+	// ramp's rate; in closed-loop mode workers claim indices directly
+	// from next.
+	var next atomic.Int64
+	var tokens chan int
+	if len(opts.Stages) > 0 {
+		tokens = make(chan int)
+		go func() {
+			defer close(tokens)
+			idx := 0
+			for _, st := range opts.Stages {
+				interval := time.Duration(float64(time.Second) / st.RPS)
+				n := int(st.RPS * st.Duration.Seconds())
+				for i := 0; i < n && idx < total; i++ {
+					tokens <- idx
+					idx++
+					time.Sleep(interval)
+				}
+			}
+			// Requests > ramp capacity: release the remainder unpaced so
+			// the campaign always completes exactly `total` requests.
+			for ; idx < total; idx++ {
+				tokens <- idx
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var idx int
+				if tokens != nil {
+					i, ok := <-tokens
+					if !ok {
+						return
+					}
+					idx = i
+				} else {
+					idx = int(next.Add(1)) - 1
+					if idx >= total {
+						return
+					}
+				}
+				path := paths[idx]
+				t0 := time.Now()
+				resp, err := client.Get(baseURL + path)
+				lat := time.Since(t0)
+				if err != nil {
+					errCount.Add(1)
+					errCtr.Inc()
+				} else {
+					if resp.StatusCode < 200 || resp.StatusCode > 299 {
+						errCount.Add(1)
+						errCtr.Inc()
+					}
+					resp.Body.Close()
+				}
+				latencies[idx] = lat
+				reqCtr.Inc()
+				latHist.Observe(lat.Microseconds())
+				pathMu.Lock()
+				byPath[path]++
+				pathMu.Unlock()
+				n := int(done.Add(1))
+				if opts.Hook != nil {
+					hookMu.Lock()
+					opts.Hook(n)
+					hookMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sorted := make([]time.Duration, len(latencies))
+	copy(sorted, latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Report{
+		Requests: total,
+		Errors:   int(errCount.Load()),
+		ByPath:   byPath,
+		P50:      q(0.50),
+		P99:      q(0.99),
+		Max:      sorted[len(sorted)-1],
+		Elapsed:  elapsed,
+	}, nil
+}

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waffle/internal/obs"
+)
+
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Path == "/fail" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	ts, _ := countingServer(t)
+	opts := Options{
+		Seed: 42, Requests: 200, Concurrency: 8,
+		Mix: []PathWeight{{"/browse", 3}, {"/checkout", 1}},
+	}
+	a, err := Run(ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ByPath, b.ByPath) {
+		t.Fatalf("same seed, different mix: %v vs %v", a.ByPath, b.ByPath)
+	}
+	if a.ByPath["/browse"]+a.ByPath["/checkout"] != 200 {
+		t.Fatalf("requests lost: %v", a.ByPath)
+	}
+	// 3:1 weights: /browse should dominate by a wide margin.
+	if a.ByPath["/browse"] <= a.ByPath["/checkout"] {
+		t.Fatalf("mix weights ignored: %v", a.ByPath)
+	}
+	if a.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", a.Errors)
+	}
+	if a.P99 < a.P50 || a.Max < a.P99 {
+		t.Fatalf("quantiles unordered: p50=%v p99=%v max=%v", a.P50, a.P99, a.Max)
+	}
+}
+
+func TestErrorsCountedAndMetricsRecorded(t *testing.T) {
+	ts, _ := countingServer(t)
+	m := obs.New()
+	rep, err := Run(ts.URL, Options{
+		Seed: 1, Requests: 50, Concurrency: 4,
+		Mix:     []PathWeight{{"/ok", 1}, {"/fail", 1}},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.ByPath["/fail"] {
+		t.Fatalf("errors %d != /fail hits %d", rep.Errors, rep.ByPath["/fail"])
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["loadgen.requests"]; got != 50 {
+		t.Fatalf("loadgen.requests = %d, want 50", got)
+	}
+	if got := snap.Counters["loadgen.errors"]; got != int64(rep.Errors) {
+		t.Fatalf("loadgen.errors = %d, want %d", got, rep.Errors)
+	}
+	if q, ok := snap.HistogramQuantile("loadgen.latency_us", 50); !ok || q < 0 {
+		t.Fatalf("latency histogram missing: %v %v", q, ok)
+	}
+}
+
+func TestHookSeesMonotonicCompletions(t *testing.T) {
+	ts, _ := countingServer(t)
+	last := 0
+	rep, err := Run(ts.URL, Options{
+		Seed: 9, Requests: 80, Concurrency: 8,
+		Hook: func(n int) {
+			if n != last+1 {
+				t.Errorf("hook skipped: %d after %d", n, last)
+			}
+			last = n
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != rep.Requests {
+		t.Fatalf("hook saw %d completions, report says %d", last, rep.Requests)
+	}
+}
+
+func TestStagedRampPacesAndCompletes(t *testing.T) {
+	ts, hits := countingServer(t)
+	start := time.Now()
+	rep, err := Run(ts.URL, Options{
+		Seed: 3, Concurrency: 4,
+		Stages: []Stage{
+			{RPS: 200, Duration: 100 * time.Millisecond},
+			{RPS: 400, Duration: 100 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	want := 200/10 + 400/10 // RPS × 0.1s per stage
+	if rep.Requests != want || int(hits.Load()) != want {
+		t.Fatalf("requests = %d (server saw %d), want %d", rep.Requests, hits.Load(), want)
+	}
+	// The ramp spans 200ms of pacing; the campaign cannot finish
+	// instantly like the closed loop would.
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("paced campaign finished in %v — pacing not applied", elapsed)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run("http://127.0.0.1:0", Options{}); err == nil {
+		t.Fatal("no Requests and no Stages accepted")
+	}
+	if _, err := Run("http://127.0.0.1:0", Options{Requests: 1, Mix: []PathWeight{{"/a", 0}}}); err == nil {
+		t.Fatal("zero-weight mix accepted")
+	}
+	if _, err := Run("http://127.0.0.1:0", Options{Requests: 1, Mix: []PathWeight{{"/a", -1}}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := Run("http://127.0.0.1:0", Options{Stages: []Stage{{RPS: -1, Duration: time.Second}}}); err == nil {
+		t.Fatal("negative RPS accepted")
+	}
+}

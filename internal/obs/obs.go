@@ -263,6 +263,18 @@ func (r *Registry) Span(name string) *Span {
 // live): decades from 100 ticks to 1e9 ticks.
 var DelayBuckets = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
 
+// LatencyBuckets is the standard bucket layout for request-latency
+// histograms, in microseconds: roughly log-spaced from 50µs to 5s, dense
+// through the single-digit-millisecond range where live-service handlers
+// sit, so HistView.Quantile resolves a p99 tight enough to derive
+// injection budgets from.
+var LatencyBuckets = []int64{
+	50, 100, 200, 300, 500, 750,
+	1_000, 1_500, 2_000, 3_000, 5_000, 7_500,
+	10_000, 15_000, 20_000, 30_000, 50_000, 75_000,
+	100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+}
+
 // RunBuckets is the standard bucket layout for run-count histograms
 // (session.runs_to_exposure): fine at the head, where nearly all
 // exposures land, and wide enough at the tail to cover any practical

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"math"
 	"testing"
 )
 
@@ -29,8 +28,8 @@ func TestHistViewQuantile(t *testing.T) {
 		{60, 3},   // rank 6
 		{70, 5},   // rank 7 → the (3,5] bucket (value 4) reports bound 5
 		{90, 10},  // rank 9 → the (5,10] bucket
-		{99, math.Inf(1)}, // rank 10 lands in the overflow bucket
-		{100, math.Inf(1)},
+		{99, 10},  // rank 10 lands in the overflow bucket → saturates to 10
+		{100, 10}, // same saturation
 	}
 	for _, c := range cases {
 		got, ok := hv.Quantile(c.p)
@@ -42,11 +41,25 @@ func TestHistViewQuantile(t *testing.T) {
 		}
 	}
 
+	// Saturation is only reported for ranks in the overflow bucket.
+	if _, sat, ok := hv.QuantileInfo(90); !ok || sat {
+		t.Errorf("QuantileInfo(90) saturated=%v ok=%v; want false, true", sat, ok)
+	}
+	if v, sat, ok := hv.QuantileInfo(99); !ok || !sat || v != 10 {
+		t.Errorf("QuantileInfo(99) = %g, sat=%v, ok=%v; want 10, true, true", v, sat, ok)
+	}
+
 	if v, ok := snap.HistogramQuantile("q", 50); !ok || v != 2 {
 		t.Errorf("HistogramQuantile(q, 50) = %g, %v; want 2, true", v, ok)
 	}
+	if v, sat, ok := snap.HistogramQuantileInfo("q", 99); !ok || !sat || v != 10 {
+		t.Errorf("HistogramQuantileInfo(q, 99) = %g, sat=%v, ok=%v; want 10, true, true", v, sat, ok)
+	}
 	if _, ok := snap.HistogramQuantile("absent", 50); ok {
 		t.Error("HistogramQuantile reported ok for an absent histogram")
+	}
+	if _, _, ok := snap.HistogramQuantileInfo("absent", 50); ok {
+		t.Error("HistogramQuantileInfo reported ok for an absent histogram")
 	}
 	var empty HistView
 	if _, ok := empty.Quantile(50); ok {
@@ -55,11 +68,16 @@ func TestHistViewQuantile(t *testing.T) {
 	if _, ok := (*Snapshot)(nil).HistogramQuantile("q", 50); ok {
 		t.Error("nil snapshot reported ok")
 	}
+	if _, _, ok := (*Snapshot)(nil).HistogramQuantileInfo("q", 50); ok {
+		t.Error("nil snapshot QuantileInfo reported ok")
+	}
 }
 
-// Every observation at or below the first bound: quantiles never leave
-// the first bucket, and a histogram with only overflow observations is
-// +Inf at every rank.
+// Overflow-bucket edges: every observation at or below the first bound
+// keeps quantiles in the first bucket; a histogram whose observations all
+// overflowed saturates every rank to the last finite bound (with the
+// saturated flag raised) rather than reporting +Inf, so SLO budget math
+// never inherits an unbounded p99.
 func TestHistViewQuantileEdges(t *testing.T) {
 	r := New()
 	lo := r.Histogram("lo", []int64{10, 20})
@@ -67,12 +85,38 @@ func TestHistViewQuantileEdges(t *testing.T) {
 	lo.Observe(2)
 	hi := r.Histogram("hi", []int64{10, 20})
 	hi.Observe(100)
+	mixed := r.Histogram("mixed", []int64{10, 20})
+	mixed.Observe(5)
+	mixed.Observe(100)
 	snap := r.Snapshot()
 
 	if v, ok := snap.Histograms["lo"].Quantile(99); !ok || v != 10 {
 		t.Errorf("lo p99 = %g, %v; want 10, true", v, ok)
 	}
-	if v, ok := snap.Histograms["hi"].Quantile(1); !ok || !math.IsInf(v, 1) {
-		t.Errorf("hi p1 = %g, %v; want +Inf, true", v, ok)
+	if _, sat, _ := snap.Histograms["lo"].QuantileInfo(99); sat {
+		t.Error("lo p99 reported saturated with nothing in overflow")
+	}
+
+	// Entirely-overflow histogram: every rank saturates.
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		v, sat, ok := snap.Histograms["hi"].QuantileInfo(p)
+		if !ok || !sat || v != 20 {
+			t.Errorf("hi p%g = %g, sat=%v, ok=%v; want 20, true, true", p, v, sat, ok)
+		}
+	}
+
+	// Mixed: low ranks resolve finitely, high ranks saturate.
+	if v, sat, ok := snap.Histograms["mixed"].QuantileInfo(50); !ok || sat || v != 10 {
+		t.Errorf("mixed p50 = %g, sat=%v, ok=%v; want 10, false, true", v, sat, ok)
+	}
+	if v, sat, ok := snap.Histograms["mixed"].QuantileInfo(99); !ok || !sat || v != 20 {
+		t.Errorf("mixed p99 = %g, sat=%v, ok=%v; want 20, true, true", v, sat, ok)
+	}
+
+	// A histogram with no finite bounds at all has nothing to saturate
+	// to: not ok, never a panic.
+	only := HistView{Bounds: nil, Counts: []int64{3}, Count: 3}
+	if _, _, ok := only.QuantileInfo(50); ok {
+		t.Error("bounds-free histogram reported ok")
 	}
 }

@@ -92,12 +92,29 @@ func (r *Registry) Snapshot() *Snapshot {
 // first bucket at which the cumulative count reaches ⌈p/100·count⌉. The
 // convention matches stats.Percentile — no interpolation, so the result
 // is always a bucket boundary that at least rank observations are ≤ to.
-// Observations that landed in the overflow bucket have no finite bound:
-// a rank that falls there yields +Inf. An empty histogram reports ok ==
+//
+// Saturation semantics: a rank that lands in the unbounded overflow
+// bucket has no finite upper bound to report, so Quantile saturates to
+// the last finite bound with ok == true. The result is then a LOWER
+// bound on the true quantile, not an upper bound — a deliberate
+// under-report. Consumers that derive budgets from quantiles (the live
+// SLO delay budget, the adaptive controller's delay cap) prefer a finite
+// floor over +Inf, which would silently disable any cap derived from
+// it; consumers that must distinguish saturation use QuantileInfo. A
+// histogram with no finite bounds at all, or an empty one, reports ok ==
 // false (and value 0).
 func (h HistView) Quantile(p float64) (value float64, ok bool) {
-	if h.Count <= 0 || len(h.Counts) != len(h.Bounds)+1 {
-		return 0, false
+	value, _, ok = h.QuantileInfo(p)
+	return value, ok
+}
+
+// QuantileInfo is Quantile with the saturation signal exposed: saturated
+// is true when the requested rank landed in the unbounded overflow
+// bucket and the returned value is the last finite bound (a lower bound
+// on the true quantile) rather than an exact bucket answer.
+func (h HistView) QuantileInfo(p float64) (value float64, saturated, ok bool) {
+	if h.Count <= 0 || len(h.Counts) != len(h.Bounds)+1 || len(h.Bounds) == 0 {
+		return 0, false, false
 	}
 	rank := int64(math.Ceil(p / 100 * float64(h.Count)))
 	if rank < 1 {
@@ -111,12 +128,12 @@ func (h HistView) Quantile(p float64) (value float64, ok bool) {
 		cum += c
 		if cum >= rank {
 			if i == len(h.Bounds) {
-				return math.Inf(1), true
+				break // overflow bucket: saturate below
 			}
-			return float64(h.Bounds[i]), true
+			return float64(h.Bounds[i]), false, true
 		}
 	}
-	return math.Inf(1), true
+	return float64(h.Bounds[len(h.Bounds)-1]), true, true
 }
 
 // HistogramQuantile reads a quantile from the named histogram in the
@@ -132,6 +149,19 @@ func (s *Snapshot) HistogramQuantile(name string, p float64) (value float64, ok 
 		return 0, false
 	}
 	return h.Quantile(p)
+}
+
+// HistogramQuantileInfo is HistogramQuantile with the overflow-bucket
+// saturation signal (see HistView.QuantileInfo).
+func (s *Snapshot) HistogramQuantileInfo(name string, p float64) (value float64, saturated, ok bool) {
+	if s == nil {
+		return 0, false, false
+	}
+	h, present := s.Histograms[name]
+	if !present {
+		return 0, false, false
+	}
+	return h.QuantileInfo(p)
 }
 
 // MarshalIndentJSON renders the snapshot as indented JSON with a trailing

@@ -78,6 +78,11 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, st)
 }
 
+// handleResults validates the long-poll parameters strictly: a negative
+// `after` or a negative `wait` is a caller bug (most often a sign error
+// in cursor arithmetic), and silently clamping either to zero would turn
+// that bug into a surprise full-replay or busy-poll. Both are rejected
+// with 400 so the caller sees the mistake.
 func (m *Manager) handleResults(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	after := 0
@@ -87,6 +92,10 @@ func (m *Manager) handleResults(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad after: " + err.Error()})
 			return
 		}
+		if n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad after: must be >= 0, got " + s})
+			return
+		}
 		after = n
 	}
 	var wait time.Duration
@@ -94,6 +103,10 @@ func (m *Manager) handleResults(w http.ResponseWriter, r *http.Request) {
 		d, err := time.ParseDuration(s)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad wait: " + err.Error()})
+			return
+		}
+		if d < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad wait: must be >= 0, got " + s})
 			return
 		}
 		wait = min(d, maxWait)

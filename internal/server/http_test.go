@@ -193,3 +193,61 @@ func TestHTTPDraining(t *testing.T) {
 		t.Fatalf("submit while draining: %d, want 503", code)
 	}
 }
+
+// Long-poll parameter validation: negative wait and negative or
+// non-numeric after must be rejected with 400, never silently clamped —
+// a negative cursor usually means sign-error arithmetic in the caller,
+// and clamping it to zero would replay every result as if nothing had
+// been consumed.
+func TestHTTPResultsParamValidation(t *testing.T) {
+	_, ts := api(t, Options{Workers: 1})
+
+	var st JobStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", smallSpec(401, 1), &st); code != http.StatusCreated {
+		t.Fatalf("submit status %d", code)
+	}
+	base := ts.URL + "/v1/jobs/" + st.ID + "/results"
+
+	cases := []struct {
+		name  string
+		query string
+		code  int
+	}{
+		{"no params", "", http.StatusOK},
+		{"zero after", "?after=0", http.StatusOK},
+		{"positive after", "?after=3", http.StatusOK},
+		{"zero wait", "?wait=0s", http.StatusOK},
+		{"positive wait", "?wait=10ms", http.StatusOK},
+		{"negative after", "?after=-1", http.StatusBadRequest},
+		{"very negative after", "?after=-999999", http.StatusBadRequest},
+		{"non-numeric after", "?after=abc", http.StatusBadRequest},
+		{"float after", "?after=1.5", http.StatusBadRequest},
+		{"empty-ish after", "?after=%20", http.StatusBadRequest},
+		{"negative wait", "?wait=-1s", http.StatusBadRequest},
+		{"negative sub-second wait", "?wait=-5ms", http.StatusBadRequest},
+		{"malformed wait", "?wait=banana", http.StatusBadRequest},
+		{"unitless wait", "?wait=5", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var body map[string]any
+			code := doJSON(t, "GET", base+c.query, nil, &body)
+			if code != c.code {
+				t.Fatalf("GET %s = %d, want %d (body %v)", c.query, code, c.code, body)
+			}
+			if c.code == http.StatusBadRequest {
+				if msg, _ := body["error"].(string); msg == "" {
+					t.Fatalf("GET %s: 400 without error message (body %v)", c.query, body)
+				}
+			}
+		})
+	}
+
+	// Unknown job with a *valid* negative param still 400s: parameter
+	// validation happens before the job lookup, so the error a broken
+	// client sees is stable regardless of job lifecycle.
+	var body map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/nope/results?after=-1", nil, &body); code != http.StatusBadRequest {
+		t.Fatalf("unknown job + negative after = %d, want 400", code)
+	}
+}

@@ -1,5 +1,7 @@
 package trace
 
+import "sync/atomic"
+
 // shardChunkEvents is the fixed chunk size of a Shard. At 1024 events a
 // chunk is ~72 KiB on 64-bit platforms: large enough that the amortized
 // allocation cost of recording drops to ~1/1024 allocs per event, small
@@ -21,30 +23,99 @@ const shardChunkEvents = 1024
 // A Shard must only be appended to by one writer at a time; merging
 // (AppendTo) may happen on another thread once the writer has stopped. The
 // zero value is an empty shard ready for use.
+//
+// Two optional extensions serve streaming consumers (the live runtime's
+// continuous merge pipeline):
+//
+//   - OnChunk, when set before the first Append, receives each filled
+//     chunk instead of the shard retaining it — the handoff point into a
+//     ring buffer feeding a merger goroutine. Flush emits the final,
+//     partially filled chunk once the writer has stopped.
+//   - Seal marks the shard closed from ANY goroutine: the writer's
+//     subsequent Appends are dropped (counted via OnDrop) instead of
+//     recorded. This is the abandonment fence for timed-out live runs,
+//     whose leaked goroutines cannot be killed but must not keep feeding
+//     events into a shard the detector has walked away from.
 type Shard struct {
 	full [][]Event // sealed chunks, each exactly shardChunkEvents long
 	cur  []Event   // open chunk being filled; cap is shardChunkEvents
+
+	// OnChunk, when non-nil, receives every filled chunk in append order
+	// (called from the writer goroutine); the shard retains nothing. Set
+	// it before the first Append and never change it afterwards.
+	OnChunk func(chunk []Event)
+
+	// OnDrop, when non-nil, is called once per event dropped after Seal
+	// (from the — possibly leaked — writer goroutine). Set it before the
+	// shard is shared and never change it afterwards.
+	OnDrop func()
+
+	// sealed is the cross-goroutine abandonment flag; dropped counts the
+	// appends that arrived after it was raised.
+	sealed  atomic.Bool
+	dropped atomic.Int64
 }
 
 // Append records one event. Amortized zero-allocation: only every
-// shardChunkEvents-th call allocates (a fresh chunk).
-func (s *Shard) Append(e Event) {
+// shardChunkEvents-th call allocates (a fresh chunk). It reports whether
+// the event was recorded — false once the shard has been Sealed, in which
+// case the event is dropped and counted instead.
+func (s *Shard) Append(e Event) bool {
+	if s.sealed.Load() {
+		s.dropped.Add(1)
+		if s.OnDrop != nil {
+			s.OnDrop()
+		}
+		return false
+	}
 	if len(s.cur) == cap(s.cur) {
 		if s.cur != nil {
-			s.full = append(s.full, s.cur)
+			if s.OnChunk != nil {
+				s.OnChunk(s.cur)
+			} else {
+				s.full = append(s.full, s.cur)
+			}
 		}
 		s.cur = make([]Event, 0, shardChunkEvents)
 	}
 	s.cur = append(s.cur, e)
+	return true
 }
 
-// Len reports the number of events appended so far.
+// Seal closes the shard: every later Append is dropped (and counted)
+// rather than recorded. Unlike every other method, Seal is safe to call
+// from a goroutine other than the writer — it is the abandonment fence a
+// timed-out run's detector raises while the run's leaked goroutines may
+// still be executing. An in-flight Append racing the Seal may still land;
+// sealing guarantees only that the drop window opens within one event.
+func (s *Shard) Seal() { s.sealed.Store(true) }
+
+// Sealed reports whether the shard has been sealed.
+func (s *Shard) Sealed() bool { return s.sealed.Load() }
+
+// Dropped reports how many appends were dropped after Seal.
+func (s *Shard) Dropped() int64 { return s.dropped.Load() }
+
+// Flush emits the open, partially filled chunk through OnChunk and resets
+// it. Writer-side only (or strictly after the writer has stopped): it
+// touches the same state as Append. A no-op without OnChunk or when the
+// open chunk is empty.
+func (s *Shard) Flush() {
+	if s.OnChunk == nil || len(s.cur) == 0 {
+		return
+	}
+	s.OnChunk(s.cur)
+	s.cur = nil
+}
+
+// Len reports the number of events currently retained by the shard (with
+// OnChunk set, filled chunks are handed off and no longer counted here).
 func (s *Shard) Len() int {
 	return len(s.full)*shardChunkEvents + len(s.cur)
 }
 
-// AppendTo flushes the shard's events, in append order, onto dst and
-// returns the extended slice. The shard itself is not modified.
+// AppendTo flushes the shard's retained events, in append order, onto dst
+// and returns the extended slice. The shard itself is not modified.
 func (s *Shard) AppendTo(dst []Event) []Event {
 	for _, c := range s.full {
 		dst = append(dst, c...)

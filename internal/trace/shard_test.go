@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardSealDropsAppends checks the abandonment fence: after Seal,
+// appends are dropped, counted, and reported through OnDrop; events
+// recorded before the seal stay intact.
+func TestShardSealDropsAppends(t *testing.T) {
+	var s Shard
+	var dropped int
+	s.OnDrop = func() { dropped++ }
+
+	for i := 0; i < 10; i++ {
+		if !s.Append(Event{Seq: i}) {
+			t.Fatalf("Append %d rejected before seal", i)
+		}
+	}
+	if s.Sealed() {
+		t.Fatal("shard sealed before Seal()")
+	}
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Sealed() = false after Seal()")
+	}
+	for i := 0; i < 7; i++ {
+		if s.Append(Event{Seq: 100 + i}) {
+			t.Fatalf("Append %d accepted after seal", i)
+		}
+	}
+	if got := s.Dropped(); got != 7 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+	if dropped != 7 {
+		t.Fatalf("OnDrop fired %d times, want 7", dropped)
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len() = %d after sealed appends, want 10", got)
+	}
+	evs := s.AppendTo(nil)
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d — post-seal event leaked in", i, e.Seq)
+		}
+	}
+}
+
+// TestShardSealRace runs a writer appending flat-out while another
+// goroutine seals the shard mid-stream. Under -race this is the regression
+// test for the leaked-goroutine abandonment fence: the sealer and the
+// writer only share atomics, so the race detector must stay quiet, and
+// every recorded event must predate (or at most overlap by the one
+// documented in-flight append) the seal.
+func TestShardSealRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		var s Shard
+		start := make(chan struct{})
+		done := make(chan struct{})
+		var accepted int
+		go func() {
+			defer close(done)
+			<-start
+			for i := 0; ; i++ {
+				if !s.Append(Event{Seq: i}) {
+					return // sealed: leaked writer gives up
+				}
+				accepted++
+			}
+		}()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Seal()
+		}()
+		close(start)
+		wg.Wait()
+		<-done
+		if got := s.Len(); got != accepted {
+			t.Fatalf("iter %d: Len() = %d, writer recorded %d", iter, got, accepted)
+		}
+		if s.Dropped() != 1 {
+			t.Fatalf("iter %d: Dropped() = %d, want exactly 1 (the append that observed the seal)", iter, s.Dropped())
+		}
+	}
+}
+
+// TestShardOnChunkStreaming checks the streaming handoff: filled chunks
+// are emitted through OnChunk in append order instead of being retained,
+// Flush emits the final partial chunk, and the concatenation of the
+// emitted chunks equals what a batch AppendTo would have produced.
+func TestShardOnChunkStreaming(t *testing.T) {
+	const n = shardChunkEvents*3 + 17
+
+	var batch Shard
+	for i := 0; i < n; i++ {
+		batch.Append(Event{Seq: i, TID: 7})
+	}
+	want := batch.AppendTo(nil)
+
+	var s Shard
+	var got []Event
+	var chunks int
+	s.OnChunk = func(c []Event) {
+		chunks++
+		got = append(got, c...)
+	}
+	for i := 0; i < n; i++ {
+		s.Append(Event{Seq: i, TID: 7})
+	}
+	if chunks != 3 {
+		t.Fatalf("OnChunk fired %d times before Flush, want 3", chunks)
+	}
+	if got := s.Len(); got != 17 {
+		t.Fatalf("Len() = %d with OnChunk set, want 17 (only the open chunk)", got)
+	}
+	s.Flush()
+	if chunks != 4 {
+		t.Fatalf("OnChunk fired %d times after Flush, want 4", chunks)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: streamed %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Flush on an empty open chunk is a no-op.
+	s.Flush()
+	if chunks != 4 {
+		t.Fatalf("Flush on empty open chunk emitted a chunk")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"waffle/internal/core"
+	"waffle/internal/live"
 	"waffle/internal/trace"
 )
 
@@ -120,6 +121,31 @@ func TestBaseTimeScalesWithSpacing(t *testing.T) {
 	fast := record(t, Spec{Prefix: "fast", Threads: 2, LocalObjs: 3, LocalOps: 5, Spacing: 500}, 1)
 	if slow.End <= fast.End {
 		t.Fatalf("spacing did not scale time: slow %v ≤ fast %v", slow.End, fast.End)
+	}
+}
+
+func TestLiveBodyFaultFreeUnderMonitor(t *testing.T) {
+	// The live mirror of the generated workload must survive the full
+	// monitor lifecycle — record, analyze, inject — without a fault: it is
+	// the false-positive control population of the load test, so any bug
+	// report here is a detector bug.
+	spec := Spec{
+		Prefix: "lw", Threads: 2, LocalObjs: 1, LocalOps: 1,
+		SharedObjs: 2, SharedUses: 2, PreForkObjs: 1, SyncedObjs: 1,
+		Spacing: 50, // 50µs think time keeps the request ~ms-scale
+	}
+	mon := live.NewMonitor(7, live.Options{SampleRate: 1})
+	body := spec.LiveBody()
+	sawDelays := false
+	for i := 0; i < 15; i++ {
+		rep := mon.Do("/workload", body)
+		if rep.Fault != nil || rep.Bug != nil {
+			t.Fatalf("live workload faulted on request %d: fault=%v bug=%+v", i, rep.Fault, rep.Bug)
+		}
+		sawDelays = sawDelays || rep.Delays > 0
+	}
+	if !sawDelays {
+		t.Fatal("no request injected delays — the live workload generates no candidates")
 	}
 }
 

@@ -60,6 +60,16 @@ type (
 	Phases = ilive.Phases
 	// Demo is a built-in live scenario with a planted bug.
 	Demo = ilive.Demo
+	// Monitor is the always-on per-request detector for embedding in
+	// servers: each request body is sampled, recorded, or injected
+	// according to the monitor's options.
+	Monitor = ilive.Monitor
+	// MonitorStatus is the Monitor's JSON-serializable status payload.
+	MonitorStatus = ilive.MonitorStatus
+	// RequestReport describes what the Monitor did with one request.
+	RequestReport = ilive.RequestReport
+	// TuneRequest is a partial, validated retune of a running Monitor.
+	TuneRequest = ilive.TuneRequest
 
 	// Outcome, BugReport, RunReport, Plan and Pair are shared with the
 	// simulated detector — live runs additionally stamp RunReport.WallStart
@@ -74,6 +84,13 @@ type (
 // New returns a live detector (zero Options mean live defaults: δ=100ms,
 // α=1.15, λ=0.1, 30s run timeout).
 func New(opts Options) *Detector { return ilive.NewDetector(opts) }
+
+// NewMonitor returns an enabled always-on monitor. Unlike New, the
+// monitor amortizes the pipeline across live traffic: per-request
+// sampling (Options.SampleRate/ObjectRate), an SLO-derived delay budget
+// (Options.SLO), and one prepare→analyze→detect lifecycle per request
+// path, advanced one request at a time.
+func NewMonitor(seed int64, opts Options) *Monitor { return ilive.NewMonitor(seed, opts) }
 
 // ExposeT runs the live pipeline against body inside a Go test, failing
 // the test if a MemOrder bug manifests. See internal/live.ExposeT.
